@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates the Section 4.1 bank-count scaling ablation.
+ */
+
+#include <iostream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    gs::setQuiet(true);
+    std::cout << gs::runBankCountAblation(gs::experimentConfig()) << std::endl;
+    return 0;
+}

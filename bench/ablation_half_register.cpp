@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Regenerates the Section 3.2/4.3 half-register compression ablation.
+ */
+
+#include <iostream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    gs::setQuiet(true);
+    std::cout << gs::runHalfRegisterAblation(gs::experimentConfig())
+              << std::endl;
+    return 0;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Regenerates the Section 4.1 scalar-RF bank ablation of the paper. Prints measured series beside the
+ * paper's reference numbers.
+ */
+
+#include <iostream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    gs::setQuiet(true);
+    std::cout << gs::runScalarBankAblation(gs::experimentConfig()) << std::endl;
+    return 0;
+}

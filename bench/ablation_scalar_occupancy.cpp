@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates the Section 6 scalar dispatch-occupancy ablation.
+ */
+
+#include <iostream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    gs::setQuiet(true);
+    std::cout << gs::runOccupancyAblation(gs::experimentConfig()) << std::endl;
+    return 0;
+}

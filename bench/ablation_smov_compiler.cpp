@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates the Section 3.3 compiler-assisted special-move ablation.
+ */
+
+#include <iostream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    gs::setQuiet(true);
+    std::cout << gs::runSmovCompilerAblation(gs::experimentConfig()) << std::endl;
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates the Section 4.3/6 warp-width scaling ablation.
+ */
+
+#include <iostream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    gs::setQuiet(true);
+    std::cout << gs::runWarpWidthAblation(gs::experimentConfig()) << std::endl;
+    return 0;
+}

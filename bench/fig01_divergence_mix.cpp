@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Regenerates Figure 1 of the paper. Prints measured series beside the
+ * paper's reference numbers.
+ */
+
+#include <iostream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    gs::setQuiet(true);
+    std::cout << gs::runFig1(gs::experimentConfig()) << std::endl;
+    return 0;
+}

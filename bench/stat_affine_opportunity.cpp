@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Regenerates the Section 6 affine-register opportunity comparison.
+ */
+
+#include <iostream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    gs::setQuiet(true);
+    std::cout << gs::runAffineOpportunity(gs::experimentConfig())
+              << std::endl;
+    return 0;
+}

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Regenerates the Section 6 static-vs-dynamic scalar coverage comparison.
+ */
+
+#include <iostream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    gs::setQuiet(true);
+    std::cout << gs::runCompilerScalarComparison(gs::experimentConfig()) << std::endl;
+    return 0;
+}

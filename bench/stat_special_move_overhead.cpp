@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Regenerates the Section 3.3 special-move overhead estimate of the paper. Prints measured series beside the
+ * paper's reference numbers.
+ */
+
+#include <iostream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    gs::setQuiet(true);
+    std::cout << gs::runSpecialMoveOverhead(gs::experimentConfig()) << std::endl;
+    return 0;
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Regenerates Table 3 (codec area/delay/power) and the Section 5.1
+ * per-SM overheads from the structural hardware cost model.
+ */
+
+#include <iostream>
+
+#include "harness/experiments.hpp"
+
+int
+main()
+{
+    std::cout << gs::runTable3() << std::endl;
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Workload inspector: run one Table 2 benchmark under a chosen
+ * architecture mode and dump every event counter and the power report.
+ *
+ *   example_inspect <BENCH> [mode] [warpSize]
+ *
+ * Modes: baseline alu-scalar warped-compression gscalar-compress
+ *        gscalar-nodiv gscalar
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "harness/runner.hpp"
+
+using namespace gs;
+
+namespace
+{
+
+ArchMode
+parseMode(const std::string &s)
+{
+    for (const ArchMode m :
+         {ArchMode::Baseline, ArchMode::AluScalar,
+          ArchMode::WarpedCompression, ArchMode::GScalarCompressOnly,
+          ArchMode::GScalarNoDiv, ArchMode::GScalarFull}) {
+        if (s == archModeName(m))
+            return m;
+    }
+    GS_FATAL("unknown mode '", s, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::cerr << "usage: " << argv[0]
+                  << " <BENCH> [mode] [warpSize]\n  benches:";
+        for (const auto &n : workloadNames())
+            std::cerr << " " << n;
+        std::cerr << "\n";
+        return 1;
+    }
+    setQuiet(true);
+
+    ArchConfig cfg;
+    if (argc > 2)
+        cfg.mode = parseMode(argv[2]);
+    if (argc > 3)
+        cfg.warpSize = unsigned(std::stoul(argv[3]));
+
+    const RunResult r = runWorkload(argv[1], cfg);
+    const EventCounts &e = r.ev;
+
+    Table t(std::string(argv[1]) + " @ " +
+            std::string(archModeName(cfg.mode)));
+    t.row({"counter", "value"});
+    auto add = [&](const char *n, std::uint64_t v) {
+        t.row({n, std::to_string(v)});
+    };
+    add("cycles", e.cycles);
+    add("warpInsts", e.warpInsts);
+    add("issuedInsts", e.issuedInsts);
+    add("threadInsts", e.threadInsts);
+    add("aluWarpInsts", e.aluWarpInsts);
+    add("sfuWarpInsts", e.sfuWarpInsts);
+    add("memWarpInsts", e.memWarpInsts);
+    add("ctrlWarpInsts", e.ctrlWarpInsts);
+    add("divergentWarpInsts", e.divergentWarpInsts);
+    add("scalarAluEligible", e.scalarAluEligible);
+    add("scalarSfuEligible", e.scalarSfuEligible);
+    add("scalarMemEligible", e.scalarMemEligible);
+    add("halfScalarEligible", e.halfScalarEligible);
+    add("divergentScalarEligible", e.divergentScalarEligible);
+    add("scalarExecuted", e.scalarExecuted);
+    add("halfScalarExecuted", e.halfScalarExecuted);
+    add("specialMoveInsts", e.specialMoveInsts);
+    add("rfReads", e.rfReads);
+    add("rfWrites", e.rfWrites);
+    add("rfArrayReads", e.rfArrayReads);
+    add("rfArrayWrites", e.rfArrayWrites);
+    add("bvrAccesses", e.bvrAccesses);
+    add("scalarRfAccesses", e.scalarRfAccesses);
+    add("crossbarBytes", e.crossbarBytes);
+    add("l1Accesses", e.l1Accesses);
+    add("l1Misses", e.l1Misses);
+    add("l2Accesses", e.l2Accesses);
+    add("l2Misses", e.l2Misses);
+    add("dramAccesses", e.dramAccesses);
+    add("sharedAccesses", e.sharedAccesses);
+    add("memRequests", e.memRequests);
+    add("schedIdleCycles", e.schedIdleCycles);
+    add("scoreboardStalls", e.scoreboardStalls);
+    add("ocFullStalls", e.ocFullStalls);
+    add("scalarBankStalls", e.scalarBankStalls);
+    add("pipeBusyStalls", e.pipeBusyStalls);
+    t.row({"IPC", Table::num(e.ipc(), 3)});
+    t.row({"compression ratio", Table::num(e.compressionRatio(), 2)});
+    t.row({"BDI ratio", Table::num(e.bdiCompressionRatio(), 2)});
+    t.print();
+
+    std::cout << "\n" << r.power.describe() << std::endl;
+    return 0;
+}

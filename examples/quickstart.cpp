@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Quickstart: author a small kernel with the builder API, run it on the
+ * simulated GPU in baseline and G-Scalar modes, and print the
+ * configuration (Table 1), scalar statistics and power reports.
+ */
+
+#include <bit>
+#include <iostream>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "isa/kernel_builder.hpp"
+#include "power/energy_model.hpp"
+#include "sim/gpu.hpp"
+#include "workloads/data_gen.hpp"
+
+using namespace gs;
+
+namespace
+{
+
+/** y[i] = a*x[i] + b with a warp-uniform a and b (classic saxpy-ish). */
+Kernel
+buildSaxpy()
+{
+    KernelBuilder kb("saxpy");
+
+    const Reg tid = kb.reg();
+    const Reg ctaid = kb.reg();
+    const Reg ntid = kb.reg();
+    const Reg gtid = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    kb.s2r(ctaid, SReg::CtaId);
+    kb.s2r(ntid, SReg::NTid);
+    kb.imad(gtid, ctaid, ntid, tid);
+
+    // Uniform coefficients: loads from the same address are scalar.
+    const Reg paddr = kb.reg();
+    kb.movi(paddr, Word(layout::kParams));
+    const Reg a = kb.reg();
+    const Reg b = kb.reg();
+    kb.ldg(a, paddr, 0);
+    kb.ldg(b, paddr, 4);
+
+    const Reg xaddr = kb.reg();
+    kb.shli(xaddr, gtid, 2);
+    kb.iaddi(xaddr, xaddr, Word(layout::kArrayA));
+    const Reg x = kb.reg();
+    kb.ldg(x, xaddr);
+
+    const Reg y = kb.reg();
+    kb.ffma(y, a, x, b);
+
+    const Reg oaddr = kb.reg();
+    kb.shli(oaddr, gtid, 2);
+    kb.iaddi(oaddr, oaddr, Word(layout::kOutput));
+    kb.stg(oaddr, y);
+    return kb.build();
+}
+
+void
+runMode(const Kernel &kernel, ArchMode mode)
+{
+    ArchConfig cfg;
+    cfg.mode = mode;
+
+    Gpu gpu(cfg);
+    Rng rng(7);
+    gpu.memory().fillWords(layout::kParams,
+                           {std::bit_cast<Word>(2.0f),
+                            std::bit_cast<Word>(1.0f)});
+    gpu.memory().fillWords(layout::kArrayA,
+                           randomFloats(64 * 256, -1.0f, 1.0f, rng));
+
+    const EventCounts ev = gpu.launch(kernel, {64, 256});
+    const PowerReport power = computePower(ev, cfg);
+
+    std::cout << "--- mode: " << archModeName(mode) << " ---\n";
+    Table t("run summary");
+    t.row({"metric", "value"});
+    t.row({"cycles", std::to_string(ev.cycles)});
+    t.row({"warp instructions", std::to_string(ev.warpInsts)});
+    t.row({"IPC", Table::num(ev.ipc(), 2)});
+    t.row({"scalar-eligible (ALU)",
+           std::to_string(ev.scalarAluEligible)});
+    t.row({"scalar-eligible (MEM)",
+           std::to_string(ev.scalarMemEligible)});
+    t.row({"scalar executed", std::to_string(ev.scalarExecuted)});
+    t.row({"RF array reads", std::to_string(ev.rfArrayReads)});
+    t.row({"BVR accesses", std::to_string(ev.bvrAccesses)});
+    t.row({"compression ratio", Table::num(ev.compressionRatio(), 2)});
+    t.print();
+    std::cout << power.describe() << "\n";
+
+    // Verify the computation: y = 2*x + 1.
+    const Word x0 = gpu.memory().readWord(layout::kArrayA);
+    const float expect = 2.0f * std::bit_cast<float>(x0) + 1.0f;
+    const float got =
+        std::bit_cast<float>(gpu.memory().readWord(layout::kOutput));
+    std::cout << "check: y[0] = " << got << " (expected " << expect
+              << ")\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    ArchConfig cfg;
+    std::cout << cfg.describe() << "\n";
+
+    const Kernel kernel = buildSaxpy();
+    std::cout << kernel.disassemble() << "\n";
+
+    runMode(kernel, ArchMode::Baseline);
+    runMode(kernel, ArchMode::GScalarFull);
+    return 0;
+}

@@ -1,0 +1,67 @@
+#include "config.hpp"
+
+#include "bit_utils.hpp"
+#include "log.hpp"
+#include "table.hpp"
+
+namespace gs
+{
+
+void
+ArchConfig::validate() const
+{
+    if (warpSize == 0 || warpSize > kMaxWarpSize)
+        GS_FATAL("warp size ", warpSize, " out of range [1, ",
+                 kMaxWarpSize, "]");
+    if (!isPow2(warpSize))
+        GS_FATAL("warp size must be a power of two, got ", warpSize);
+    if (simtWidth == 0 || simtWidth > warpSize)
+        GS_FATAL("SIMT width ", simtWidth, " must be in [1, warp size]");
+    if (checkGranularity == 0 || warpSize % checkGranularity != 0)
+        GS_FATAL("check granularity ", checkGranularity,
+                 " must divide warp size ", warpSize);
+    if (numBanks == 0 || numCollectors == 0 || numSchedulers == 0)
+        GS_FATAL("banks, collectors and schedulers must be nonzero");
+    if (numVregsPerSm % numBanks != 0)
+        GS_FATAL("vector registers (", numVregsPerSm,
+                 ") must divide evenly over ", numBanks, " banks");
+    if (!isPow2(lineBytes) || lineBytes < kBytesPerWord)
+        GS_FATAL("cache line size must be a power-of-two >= 4");
+    if (l1Bytes % (lineBytes * l1Assoc) != 0)
+        GS_FATAL("L1 geometry does not divide into sets");
+    if (l2Bytes % (lineBytes * l2Assoc) != 0)
+        GS_FATAL("L2 geometry does not divide into sets");
+    if (scalarRfBanks == 0)
+        GS_FATAL("scalar RF needs at least one bank");
+    if (sharedBanks == 0 || sharedBanks > kMaxWarpSize)
+        GS_FATAL("shared memory banks must be in [1, ", kMaxWarpSize,
+                 "]");
+    if (maxThreadsPerSm % warpSize != 0)
+        GS_FATAL("threads per SM must be a whole number of warps");
+}
+
+std::string
+ArchConfig::describe() const
+{
+    Table t("Simulator configuration (Table 1)");
+    t.row({"parameter", "value"});
+    t.row({"# of SMs", std::to_string(numSms)});
+    t.row({"Registers per SM",
+           std::to_string(numVregsPerSm * warpSize * kBytesPerWord / 1024) +
+               "KB"});
+    t.row({"SM frequency", Table::num(coreClockGhz, 1) + "GHz"});
+    t.row({"Register file banks", std::to_string(numBanks)});
+    t.row({"Operand collectors per SM", std::to_string(numCollectors)});
+    t.row({"Warp size", std::to_string(warpSize)});
+    t.row({"Schedulers per SM", std::to_string(numSchedulers)});
+    t.row({"SIMT EXE width", std::to_string(simtWidth)});
+    t.row({"L1$ per SM", std::to_string(l1Bytes / 1024) + "KB"});
+    t.row({"Threads per SM", std::to_string(maxThreadsPerSm)});
+    t.row({"Memory channels", std::to_string(memChannels)});
+    t.row({"CTAs per SM", std::to_string(maxCtasPerSm)});
+    t.row({"L2$ size", std::to_string(l2Bytes / 1024) + "KB"});
+    t.row({"Mode", std::string(archModeName(mode))});
+    return t.str();
+}
+
+} // namespace gs

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Architecture configuration. Defaults reproduce Table 1 of the paper
+ * (a GTX 480-like GPU as modelled by GPGPU-Sim 3.2.2).
+ */
+
+#ifndef GSCALAR_COMMON_CONFIG_HPP
+#define GSCALAR_COMMON_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "arch_mode.hpp"
+#include "types.hpp"
+
+namespace gs
+{
+
+/** Warp scheduler policy. */
+enum class SchedPolicy
+{
+    LooseRoundRobin, ///< rotate priority every cycle
+    GreedyThenOldest ///< keep issuing the same warp until it stalls
+};
+
+/**
+ * Full simulator configuration: GPU organisation (Table 1), pipeline
+ * latencies, cache geometry and the architecture mode under study.
+ */
+struct ArchConfig
+{
+    /** Architecture variant being simulated. */
+    ArchMode mode = ArchMode::Baseline;
+
+    // ---- GPU organisation (Table 1) -----------------------------------
+    unsigned numSms = 15;          ///< streaming multiprocessors
+    unsigned warpSize = 32;        ///< threads per warp (64 for Fig. 10)
+    unsigned simtWidth = 16;       ///< lanes per ALU/MEM pipeline
+    unsigned sfuWidth = 4;         ///< lanes of the special-function pipe
+    unsigned numAluPipes = 2;      ///< ALU pipelines per SM
+    unsigned maxThreadsPerSm = 1536;
+    unsigned maxCtasPerSm = 8;
+    unsigned numVregsPerSm = 1024; ///< 128 KB: 1024 x 32 x 4 B
+    unsigned numBanks = 16;        ///< register file banks
+    unsigned arraysPerBank = 8;    ///< 128-bit single-port SRAM arrays
+    unsigned numCollectors = 16;   ///< operand collector units
+    unsigned numSchedulers = 2;    ///< warp schedulers per SM
+    SchedPolicy schedPolicy = SchedPolicy::GreedyThenOldest;
+
+    // ---- compression / scalar micro-architecture ----------------------
+    /** Lanes per scalar-check group (16 also for 64-wide warps). */
+    unsigned checkGranularity = 16;
+    /** Per-half enc/base registers (half-register compression, §3.2). */
+    bool halfRegisterCompression = true;
+    /** Banks of the prior-work scalar RF (1 in [3]; swept by ablation). */
+    unsigned scalarRfBanks = 1;
+    /**
+     * Insert the special decompress-in-place move when a divergent
+     * instruction writes a compressed register (§3.3, hardware-assisted).
+     */
+    bool insertSpecialMoves = true;
+    /**
+     * §3.3's compiler-assisted refinement: skip the special move when
+     * static liveness proves the partially-overwritten value dead.
+     */
+    bool compilerAssistedSmov = false;
+    /**
+     * When true, a scalar-executed instruction occupies its pipeline
+     * for a single dispatch cycle instead of warpSize/width cycles.
+     * The paper's G-Scalar only clock-gates lanes (Fig. 11 shows a
+     * small IPC *loss*), so this stays off by default; it models the
+     * §6 observation that scalar execution could also shorten
+     * multi-cycle dispatch, and is explored by an ablation bench.
+     */
+    bool scalarShortensOccupancy = false;
+
+    // ---- pipeline latencies (cycles; Fermi dependent-issue depths) ------
+    unsigned aluLatency = 14;      ///< simple int/fp result latency
+    unsigned mulLatency = 18;      ///< integer multiply / FMA
+    unsigned divLatency = 60;      ///< integer divide (microcoded)
+    unsigned sfuLatency = 24;      ///< transcendental result latency
+
+    // ---- memory system --------------------------------------------------
+    unsigned lineBytes = 128;
+    unsigned l1Bytes = 16 * 1024;
+    unsigned l1Assoc = 4;
+    unsigned l1Latency = 30;
+    unsigned l1MshrEntries = 64;
+    unsigned l2Bytes = 768 * 1024;
+    unsigned l2Assoc = 8;
+    unsigned l2Latency = 120;
+    unsigned dramLatency = 250;
+    unsigned memChannels = 6;
+    /** Peak memory requests serviced per channel per core cycle. */
+    double dramRequestsPerCycle = 0.5;
+    unsigned sharedLatency = 24;
+    /** Shared-memory banks (word-interleaved); conflicting accesses
+     *  within a warp serialise. */
+    unsigned sharedBanks = 32;
+
+    // ---- clocks ----------------------------------------------------------
+    double coreClockGhz = 1.4;
+
+    // ---- simulation control ---------------------------------------------
+    std::uint64_t maxCycles = 200'000'000; ///< watchdog
+    std::uint64_t seed = 1;                ///< workload data seed
+
+    // ---- derived ----------------------------------------------------------
+    /** Warps needed for one CTA of @p cta_threads threads. */
+    unsigned
+    warpsPerCta(unsigned cta_threads) const
+    {
+        return (cta_threads + warpSize - 1) / warpSize;
+    }
+
+    /** Scalar-check groups per warp (2 for 32-wide, 4 for 64-wide). */
+    unsigned
+    groupsPerWarp() const
+    {
+        return (warpSize + checkGranularity - 1) / checkGranularity;
+    }
+
+    /** Extra pipeline depth for the configured mode. */
+    unsigned extraCycles() const { return extraPipelineCycles(mode); }
+
+    /** Dispatch cycles for a full warp on a pipeline of @p width lanes. */
+    unsigned
+    dispatchCycles(unsigned width) const
+    {
+        return (warpSize + width - 1) / width;
+    }
+
+    /** Validate internal consistency; calls GS_FATAL on bad configs. */
+    void validate() const;
+
+    /** Render Table 1 as an ASCII table. */
+    std::string describe() const;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_COMMON_CONFIG_HPP

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Event counters: the contract between the timing simulator (which
+ * counts micro-architectural events) and the power model (which prices
+ * them). Also carries the classification tallies behind Figs. 1, 8, 9
+ * and 10.
+ */
+
+#ifndef GSCALAR_COMMON_EVENTS_HPP
+#define GSCALAR_COMMON_EVENTS_HPP
+
+#include <cstdint>
+
+namespace gs
+{
+
+/**
+ * Every countable event of one simulation run. Plain counters so the
+ * struct is trivially mergeable across SMs.
+ */
+struct EventCounts
+{
+    using u64 = std::uint64_t;
+
+    // ---- progress -------------------------------------------------------
+    u64 cycles = 0;           ///< SM core cycles (max over SMs after merge)
+    u64 warpInsts = 0;        ///< dynamic warp instructions committed
+    u64 threadInsts = 0;      ///< sum of active lanes over warp insts
+    u64 issuedInsts = 0;      ///< scheduler issues (incl. special moves)
+
+    // ---- instruction class mix (warp level) ------------------------------
+    u64 aluWarpInsts = 0;
+    u64 sfuWarpInsts = 0;
+    u64 memWarpInsts = 0;
+    u64 ctrlWarpInsts = 0;
+
+    // ---- lane-weighted execution activity ---------------------------------
+    u64 aluLaneOps = 0;
+    u64 sfuLaneOps = 0;
+    u64 memLaneOps = 0;       ///< address-generation lane ops
+    /** Lane ops x per-opcode relative energy (units of one FP32 op). */
+    double aluEnergyUnits = 0;
+    double sfuEnergyUnits = 0;
+
+    // ---- divergence & scalar classification (Figs. 1, 9, 10) -------------
+    u64 divergentWarpInsts = 0;       ///< active mask != full warp
+    u64 divergentScalarEligible = 0;  ///< tier 4: divergent scalar
+    u64 scalarAluEligible = 0;        ///< tier 1: non-div ALU scalar
+    u64 scalarSfuEligible = 0;        ///< tier 2a
+    u64 scalarMemEligible = 0;        ///< tier 2b
+    u64 halfScalarEligible = 0;       ///< tier 3 (non-div, some group scalar)
+    u64 scalarExecuted = 0;           ///< warp insts actually run on 1 lane
+    u64 halfScalarExecuted = 0;
+    u64 specialMoveInsts = 0;         ///< inserted decompress moves (§3.3)
+    /** Instructions a static scalarizing compiler would cover (§6). */
+    u64 staticScalarInsts = 0;
+
+    // ---- register file (Fig. 8, Fig. 12) ----------------------------------
+    u64 rfReads = 0;          ///< vector-register read operations
+    u64 rfWrites = 0;
+    u64 rfArrayReads = 0;     ///< 128-bit SRAM array activations
+    u64 rfArrayWrites = 0;
+    u64 bvrAccesses = 0;      ///< small BVR/EBR/flag array accesses
+    u64 scalarRfAccesses = 0; ///< prior-work scalar RF accesses
+    u64 crossbarBytes = 0;    ///< operand bytes through the crossbar
+    u64 ocAllocations = 0;    ///< operand collector entries allocated
+
+    /// Read-time access distribution (Fig. 8 categories).
+    u64 rfAccScalar = 0;  ///< enc==1111: whole register is one value
+    u64 rfAcc3Byte = 0;   ///< top 3 bytes common
+    u64 rfAcc2Byte = 0;
+    u64 rfAcc1Byte = 0;
+    u64 rfAccDivergent = 0; ///< register last written divergently
+    u64 rfAccOther = 0;     ///< no common bytes
+
+    // ---- codec activity ----------------------------------------------------
+    u64 compressorUses = 0;
+    u64 decompressorUses = 0;
+
+    // ---- shadow RF accounting (Fig. 12: same stream, four RF schemes) ------
+    /// Baseline word-sliced register file.
+    u64 shadowBaseArrayReads = 0;
+    u64 shadowBaseArrayWrites = 0;
+    /// Scalar-only RF of prior work [3]: scalar regs live in a small RF.
+    u64 shadowScalarArrayReads = 0;
+    u64 shadowScalarArrayWrites = 0;
+    u64 shadowScalarRfAccesses = 0;
+    /// Our byte-mask compressed RF.
+    u64 shadowOursArrayReads = 0;
+    u64 shadowOursArrayWrites = 0;
+    u64 shadowOursBvrAccesses = 0;
+    u64 shadowOursCrossbarBytes = 0;
+    /// Warped-Compression (BDI) RF metadata accesses.
+    u64 bdiMetaAccesses = 0;
+
+    // ---- affine shadow classification (related work §6) --------------------
+    u64 affineWrites = 0;          ///< register writes of base+i*stride form
+    u64 affineNonScalarWrites = 0; ///< affine with stride != 0
+
+    // ---- compression accounting (ratio, §5.3) ------------------------------
+    u64 compBytesUncompressed = 0; ///< bytes written, raw size (ours)
+    u64 compBytesCompressed = 0;   ///< bytes written, stored size (ours)
+    u64 bdiBytesUncompressed = 0;  ///< shadow-BDI of the same stream
+    u64 bdiBytesCompressed = 0;
+    u64 bdiArrayReads = 0;         ///< array activations if BDI stored regs
+    u64 bdiArrayWrites = 0;
+
+    // ---- memory system ------------------------------------------------------
+    u64 l1Accesses = 0;
+    u64 l1Misses = 0;
+    u64 l2Accesses = 0;
+    u64 l2Misses = 0;
+    u64 dramAccesses = 0;
+    u64 sharedAccesses = 0;
+    u64 sharedBankConflicts = 0; ///< extra serialisation cycles
+    u64 memRequests = 0; ///< post-coalescing requests
+    u64 mshrStallCycles = 0; ///< L1 injection blocked on a full MSHR
+
+    // ---- stalls (ablation of §4.1 bottleneck) -------------------------------
+    u64 schedIdleCycles = 0;      ///< scheduler issued nothing
+    u64 scoreboardStalls = 0;     ///< issue blocked by dependences
+    u64 ocFullStalls = 0;         ///< no free collector
+    u64 scalarBankStalls = 0;     ///< scalar-RF bank conflicts (AluScalar)
+    u64 pipeBusyStalls = 0;       ///< execution pipe occupied
+
+    /** Accumulate another SM's (or run's) counters into this one. */
+    EventCounts &operator+=(const EventCounts &o);
+
+    // ---- derived -------------------------------------------------------------
+    /** Instructions per cycle. */
+    double ipc() const { return cycles ? double(warpInsts) / cycles : 0; }
+
+    /** Our compression ratio (raw bytes / stored bytes). */
+    double
+    compressionRatio() const
+    {
+        return compBytesCompressed
+                   ? double(compBytesUncompressed) / compBytesCompressed
+                   : 1.0;
+    }
+
+    /** Shadow BDI compression ratio over the same value stream. */
+    double
+    bdiCompressionRatio() const
+    {
+        return bdiBytesCompressed
+                   ? double(bdiBytesUncompressed) / bdiBytesCompressed
+                   : 1.0;
+    }
+};
+
+} // namespace gs
+
+#endif // GSCALAR_COMMON_EVENTS_HPP

@@ -1,0 +1,61 @@
+#include "log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace gs
+{
+
+namespace
+{
+std::atomic<bool> g_quiet{false};
+} // namespace
+
+void
+setQuiet(bool q)
+{
+    g_quiet.store(q);
+}
+
+bool
+quiet()
+{
+    return g_quiet.load();
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "panic: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+              << std::endl;
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet())
+        std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet())
+        std::cout << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+
+} // namespace gs

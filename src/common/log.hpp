@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Error/status reporting in the gem5 idiom: panic() for internal
+ * invariant violations, fatal() for user/configuration errors, warn()
+ * and inform() for non-fatal status.
+ */
+
+#ifndef GSCALAR_COMMON_LOG_HPP
+#define GSCALAR_COMMON_LOG_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gs
+{
+
+namespace detail
+{
+
+/** Format a message from stream-style arguments. */
+template <typename... Args>
+std::string
+formatMsg(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Silence warn()/inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return whether warn()/inform() output is suppressed. */
+bool quiet();
+
+} // namespace gs
+
+/**
+ * Abort on a simulator bug: a condition that should never happen
+ * regardless of user input. Dumps core via abort().
+ */
+#define GS_PANIC(...)                                                        \
+    ::gs::detail::panicImpl(__FILE__, __LINE__,                              \
+                            ::gs::detail::formatMsg(__VA_ARGS__))
+
+/**
+ * Exit on a user error: bad configuration or arguments. Normal exit(1).
+ */
+#define GS_FATAL(...)                                                        \
+    ::gs::detail::fatalImpl(__FILE__, __LINE__,                              \
+                            ::gs::detail::formatMsg(__VA_ARGS__))
+
+/** Warn about behaviour that may be imprecise but lets the run go on. */
+#define GS_WARN(...)                                                         \
+    ::gs::detail::warnImpl(::gs::detail::formatMsg(__VA_ARGS__))
+
+/** Informative status message. */
+#define GS_INFORM(...)                                                       \
+    ::gs::detail::informImpl(::gs::detail::formatMsg(__VA_ARGS__))
+
+/** Panic when @p cond is false (always checked, release builds too). */
+#define GS_ASSERT(cond, ...)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            GS_PANIC("assertion failed: " #cond " ",                        \
+                     ::gs::detail::formatMsg(__VA_ARGS__));                  \
+        }                                                                    \
+    } while (0)
+
+#endif // GSCALAR_COMMON_LOG_HPP

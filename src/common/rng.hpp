@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deterministic xorshift-based random number generator. All workload
+ * data generation goes through this so every bench run is bit-for-bit
+ * reproducible.
+ */
+
+#ifndef GSCALAR_COMMON_RNG_HPP
+#define GSCALAR_COMMON_RNG_HPP
+
+#include <cstdint>
+
+namespace gs
+{
+
+/**
+ * xorshift128+ generator. Small, fast, and good enough for workload
+ * synthesis; not for cryptography.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding to avoid correlated low-entropy states.
+        auto next = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            return z ^ (z >> 31);
+        };
+        s0_ = next();
+        s1_ = next();
+        if (s0_ == 0 && s1_ == 0)
+            s1_ = 1;
+    }
+
+    /** Next 64 uniformly random bits. */
+    std::uint64_t
+    next64()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Next 32 uniformly random bits. */
+    std::uint32_t next32() { return static_cast<std::uint32_t>(next64()); }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next64() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_COMMON_RNG_HPP

@@ -1,0 +1,72 @@
+#include "table.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace gs
+{
+
+Table &
+Table::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+    return *this;
+}
+
+std::string
+Table::num(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::str() const
+{
+    // Column widths across all rows.
+    std::vector<std::size_t> width;
+    for (const auto &r : rows_) {
+        if (r.size() > width.size())
+            width.resize(r.size(), 0);
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    }
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+        const auto &r = rows_[i];
+        for (std::size_t c = 0; c < r.size(); ++c) {
+            os << r[c];
+            if (c + 1 < r.size())
+                os << std::string(width[c] - r[c].size() + 2, ' ');
+        }
+        os << "\n";
+        if (i == 0 && rows_.size() > 1) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < width.size(); ++c)
+                total += width[c] + (c + 1 < width.size() ? 2 : 0);
+            os << std::string(total, '-') << "\n";
+        }
+    }
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::cout << str() << std::flush;
+}
+
+} // namespace gs

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal ASCII table formatter used by benches and examples to print
+ * the paper's tables and figure series.
+ */
+
+#ifndef GSCALAR_COMMON_TABLE_HPP
+#define GSCALAR_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace gs
+{
+
+/**
+ * Column-aligned ASCII table. Cells are strings; numeric helpers format
+ * with fixed precision. The first added row is rendered as a header.
+ */
+class Table
+{
+  public:
+    explicit Table(std::string title = "") : title_(std::move(title)) {}
+
+    /** Append a row of cells. */
+    Table &row(std::vector<std::string> cells);
+
+    /** Format a double with @p digits fractional digits. */
+    static std::string num(double v, int digits = 2);
+
+    /** Format a value as a percentage with @p digits fractional digits. */
+    static std::string pct(double fraction, int digits = 1);
+
+    /** Render the table, header separated by a rule. */
+    std::string str() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_COMMON_TABLE_HPP

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fundamental fixed-width types and architectural constants shared by
+ * every module in the G-Scalar reproduction.
+ */
+
+#ifndef GSCALAR_COMMON_TYPES_HPP
+#define GSCALAR_COMMON_TYPES_HPP
+
+#include <cstdint>
+
+namespace gs
+{
+
+/** A 4-byte GPU machine word (one lane's view of a vector register). */
+using Word = std::uint32_t;
+
+/** A byte-granular device memory address. */
+using Addr = std::uint64_t;
+
+/**
+ * A warp-wide lane mask. Bit i is set when lane i is active. 64 bits so
+ * warp sizes up to 64 (AMD GCN wavefronts, Fig. 10) are representable.
+ */
+using LaneMask = std::uint64_t;
+
+/** Simulation time in SM core cycles. */
+using Cycle = std::uint64_t;
+
+/** Number of bytes in one machine word. */
+inline constexpr unsigned kBytesPerWord = 4;
+
+/** Largest warp size any configuration may request. */
+inline constexpr unsigned kMaxWarpSize = 64;
+
+/** Sentinel for "no register". */
+inline constexpr int kNoReg = -1;
+
+/** Build a mask with the low @p n lanes set. */
+constexpr LaneMask
+laneMaskLow(unsigned n)
+{
+    return n >= 64 ? ~LaneMask{0} : ((LaneMask{1} << n) - 1);
+}
+
+} // namespace gs
+
+#endif // GSCALAR_COMMON_TYPES_HPP

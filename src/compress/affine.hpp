@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Affine vector detection (related work §6: Collange et al. [32], Kim
+ * et al. [33]). A register is affine when lane i holds base + i*stride
+ * — the dominant pattern of address ramps. Affine registers could be
+ * stored as (base, stride) pairs and operated on by one lane plus a
+ * stride unit; this module quantifies that opportunity *beyond* what
+ * G-Scalar's scalar execution already covers (an affine register with
+ * stride 0 is simply a scalar one).
+ */
+
+#ifndef GSCALAR_COMPRESS_AFFINE_HPP
+#define GSCALAR_COMPRESS_AFFINE_HPP
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace gs
+{
+
+/** Result of affine analysis of one register's lanes. */
+struct AffineInfo
+{
+    bool affine = false;
+    Word base = 0;   ///< value of lane 0 (extrapolated when inactive)
+    Word stride = 0; ///< per-lane increment; 0 means scalar
+
+    bool isScalar() const { return affine && stride == 0; }
+};
+
+/**
+ * Check whether every active lane i holds base + i*stride (mod 2^32).
+ * Needs at least two active lanes to establish a nonzero stride; a
+ * single active lane is reported as affine with stride 0.
+ */
+AffineInfo analyzeAffine(std::span<const Word> values, LaneMask active);
+
+} // namespace gs
+
+#endif // GSCALAR_COMPRESS_AFFINE_HPP

@@ -1,0 +1,190 @@
+#include "array_model.hpp"
+
+#include <algorithm>
+
+#include "common/bit_utils.hpp"
+#include "common/log.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+/** Number of @p lanes_per_array-lane groups of @p mask that are nonempty. */
+unsigned
+touchedGroups(LaneMask mask, unsigned lanes_per_array, unsigned total_lanes)
+{
+    unsigned n = 0;
+    const LaneMask group = laneMaskLow(lanes_per_array);
+    for (unsigned base = 0; base < total_lanes; base += lanes_per_array)
+        if (mask & (group << base))
+            ++n;
+    return n;
+}
+
+} // namespace
+
+AccessCost
+baselineRead(const RfGeometry &geo)
+{
+    return {geo.wordArrays(), 0, geo.regBytes()};
+}
+
+AccessCost
+baselineWrite(const RfGeometry &geo, LaneMask mask)
+{
+    AccessCost c;
+    c.arrays = touchedGroups(mask, 4, geo.warpSize);
+    c.bytes = popCount(mask) * kBytesPerWord;
+    return c;
+}
+
+AccessCost
+compressedRead(const RfGeometry &geo, const RegMeta &meta, LaneMask reader,
+               bool half_reg, bool scalar_from_bvr)
+{
+    AccessCost c;
+    c.bvr = half_reg ? geo.groups() : 1;
+
+    if (scalar_from_bvr) {
+        // §4.1: the base value register effectively is a scalar
+        // register; only the small array is touched.
+        c.bytes = kBytesPerWord;
+        return c;
+    }
+
+    if (!meta.valid) {
+        // Never written: architecturally undefined; model a full read.
+        c.arrays = geo.byteArrays();
+        c.bytes = geo.regBytes();
+        return c;
+    }
+
+    if (meta.divergent) {
+        // Stored uncompressed: all four byte slices of every group the
+        // reader touches.
+        const unsigned g = touchedGroups(reader, geo.granularity,
+                                         geo.warpSize);
+        c.arrays = g * kBytesPerWord;
+        c.bytes = g * geo.granularity * kBytesPerWord;
+        return c;
+    }
+
+    // Compressed: per group, only the arrays holding non-common bytes;
+    // common bytes come from the BVR and never cross the crossbar.
+    const LaneMask gmask = laneMaskLow(geo.granularity);
+    for (unsigned g = 0; g < geo.groups(); ++g) {
+        if (!(reader & (gmask << (g * geo.granularity))))
+            continue;
+        const unsigned enc = half_reg ? meta.groupEnc[g] : meta.fullEnc;
+        c.arrays += kBytesPerWord - enc;
+        c.bytes += (kBytesPerWord - enc) * geo.granularity;
+    }
+    return c;
+}
+
+AccessCost
+compressedWrite(const RfGeometry &geo, const RegMeta &meta, bool half_reg,
+                bool scalar_to_bvr)
+{
+    AccessCost c;
+    c.bvr = half_reg ? geo.groups() : 1;
+
+    if (scalar_to_bvr) {
+        // Scalar execution write-back: value goes to the BVR alone and
+        // enc is set to 1111 (§4.1).
+        c.bytes = kBytesPerWord;
+        return c;
+    }
+
+    if (meta.divergent) {
+        // §3.3: partial updates go to decoded (uncompressed) storage;
+        // every byte slice of a touched group activates, relying on the
+        // per-byte write enables.
+        const unsigned g = touchedGroups(meta.writeMask, geo.granularity,
+                                         geo.warpSize);
+        c.arrays = g * kBytesPerWord;
+        c.bytes = popCount(meta.writeMask) * kBytesPerWord;
+        return c;
+    }
+
+    for (unsigned g = 0; g < geo.groups(); ++g) {
+        const unsigned enc = half_reg ? meta.groupEnc[g] : meta.fullEnc;
+        c.arrays += kBytesPerWord - enc;
+        c.bytes += (kBytesPerWord - enc) * geo.granularity;
+    }
+    return c;
+}
+
+AccessCost
+bdiRead(const RfGeometry &geo, const RegMeta &meta, LaneMask reader)
+{
+    AccessCost c;
+    c.bvr = 1; // BDI metadata (mode tag + per-register bookkeeping)
+    if (!meta.valid) {
+        c.arrays = geo.byteArrays();
+        c.bytes = geo.regBytes();
+        return c;
+    }
+    if (meta.divergent) {
+        // Warped-Compression also stores divergent writes raw.
+        const unsigned g = touchedGroups(reader, geo.granularity,
+                                         geo.warpSize);
+        c.arrays = g * kBytesPerWord;
+        c.bytes = g * geo.granularity * kBytesPerWord;
+        return c;
+    }
+    // Packed layout: compressed bytes fill 16-byte arrays contiguously,
+    // plus one extra array activation on average from the misalignment
+    // of the diverse delta sizes (§3.2's interconnect complexity makes
+    // aligned slicing impractical for BDI).
+    c.arrays = unsigned(ceilDiv(meta.bdiBytes, 16));
+    if (meta.bdiMode == BdiMode::BaseDelta1 ||
+        meta.bdiMode == BdiMode::BaseDelta2) {
+        ++c.arrays;
+    }
+    c.arrays = std::min(c.arrays, geo.byteArrays());
+    c.bytes = meta.bdiBytes;
+    return c;
+}
+
+AccessCost
+bdiWrite(const RfGeometry &geo, const RegMeta &meta)
+{
+    AccessCost c;
+    c.bvr = 1;
+    if (meta.divergent) {
+        const unsigned g = touchedGroups(meta.writeMask, geo.granularity,
+                                         geo.warpSize);
+        c.arrays = g * kBytesPerWord;
+        c.bytes = popCount(meta.writeMask) * kBytesPerWord;
+        return c;
+    }
+    c.arrays = unsigned(ceilDiv(meta.bdiBytes, 16));
+    if (meta.bdiMode == BdiMode::BaseDelta1 ||
+        meta.bdiMode == BdiMode::BaseDelta2) {
+        ++c.arrays;
+    }
+    c.arrays = std::min(c.arrays, geo.byteArrays());
+    c.bytes = meta.bdiBytes;
+    return c;
+}
+
+unsigned
+byteMaskRegStoredBytes(const RfGeometry &geo, const RegMeta &meta,
+                       bool half_reg)
+{
+    if (!meta.valid)
+        return geo.regBytes();
+    if (meta.divergent)
+        return geo.regBytes();
+    unsigned bytes = 0;
+    for (unsigned g = 0; g < geo.groups(); ++g) {
+        const unsigned enc = half_reg ? meta.groupEnc[g] : meta.fullEnc;
+        bytes += enc + (kBytesPerWord - enc) * geo.granularity;
+    }
+    return bytes;
+}
+
+} // namespace gs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SRAM-array activation model for register file accesses. The baseline
+ * bank stores registers word-sliced (one array = four consecutive
+ * lanes' words); the compression micro-architecture stores them
+ * byte-sliced (one array = byte[i] of a 16-lane group), which is what
+ * lets a compressed access activate fewer arrays (§3.2, Fig. 3).
+ */
+
+#ifndef GSCALAR_COMPRESS_ARRAY_MODEL_HPP
+#define GSCALAR_COMPRESS_ARRAY_MODEL_HPP
+
+#include "common/types.hpp"
+#include "reg_meta.hpp"
+
+namespace gs
+{
+
+/** Register-file slice geometry derived from the warp size. */
+struct RfGeometry
+{
+    unsigned warpSize = 32;
+    unsigned granularity = 16; ///< lanes per check group / byte array
+
+    unsigned groups() const { return warpSize / granularity; }
+    /** Byte-sliced arrays covering one vector register (4 per group). */
+    unsigned byteArrays() const { return kBytesPerWord * groups(); }
+    /** Word-sliced baseline arrays (4 lanes each). */
+    unsigned wordArrays() const { return warpSize / 4; }
+    /** Bytes of a full uncompressed register. */
+    unsigned regBytes() const { return warpSize * kBytesPerWord; }
+};
+
+/**
+ * Cost of one register-file access: 128-bit SRAM array activations,
+ * small BVR/EBR array accesses, and operand bytes moved through the
+ * crossbar.
+ */
+struct AccessCost
+{
+    unsigned arrays = 0;
+    unsigned bvr = 0;
+    unsigned bytes = 0;
+};
+
+// ---- baseline (word-sliced) ------------------------------------------------
+
+/** Baseline full-register read: every array activates. */
+AccessCost baselineRead(const RfGeometry &geo);
+
+/**
+ * Baseline write: per-word write enables let the bank activate only the
+ * arrays whose 4-lane groups contain written lanes (§3.3).
+ */
+AccessCost baselineWrite(const RfGeometry &geo, LaneMask mask);
+
+// ---- byte-sliced + byte-mask compression -----------------------------------
+
+/**
+ * Read of a register stored by the compression micro-architecture.
+ *
+ * @param meta      stored metadata of the register
+ * @param reader    active mask of the reading instruction (uncompressed
+ *                  registers only activate groups it touches)
+ * @param half_reg  per-group encodings in use (§3.2); otherwise the
+ *                  full-warp encoding gates every group
+ * @param scalar_from_bvr  the access is a scalar read served entirely
+ *                  from the base-value register (§4.1): no data arrays
+ */
+AccessCost compressedRead(const RfGeometry &geo, const RegMeta &meta,
+                          LaneMask reader, bool half_reg,
+                          bool scalar_from_bvr);
+
+/**
+ * Write through the compression micro-architecture. @p meta is the
+ * metadata computed from this write (analyzeWrite). Divergent writes
+ * store uncompressed and must activate all byte slices of the touched
+ * groups (§3.3). A full-warp scalar write with scalar execution only
+ * touches the BVR.
+ */
+AccessCost compressedWrite(const RfGeometry &geo, const RegMeta &meta,
+                           bool half_reg, bool scalar_to_bvr);
+
+// ---- BDI (Warped-Compression) -----------------------------------------------
+
+/** Read of a BDI-stored register: arrays covering the packed bytes. */
+AccessCost bdiRead(const RfGeometry &geo, const RegMeta &meta,
+                   LaneMask reader);
+
+/** Write of a BDI-stored register. */
+AccessCost bdiWrite(const RfGeometry &geo, const RegMeta &meta);
+
+/** Stored bytes of a register under our codec (ratio accounting). */
+unsigned byteMaskRegStoredBytes(const RfGeometry &geo, const RegMeta &meta,
+                                bool half_reg);
+
+} // namespace gs
+
+#endif // GSCALAR_COMPRESS_ARRAY_MODEL_HPP

@@ -1,0 +1,66 @@
+#include "bdi_codec.hpp"
+
+#include <cstdlib>
+
+#include "common/bit_utils.hpp"
+#include "common/log.hpp"
+
+namespace gs
+{
+
+unsigned
+bdiStoredBytes(BdiMode mode, unsigned lanes)
+{
+    switch (mode) {
+      case BdiMode::Zero: return 0;
+      case BdiMode::Scalar: return kBytesPerWord;
+      case BdiMode::BaseDelta1: return kBytesPerWord + lanes;
+      case BdiMode::BaseDelta2: return kBytesPerWord + 2 * lanes;
+      case BdiMode::Uncompressed: return kBytesPerWord * lanes;
+    }
+    return kBytesPerWord * lanes;
+}
+
+BdiEncoding
+analyzeBdi(std::span<const Word> values, LaneMask active)
+{
+    GS_ASSERT(active != 0, "BDI comparison needs an active lane");
+
+    const unsigned base_lane = firstLane(active);
+    GS_ASSERT(base_lane < values.size(), "active mask exceeds lane count");
+    const Word base = values[base_lane];
+
+    bool all_zero = true;
+    bool all_same = true;
+    std::int64_t max_abs_delta = 0;
+
+    for (unsigned lane = 0; lane < values.size(); ++lane) {
+        if (!(active & (LaneMask{1} << lane)))
+            continue;
+        const Word v = values[lane];
+        all_zero &= (v == 0);
+        all_same &= (v == base);
+        const std::int64_t delta = std::int64_t(std::int32_t(v - base));
+        max_abs_delta =
+            std::max(max_abs_delta, std::int64_t(std::llabs(delta)));
+    }
+
+    BdiEncoding e;
+    e.base = base;
+    const unsigned lanes = unsigned(values.size());
+    if (all_zero) {
+        e.mode = BdiMode::Zero;
+    } else if (all_same) {
+        e.mode = BdiMode::Scalar;
+    } else if (max_abs_delta < 128) {
+        e.mode = BdiMode::BaseDelta1;
+    } else if (max_abs_delta < 32768) {
+        e.mode = BdiMode::BaseDelta2;
+    } else {
+        e.mode = BdiMode::Uncompressed;
+    }
+    e.storedBytes = bdiStoredBytes(e.mode, lanes);
+    return e;
+}
+
+} // namespace gs

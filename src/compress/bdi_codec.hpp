@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Base-Delta-Immediate compression of a vector register, as used by the
+ * Warped-Compression architecture [Lee et al., ISCA'15] that Fig. 12
+ * compares against. Base is the first lane's word; deltas are signed
+ * offsets of 1 or 2 bytes.
+ */
+
+#ifndef GSCALAR_COMPRESS_BDI_CODEC_HPP
+#define GSCALAR_COMPRESS_BDI_CODEC_HPP
+
+#include <span>
+
+#include "common/types.hpp"
+
+namespace gs
+{
+
+/** BDI encodings applicable to a vector register of 4-byte words. */
+enum class BdiMode : std::uint8_t
+{
+    Zero,         ///< all lanes zero: store nothing but the mode
+    Scalar,       ///< all lanes identical: store the 4-byte base
+    BaseDelta1,   ///< 4-byte base + 1-byte signed delta per lane
+    BaseDelta2,   ///< 4-byte base + 2-byte signed delta per lane
+    Uncompressed, ///< store all lanes raw
+};
+
+/** Chosen encoding plus its stored size. */
+struct BdiEncoding
+{
+    BdiMode mode = BdiMode::Uncompressed;
+    Word base = 0;
+    unsigned storedBytes = 0;
+
+    bool isScalar() const
+    {
+        return mode == BdiMode::Scalar || mode == BdiMode::Zero;
+    }
+};
+
+/**
+ * Pick the cheapest BDI encoding for the (active) lanes of a register.
+ * Inactive lanes are ignored, mirroring the byte-mask codec so the two
+ * schemes are compared on the same stream.
+ */
+BdiEncoding analyzeBdi(std::span<const Word> values, LaneMask active);
+
+/** Stored bytes for a full register of @p lanes lanes in @p mode. */
+unsigned bdiStoredBytes(BdiMode mode, unsigned lanes);
+
+} // namespace gs
+
+#endif // GSCALAR_COMPRESS_BDI_CODEC_HPP

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The paper's byte-mask register-value compression (§3.1). All lanes'
+ * 4-byte values are compared byte-by-byte; when the @e n most
+ * significant bytes agree across every (active) lane, those bytes are
+ * stored once as a base value and only the differing low bytes are kept
+ * per lane. The encoding bits enc[3:0] record which byte positions are
+ * common: 0000, 1000, 1100, 1110 or 1111 — i.e. a prefix count.
+ */
+
+#ifndef GSCALAR_COMPRESS_BYTE_MASK_CODEC_HPP
+#define GSCALAR_COMPRESS_BYTE_MASK_CODEC_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gs
+{
+
+/**
+ * Result of the write-back comparison logic (Fig. 3 (2), adapted for
+ * divergence per Fig. 7 (a)).
+ */
+struct ByteMaskEncoding
+{
+    /**
+     * Number of most-significant bytes common to all compared lanes
+     * (0..4). 4 means the register (group) holds a scalar value.
+     * Equivalent to enc[3:0] = 1111 >> (4 - commonMsbs) << (4 - ...).
+     */
+    unsigned commonMsbs = 0;
+
+    /** Base value: the first active lane's word (op[0] in the paper). */
+    Word base = 0;
+
+    /** enc[3:0] as a literal bit pattern (bit 3 = byte[3] common). */
+    unsigned encBits() const;
+
+    bool isScalar() const { return commonMsbs == 4; }
+};
+
+/**
+ * Compare lanes' values byte-wise and produce the encoding. Inactive
+ * lanes are skipped by broadcasting an active lane's value over them
+ * (§4.2's adapted comparison logic), so only active lanes must agree.
+ *
+ * @param values one word per lane (values.size() = warp size)
+ * @param active lanes participating in the comparison; must be nonzero
+ *        within [0, values.size())
+ */
+ByteMaskEncoding analyzeByteMask(std::span<const Word> values,
+                                 LaneMask active);
+
+/** enc[3:0] literal pattern for a common-MSB prefix count. */
+unsigned encBitsFor(unsigned common_msbs);
+
+/**
+ * Stored size in bytes of a lane group compressed with this codec:
+ * base bytes (kept once in the BVR) plus the differing low bytes of
+ * every lane.
+ */
+unsigned byteMaskStoredBytes(unsigned common_msbs, unsigned lanes);
+
+/**
+ * Software compressor: produce the stored byte stream (base bytes then
+ * per-lane low bytes). Used by codec unit tests and the micro-bench;
+ * the simulator itself only tracks metadata.
+ */
+std::vector<std::uint8_t> byteMaskCompress(std::span<const Word> values);
+
+/**
+ * Software decompressor: inverse of byteMaskCompress.
+ *
+ * @param stored   compressed stream
+ * @param common_msbs the encoding the stream was produced with
+ * @param lanes    lane count to reconstruct
+ */
+std::vector<Word> byteMaskDecompress(std::span<const std::uint8_t> stored,
+                                     unsigned common_msbs, unsigned lanes);
+
+} // namespace gs
+
+#endif // GSCALAR_COMPRESS_BYTE_MASK_CODEC_HPP

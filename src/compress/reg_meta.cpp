@@ -1,0 +1,58 @@
+#include "reg_meta.hpp"
+
+#include "affine.hpp"
+#include "byte_mask_codec.hpp"
+#include "common/bit_utils.hpp"
+#include "common/log.hpp"
+
+namespace gs
+{
+
+RegMeta
+analyzeWrite(std::span<const Word> values, LaneMask mask,
+             LaneMask full_mask, unsigned granularity)
+{
+    GS_ASSERT(mask != 0, "write with empty mask");
+    GS_ASSERT((mask & ~full_mask) == 0, "write mask outside warp");
+    GS_ASSERT(granularity > 0 && values.size() % granularity == 0,
+              "granularity must divide warp size");
+
+    RegMeta m;
+    m.valid = true;
+    m.divergent = (mask != full_mask);
+    m.writeMask = mask;
+
+    // Full-warp comparison over the written lanes (broadcast over
+    // inactive lanes, Fig. 7 (a)).
+    const ByteMaskEncoding full = analyzeByteMask(values, mask);
+    m.fullEnc = static_cast<std::uint8_t>(full.commonMsbs);
+    m.fullBase = full.base;
+
+    // Per-group comparison, only meaningful for non-divergent writes
+    // (half-warp scalar execution is restricted to them, §4.3).
+    const unsigned groups = unsigned(values.size()) / granularity;
+    GS_ASSERT(groups <= kMaxGroups, "too many check groups");
+    if (!m.divergent) {
+        const LaneMask group_mask = laneMaskLow(granularity);
+        for (unsigned g = 0; g < groups; ++g) {
+            const auto sub = values.subspan(g * granularity, granularity);
+            const ByteMaskEncoding e = analyzeByteMask(sub, group_mask);
+            m.groupEnc[g] = static_cast<std::uint8_t>(e.commonMsbs);
+            m.groupBase[g] = e.base;
+        }
+    }
+
+    // Shadow BDI over the same lanes for the Fig. 12 comparison.
+    const BdiEncoding bdi = analyzeBdi(values, mask);
+    m.bdiMode = bdi.mode;
+    m.bdiBytes = static_cast<std::uint16_t>(bdi.storedBytes);
+
+    // Shadow affine classification (related-work opportunity, §6).
+    const AffineInfo aff = analyzeAffine(values, mask);
+    m.affine = aff.affine;
+    m.affineStride = aff.stride;
+
+    return m;
+}
+
+} // namespace gs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-vector-register compression metadata: the encoding-bit register
+ * (EBR), base-value register (BVR), divergence bit D and full-scalar
+ * bit FS of §3.2-§4.3, plus the shadow BDI encoding used to compare
+ * against Warped-Compression on the same value stream.
+ */
+
+#ifndef GSCALAR_COMPRESS_REG_META_HPP
+#define GSCALAR_COMPRESS_REG_META_HPP
+
+#include <array>
+#include <span>
+
+#include "bdi_codec.hpp"
+#include "common/types.hpp"
+
+namespace gs
+{
+
+/** Maximum scalar-check groups per warp (64 lanes / 16). */
+inline constexpr unsigned kMaxGroups = 4;
+
+/**
+ * Metadata for one vector register of one warp. Mirrors the hardware
+ * state: enc[3:0] + base per check group, a D bit, and — when D is set
+ * — the active mask of the writing instruction stored in the BVR
+ * (§4.2). The full-warp encoding is tracked separately because Fig. 8
+ * classifies at whole-register granularity and full-warp scalar
+ * execution checks it directly.
+ */
+struct RegMeta
+{
+    /** Register written at least once (metadata meaningful). */
+    bool valid = false;
+
+    /** D bit: last write was divergent; stored uncompressed. */
+    bool divergent = false;
+
+    /** Common most-significant bytes across all compared lanes (0..4). */
+    std::uint8_t fullEnc = 0;
+    /** Base value (first active lane) of the last write. */
+    Word fullBase = 0;
+
+    /** Per-16-lane-group encodings (half-register compression, §3.2). */
+    std::array<std::uint8_t, kMaxGroups> groupEnc = {};
+    std::array<Word, kMaxGroups> groupBase = {};
+
+    /** Active mask of the writing instruction (valid when divergent). */
+    LaneMask writeMask = 0;
+
+    /** Shadow BDI encoding of the same stored values (Fig. 12 "W-C"). */
+    BdiMode bdiMode = BdiMode::Uncompressed;
+    std::uint16_t bdiBytes = 0;
+
+    /** Shadow affine classification (related-work comparison, §6). */
+    bool affine = false;
+    Word affineStride = 0;
+
+    /** FS bit: every group scalar with the same value (== fullEnc==4). */
+    bool fullScalar() const { return valid && !divergent && fullEnc == 4; }
+
+    /** Group @p g holds a scalar value (meaning only when !divergent). */
+    bool
+    groupScalar(unsigned g) const
+    {
+        return valid && !divergent && groupEnc[g] == 4;
+    }
+};
+
+/**
+ * Write-back comparison + compression decision (§3.1-§3.3). Computes
+ * the new metadata of a register after an instruction writes @p values
+ * in the lanes of @p mask.
+ *
+ * @param values       post-write register contents, one word per lane
+ * @param mask         lanes written by the instruction
+ * @param full_mask    all lanes the warp owns (mask == full_mask means
+ *                     a non-divergent write, which compresses)
+ * @param granularity  lanes per check group (16)
+ */
+RegMeta analyzeWrite(std::span<const Word> values, LaneMask mask,
+                     LaneMask full_mask, unsigned granularity);
+
+} // namespace gs
+
+#endif // GSCALAR_COMPRESS_REG_META_HPP

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structured result export: enumerate every event counter and power
+ * component of a run as name/value pairs, and render them as CSV or
+ * JSON for downstream analysis scripts.
+ */
+
+#ifndef GSCALAR_HARNESS_REPORT_HPP
+#define GSCALAR_HARNESS_REPORT_HPP
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner.hpp"
+
+namespace gs
+{
+
+/** All counters of a run, in a stable order. */
+std::vector<std::pair<std::string, double>>
+eventFields(const EventCounts &ev);
+
+/** Power components of a run, in a stable order. */
+std::vector<std::pair<std::string, double>>
+powerFields(const PowerReport &p);
+
+/** CSV header matching csvRow(). */
+std::string csvHeader();
+
+/** One CSV row: workload, mode, every event field, every power field. */
+std::string csvRow(const RunResult &r);
+
+/** Whole result set as CSV (header + rows). */
+std::string toCsv(const std::vector<RunResult> &results);
+
+/** One run as a flat JSON object. */
+std::string toJson(const RunResult &r);
+
+} // namespace gs
+
+#endif // GSCALAR_HARNESS_REPORT_HPP

@@ -1,0 +1,48 @@
+#include "runner.hpp"
+
+#include "common/log.hpp"
+#include "sim/gpu.hpp"
+
+namespace gs
+{
+
+RunResult
+runWorkload(const Workload &w, const ArchConfig &cfg,
+            const EnergyParams &ep)
+{
+    RunResult r;
+    r.workload = w.name;
+    r.mode = cfg.mode;
+
+    Gpu gpu(cfg);
+    if (w.setup)
+        w.setup(gpu.memory(), cfg.seed);
+
+    bool first = true;
+    for (const WorkloadLaunch &launch : w.launches) {
+        EventCounts ev = gpu.launch(launch.kernel, launch.dims);
+        if (first) {
+            r.ev = ev;
+            first = false;
+        } else {
+            // Sequential kernels: cycles accumulate rather than max.
+            const auto prev_cycles = r.ev.cycles;
+            r.ev += ev;
+            r.ev.cycles = prev_cycles + ev.cycles;
+        }
+    }
+    if (first)
+        GS_FATAL("workload '", w.name, "' has no launches");
+
+    r.power = computePower(r.ev, cfg, ep);
+    return r;
+}
+
+RunResult
+runWorkload(const std::string &abbr, const ArchConfig &cfg,
+            const EnergyParams &ep)
+{
+    return runWorkload(makeWorkload(abbr), cfg, ep);
+}
+
+} // namespace gs

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Experiment runner: executes one workload under one architecture
+ * configuration and returns its event counters and power report.
+ */
+
+#ifndef GSCALAR_HARNESS_RUNNER_HPP
+#define GSCALAR_HARNESS_RUNNER_HPP
+
+#include <string>
+
+#include "common/config.hpp"
+#include "common/events.hpp"
+#include "power/energy_model.hpp"
+#include "workloads/workload.hpp"
+
+namespace gs
+{
+
+/** Result of one workload x configuration run. */
+struct RunResult
+{
+    std::string workload;
+    ArchMode mode = ArchMode::Baseline;
+    EventCounts ev;
+    PowerReport power;
+};
+
+/** Run @p w under @p cfg (input setup + every launch, sequentially). */
+RunResult runWorkload(const Workload &w, const ArchConfig &cfg,
+                      const EnergyParams &ep = {});
+
+/** Convenience overload resolving the workload by Table 2 name. */
+RunResult runWorkload(const std::string &abbr, const ArchConfig &cfg,
+                      const EnergyParams &ep = {});
+
+} // namespace gs
+
+#endif // GSCALAR_HARNESS_RUNNER_HPP

@@ -1,0 +1,203 @@
+#include "analysis.hpp"
+
+#include "common/log.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+/** True when @p op can produce a warp-uniform value from uniform
+ *  inputs at compile time. Loads cannot: their values are unknown
+ *  until runtime, the key limitation of compiler-assisted scalarization
+ *  (§6). */
+bool
+opStaticallyUniformCapable(const Instruction &inst)
+{
+    if (isLoad(inst.op))
+        return false;
+    if (inst.op == Opcode::S2R)
+        return sregIsUniformStatic(inst.sreg);
+    if (inst.op == Opcode::SMOV)
+        return false;
+    return true;
+}
+
+} // namespace
+
+bool
+sregIsUniformStatic(SReg s)
+{
+    switch (s) {
+      case SReg::Tid:
+      case SReg::LaneId:
+        return false;
+      default:
+        return true;
+    }
+}
+
+KernelAnalysis
+analyzeKernel(const Kernel &kernel)
+{
+    const std::size_t n = kernel.code.size();
+    KernelAnalysis a;
+    a.uniformReg.assign(kernel.numRegs, true);
+    a.uniformPred.assign(kernel.numPreds, true);
+    a.convergent.assign(n, true);
+    a.staticScalar.assign(n, false);
+    a.oldValueDead.assign(n, false);
+
+    auto enclosing = [&](std::size_t pc) -> const std::vector<PredIdx> & {
+        static const std::vector<PredIdx> kEmpty;
+        return pc < kernel.enclosingPreds.size()
+                   ? kernel.enclosingPreds[pc]
+                   : kEmpty;
+    };
+
+    auto predUniform = [&](PredIdx p) {
+        return p == kNoPred || a.uniformPred[unsigned(p)];
+    };
+
+    auto srcsUniform = [&](const Instruction &inst) {
+        for (unsigned s = 0; s < inst.numSrcRegs(); ++s)
+            if (!a.uniformReg[unsigned(inst.src[s])])
+                return false;
+        if (inst.psrc != kNoPred && !a.uniformPred[unsigned(inst.psrc)])
+            return false;
+        return true;
+    };
+
+    // ---- uniformity fixed point (monotone: flags only ever drop) ---------
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t pc = 0; pc < n; ++pc) {
+            const Instruction &inst = kernel.code[pc];
+
+            bool conv = predUniform(inst.guard);
+            for (const PredIdx p : enclosing(pc))
+                conv &= predUniform(p);
+            if (conv != a.convergent[pc]) {
+                a.convergent[pc] = conv;
+                changed = true;
+            }
+
+            if (inst.writesDst()) {
+                const bool uniform = conv && srcsUniform(inst) &&
+                                     opStaticallyUniformCapable(inst);
+                if (!uniform && a.uniformReg[unsigned(inst.dst)]) {
+                    a.uniformReg[unsigned(inst.dst)] = false;
+                    changed = true;
+                }
+            }
+            if (inst.pdst != kNoPred) {
+                const bool uniform = conv && srcsUniform(inst);
+                if (!uniform && a.uniformPred[unsigned(inst.pdst)]) {
+                    a.uniformPred[unsigned(inst.pdst)] = false;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // ---- static scalar classification (what a compiler would mark) -------
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        const Instruction &inst = kernel.code[pc];
+        if (inst.pipe() == PipeClass::CTRL || inst.op == Opcode::SMOV)
+            continue;
+        if (inst.op == Opcode::S2R && !sregIsUniformStatic(inst.sreg))
+            continue;
+        a.staticScalar[pc] = a.convergent[pc] && srcsUniform(inst);
+    }
+
+    // ---- old-value liveness at (potentially divergent) writes -------------
+    if (kernel.numRegs > 64)
+        return a; // conservative: claim nothing
+
+    using RegSet = std::uint64_t;
+    std::vector<RegSet> live_in(n, 0), live_out(n, 0);
+
+    auto successors = [&](std::size_t pc, std::size_t out[2]) -> unsigned {
+        const Instruction &inst = kernel.code[pc];
+        switch (inst.op) {
+          case Opcode::EXIT:
+            return 0;
+          case Opcode::JMP:
+            out[0] = std::size_t(inst.target);
+            return 1;
+          case Opcode::BRA:
+            out[0] = std::size_t(inst.target);
+            out[1] = pc + 1;
+            return 2;
+          default:
+            out[0] = pc + 1;
+            return 1;
+        }
+    };
+
+    bool live_changed = true;
+    while (live_changed) {
+        live_changed = false;
+        for (std::size_t i = n; i-- > 0;) {
+            const Instruction &inst = kernel.code[i];
+            std::size_t succ[2];
+            const unsigned ns = successors(i, succ);
+            RegSet out = 0;
+            for (unsigned s = 0; s < ns; ++s)
+                if (succ[s] < n)
+                    out |= live_in[succ[s]];
+
+            RegSet gen = 0;
+            for (unsigned s = 0; s < inst.numSrcRegs(); ++s)
+                gen |= RegSet{1} << unsigned(inst.src[s]);
+
+            // Path-sensitive kill: a lane travelling this path executes
+            // every unguarded instruction on it, so any unguarded write
+            // replaces the value *for that lane* — later reads on the
+            // same path observe the new value, never the old one. Only
+            // guarded writes may be skipped by a lane on the path.
+            RegSet kill = 0;
+            if (inst.writesDst() && inst.guard == kNoPred)
+                kill = RegSet{1} << unsigned(inst.dst);
+
+            const RegSet in = (out & ~kill) | gen;
+            if (out != live_out[i] || in != live_in[i]) {
+                live_out[i] = out;
+                live_in[i] = in;
+                live_changed = true;
+            }
+        }
+    }
+
+    for (std::size_t pc = 0; pc < n; ++pc) {
+        const Instruction &inst = kernel.code[pc];
+        if (!inst.writesDst())
+            continue;
+        const RegSet bit = RegSet{1} << unsigned(inst.dst);
+
+        // Lanes inactive for a *guarded* write resume at the very next
+        // instruction; for structured arms they resume at each
+        // enclosing arm's checkPc (the sibling arm or the
+        // reconvergence point). The old value is dead only if no such
+        // resume point may read it.
+        bool dead = true;
+        if (inst.guard != kNoPred)
+            dead &= !(live_out[pc] & bit);
+        bool in_region = false;
+        for (const Kernel::Region &r : kernel.regions) {
+            if (int(pc) < r.start || int(pc) >= r.end)
+                continue;
+            in_region = true;
+            if (std::size_t(r.checkPc) < n)
+                dead &= !(live_in[std::size_t(r.checkPc)] & bit);
+        }
+        if (!in_region && inst.guard == kNoPred)
+            dead &= !(live_out[pc] & bit);
+        a.oldValueDead[pc] = dead;
+    }
+    return a;
+}
+
+} // namespace gs

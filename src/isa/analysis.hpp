@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Compile-time kernel analyses used by the paper's compiler-assisted
+ * techniques:
+ *
+ *  - **Static uniformity (divergence) analysis** in the style of
+ *    Coutinho et al. [10] / Lee et al. [31]: which registers provably
+ *    hold one value per warp regardless of input data. Loads are never
+ *    statically uniform — exactly the limitation §6 cites when
+ *    reporting that the compiler-assisted method captured 24 % fewer
+ *    scalar instructions than G-Scalar's dynamic detection.
+ *
+ *  - **Old-value liveness at divergent writes** (§3.3): when the value
+ *    a divergent instruction partially overwrites is provably dead, the
+ *    hardware may skip the special decompress-in-place move, reducing
+ *    its ~2 % dynamic-instruction overhead further.
+ */
+
+#ifndef GSCALAR_ISA_ANALYSIS_HPP
+#define GSCALAR_ISA_ANALYSIS_HPP
+
+#include <vector>
+
+#include "kernel.hpp"
+
+namespace gs
+{
+
+/** Results of the static kernel analyses, indexed by PC. */
+struct KernelAnalysis
+{
+    /** Registers whose every write is provably warp-uniform. */
+    std::vector<bool> uniformReg;
+    /** Predicates that are provably warp-uniform. */
+    std::vector<bool> uniformPred;
+    /**
+     * Instruction provably executes with a full warp (every enclosing
+     * branch/loop predicate is uniform and it carries no non-uniform
+     * guard).
+     */
+    std::vector<bool> convergent;
+    /**
+     * Instruction a static scalarizing compiler would mark scalar:
+     * convergent, writes or computes from uniform registers only.
+     */
+    std::vector<bool> staticScalar;
+    /**
+     * For instructions that may perform a divergent (partial) register
+     * write: the destination's previous value is dead afterwards, so
+     * the §3.3 special move can be elided.
+     */
+    std::vector<bool> oldValueDead;
+};
+
+/**
+ * Run all analyses. Uses Kernel::enclosingPreds (recorded by the
+ * builder) for control-dependence and a backward liveness pass over the
+ * CFG for old-value deadness. Conservative in the required direction:
+ * "uniform"/"dead" are only claimed when provable.
+ */
+KernelAnalysis analyzeKernel(const Kernel &kernel);
+
+/** True when @p s reads one value per warp (compile-time knowable). */
+bool sregIsUniformStatic(SReg s);
+
+} // namespace gs
+
+#endif // GSCALAR_ISA_ANALYSIS_HPP

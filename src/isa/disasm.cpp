@@ -1,0 +1,82 @@
+#include <sstream>
+
+#include "instruction.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+std::string
+regName(RegIdx r)
+{
+    return r == kNoReg ? std::string("_") : "r" + std::to_string(r);
+}
+
+std::string
+predName(PredIdx p)
+{
+    return p == kNoPred ? std::string("_") : "p" + std::to_string(p);
+}
+
+} // namespace
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    if (guard != kNoPred)
+        os << "@" << (guardNeg ? "!" : "") << predName(guard) << " ";
+    os << opcodeName(op);
+
+    switch (op) {
+      case Opcode::BRA:
+        os << " " << "-> " << target << " (reconv " << reconv << ")";
+        break;
+      case Opcode::JMP:
+        os << " -> " << target;
+        break;
+      case Opcode::BAR:
+      case Opcode::EXIT:
+        break;
+      case Opcode::S2R:
+        os << " " << regName(dst) << ", %" << sregName(sreg);
+        break;
+      case Opcode::ISETP:
+      case Opcode::FSETP:
+        os << "." << cmpName(cmp) << " " << predName(pdst) << ", "
+           << regName(src[0]) << ", ";
+        if (hasImm)
+            os << "0x" << std::hex << imm << std::dec;
+        else
+            os << regName(src[1]);
+        break;
+      case Opcode::STG:
+      case Opcode::STS:
+        os << " [" << regName(src[0]) << "+" << imm << "], "
+           << regName(src[1]);
+        break;
+      case Opcode::LDG:
+      case Opcode::LDS:
+        os << " " << regName(dst) << ", [" << regName(src[0]) << "+" << imm
+           << "]";
+        break;
+      case Opcode::SEL:
+        os << " " << regName(dst) << ", " << predName(psrc) << ", "
+           << regName(src[0]) << ", " << regName(src[1]);
+        break;
+      default: {
+        os << " " << regName(dst);
+        const unsigned n = numSrcRegs();
+        for (unsigned i = 0; i < n; ++i)
+            os << ", " << regName(src[i]);
+        if (hasImm)
+            os << ", 0x" << std::hex << imm << std::dec;
+        break;
+      }
+    }
+    return os.str();
+}
+
+} // namespace gs

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * One decoded instruction of the mini ISA. Kept as a POD-ish value type
+ * so kernels are cheap to copy and hash.
+ */
+
+#ifndef GSCALAR_ISA_INSTRUCTION_HPP
+#define GSCALAR_ISA_INSTRUCTION_HPP
+
+#include <array>
+#include <string>
+
+#include "common/types.hpp"
+#include "opcode.hpp"
+
+namespace gs
+{
+
+/** Index of a vector register (per-thread architectural register). */
+using RegIdx = int;
+
+/** Index of a predicate register. */
+using PredIdx = int;
+
+/** Sentinel for "no predicate". */
+inline constexpr PredIdx kNoPred = -1;
+
+/**
+ * A decoded instruction. Operand roles by opcode family:
+ *  - ALU/SFU: dst <- src[0] op src[1] (op src[2]); immediate replaces
+ *    src[1] when hasImm is set.
+ *  - ISETP/FSETP: pdst <- src[0] cmp src[1] (or imm).
+ *  - LDG/LDS: dst <- mem[src[0] + imm].
+ *  - STG/STS: mem[src[0] + imm] <- src[1].
+ *  - SEL: dst <- psrc ? src[0] : src[1].
+ *  - BRA: branch to target when guard predicate true; reconv is the
+ *    immediate post-dominator PC the SIMT stack reconverges at.
+ *  - S2R: dst <- special register sreg.
+ *  - SMOV: dst <- dst, ignoring the active mask (decompress-in-place).
+ */
+struct Instruction
+{
+    Opcode op = Opcode::EXIT;
+
+    RegIdx dst = kNoReg;
+    std::array<RegIdx, 3> src = {kNoReg, kNoReg, kNoReg};
+
+    /** Immediate operand, used when hasImm (replaces src[1]). */
+    Word imm = 0;
+    bool hasImm = false;
+
+    /** Predicate destination (ISETP/FSETP). */
+    PredIdx pdst = kNoPred;
+    /** Predicate source (SEL condition). */
+    PredIdx psrc = kNoPred;
+    /** Comparison operator for ISETP/FSETP. */
+    CmpOp cmp = CmpOp::EQ;
+
+    /** Guard predicate: instruction executes only in lanes where the
+     *  guard holds (negated when guardNeg). kNoPred = unguarded. */
+    PredIdx guard = kNoPred;
+    bool guardNeg = false;
+
+    /** Special register selector for S2R. */
+    SReg sreg = SReg::Tid;
+
+    /** Branch target PC (BRA/JMP). */
+    int target = -1;
+    /** Reconvergence PC (BRA); -1 for JMP (never diverges). */
+    int reconv = -1;
+
+    /** Number of vector source registers actually read. */
+    unsigned
+    numSrcRegs() const
+    {
+        unsigned n = traits(op).numSrcs;
+        // An explicit immediate operand replaces the last register
+        // source (MOV imm has none left). Memory offsets use the imm
+        // field without setting hasImm.
+        if (hasImm && n >= 1)
+            --n;
+        return n;
+    }
+
+    /** True when the op writes a vector destination register. */
+    bool writesDst() const { return traits(op).writesDst; }
+
+    /** Pipeline this instruction dispatches to. */
+    PipeClass pipe() const { return traits(op).pipe; }
+
+    /** Human-readable disassembly. */
+    std::string toString() const;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_ISA_INSTRUCTION_HPP

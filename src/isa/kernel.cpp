@@ -1,0 +1,64 @@
+#include "kernel.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace gs
+{
+
+std::string
+Kernel::disassemble() const
+{
+    std::ostringstream os;
+    os << ".kernel " << name << " (regs=" << numRegs
+       << ", preds=" << numPreds << ", shared=" << sharedBytes << "B)\n";
+    for (std::size_t pc = 0; pc < code.size(); ++pc)
+        os << "  " << pc << ": " << code[pc].toString() << "\n";
+    return os.str();
+}
+
+void
+Kernel::validate() const
+{
+    if (code.empty())
+        GS_FATAL("kernel '", name, "' has no instructions");
+    if (code.back().op != Opcode::EXIT)
+        GS_FATAL("kernel '", name, "' does not end with EXIT");
+
+    const int n = static_cast<int>(code.size());
+    for (int pc = 0; pc < n; ++pc) {
+        const Instruction &inst = code[pc];
+        if (inst.op == Opcode::BRA || inst.op == Opcode::JMP) {
+            if (inst.target < 0 || inst.target >= n)
+                GS_FATAL("kernel '", name, "' pc ", pc,
+                         ": branch target ", inst.target, " out of range");
+            if (inst.op == Opcode::BRA &&
+                (inst.reconv < 0 || inst.reconv > n))
+                GS_FATAL("kernel '", name, "' pc ", pc,
+                         ": reconvergence pc ", inst.reconv,
+                         " out of range");
+        }
+        if (inst.writesDst() && inst.dst == kNoReg)
+            GS_FATAL("kernel '", name, "' pc ", pc,
+                     ": missing destination register");
+        if (inst.writesDst() &&
+            inst.dst >= static_cast<RegIdx>(numRegs))
+            GS_FATAL("kernel '", name, "' pc ", pc, ": register r",
+                     inst.dst, " exceeds numRegs=", numRegs);
+        for (unsigned s = 0; s < inst.numSrcRegs(); ++s) {
+            if (inst.src[s] == kNoReg)
+                GS_FATAL("kernel '", name, "' pc ", pc,
+                         ": missing source register ", s);
+            if (inst.src[s] >= static_cast<RegIdx>(numRegs))
+                GS_FATAL("kernel '", name, "' pc ", pc, ": register r",
+                         inst.src[s], " exceeds numRegs=", numRegs);
+        }
+        if (inst.guard != kNoPred &&
+            inst.guard >= static_cast<PredIdx>(numPreds))
+            GS_FATAL("kernel '", name, "' pc ", pc, ": guard p",
+                     inst.guard, " exceeds numPreds=", numPreds);
+    }
+}
+
+} // namespace gs

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * A kernel: straight-line instruction storage plus resource metadata,
+ * and the launch geometry used to instantiate it on the GPU.
+ */
+
+#ifndef GSCALAR_ISA_KERNEL_HPP
+#define GSCALAR_ISA_KERNEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "instruction.hpp"
+
+namespace gs
+{
+
+/**
+ * A compiled kernel. Instructions are addressed by PC = index into
+ * @ref code. Kernels are immutable once built by KernelBuilder.
+ */
+struct Kernel
+{
+    std::string name;
+    std::vector<Instruction> code;
+    /** Architectural vector registers per thread. */
+    unsigned numRegs = 0;
+    /** Predicate registers per thread. */
+    unsigned numPreds = 0;
+    /** Shared memory bytes per CTA. */
+    unsigned sharedBytes = 0;
+    /**
+     * Control-dependence record per instruction: the predicates of
+     * every enclosing if/else or loop construct (recorded by the
+     * builder; used by the static analyses). Empty when no structured
+     * construct encloses the instruction.
+     */
+    std::vector<std::vector<PredIdx>> enclosingPreds;
+
+    /**
+     * One structured-control-flow arm: instructions [start, end) run
+     * under a partial mask; the lanes *not* running the arm resume at
+     * @ref checkPc (the sibling arm for if/else, otherwise the
+     * reconvergence point). Liveness for special-move elision (§3.3)
+     * must prove the overwritten value dead at every enclosing arm's
+     * checkPc.
+     */
+    struct Region
+    {
+        int start = 0;
+        int end = 0;
+        int checkPc = 0;
+    };
+    std::vector<Region> regions;
+
+    /** Disassemble the whole kernel. */
+    std::string disassemble() const;
+
+    /** Structural sanity checks; GS_FATAL on malformed code. */
+    void validate() const;
+};
+
+/** Launch geometry for one kernel invocation. */
+struct LaunchDims
+{
+    unsigned ctas = 1;          ///< CTAs in the grid (1-D)
+    unsigned threadsPerCta = 32; ///< threads per CTA (1-D)
+};
+
+} // namespace gs
+
+#endif // GSCALAR_ISA_KERNEL_HPP

@@ -1,0 +1,423 @@
+#include "kernel_builder.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace gs
+{
+
+KernelBuilder::KernelBuilder(std::string name) : name_(std::move(name)) {}
+
+Reg
+KernelBuilder::reg()
+{
+    return Reg{static_cast<RegIdx>(numRegs_++)};
+}
+
+Pred
+KernelBuilder::pred()
+{
+    return Pred{static_cast<PredIdx>(numPreds_++)};
+}
+
+unsigned
+KernelBuilder::shared(unsigned bytes)
+{
+    const unsigned base = sharedBytes_;
+    // Keep 4-byte alignment for word-granular LDS/STS.
+    sharedBytes_ += (bytes + 3u) & ~3u;
+    return base;
+}
+
+Instruction &
+KernelBuilder::push(Instruction inst)
+{
+    GS_ASSERT(!built_, "kernel '", name_, "' already built");
+    if (inst.guard == kNoPred && guard_ != kNoPred) {
+        inst.guard = guard_;
+        inst.guardNeg = guardNeg_;
+    }
+    code_.push_back(inst);
+    scopes_.emplace_back();
+    return code_.back();
+}
+
+void
+KernelBuilder::markEnclosed(int from, int to, Pred p)
+{
+    for (int i = from; i < to; ++i)
+        scopes_[std::size_t(i)].push_back(p.idx);
+}
+
+void
+KernelBuilder::addRegion(int from, int to, int check_pc)
+{
+    regions_.push_back({from, to, check_pc});
+}
+
+void
+KernelBuilder::s2r(Reg d, SReg s)
+{
+    Instruction i;
+    i.op = Opcode::S2R;
+    i.dst = d.idx;
+    i.sreg = s;
+    push(i);
+}
+
+void
+KernelBuilder::movi(Reg d, Word imm)
+{
+    Instruction i;
+    i.op = Opcode::MOV;
+    i.dst = d.idx;
+    i.imm = imm;
+    i.hasImm = true;
+    push(i);
+}
+
+void
+KernelBuilder::movf(Reg d, float f)
+{
+    movi(d, std::bit_cast<Word>(f));
+}
+
+void
+KernelBuilder::mov(Reg d, Reg s)
+{
+    Instruction i;
+    i.op = Opcode::MOV;
+    i.dst = d.idx;
+    i.src[0] = s.idx;
+    push(i);
+}
+
+void
+KernelBuilder::emit2(Opcode op, Reg d, Reg a, Reg b)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d.idx;
+    i.src[0] = a.idx;
+    i.src[1] = b.idx;
+    push(i);
+}
+
+void
+KernelBuilder::emit2i(Opcode op, Reg d, Reg a, Word imm)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d.idx;
+    i.src[0] = a.idx;
+    i.imm = imm;
+    i.hasImm = true;
+    push(i);
+}
+
+void
+KernelBuilder::emit1(Opcode op, Reg d, Reg a)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d.idx;
+    i.src[0] = a.idx;
+    push(i);
+}
+
+void
+KernelBuilder::emit3(Opcode op, Reg d, Reg a, Reg b, Reg c)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = d.idx;
+    i.src[0] = a.idx;
+    i.src[1] = b.idx;
+    i.src[2] = c.idx;
+    push(i);
+}
+
+void
+KernelBuilder::isetp(Pred p, CmpOp c, Reg a, Reg b)
+{
+    Instruction i;
+    i.op = Opcode::ISETP;
+    i.pdst = p.idx;
+    i.cmp = c;
+    i.src[0] = a.idx;
+    i.src[1] = b.idx;
+    push(i);
+}
+
+void
+KernelBuilder::isetpi(Pred p, CmpOp c, Reg a, Word imm)
+{
+    Instruction i;
+    i.op = Opcode::ISETP;
+    i.pdst = p.idx;
+    i.cmp = c;
+    i.src[0] = a.idx;
+    i.imm = imm;
+    i.hasImm = true;
+    push(i);
+}
+
+void
+KernelBuilder::fsetp(Pred p, CmpOp c, Reg a, Reg b)
+{
+    Instruction i;
+    i.op = Opcode::FSETP;
+    i.pdst = p.idx;
+    i.cmp = c;
+    i.src[0] = a.idx;
+    i.src[1] = b.idx;
+    push(i);
+}
+
+void
+KernelBuilder::fsetpf(Pred p, CmpOp c, Reg a, float imm)
+{
+    Instruction i;
+    i.op = Opcode::FSETP;
+    i.pdst = p.idx;
+    i.cmp = c;
+    i.src[0] = a.idx;
+    i.imm = std::bit_cast<Word>(imm);
+    i.hasImm = true;
+    push(i);
+}
+
+void
+KernelBuilder::sel(Reg d, Pred p, Reg a, Reg b)
+{
+    Instruction i;
+    i.op = Opcode::SEL;
+    i.dst = d.idx;
+    i.psrc = p.idx;
+    i.src[0] = a.idx;
+    i.src[1] = b.idx;
+    push(i);
+}
+
+void
+KernelBuilder::ldg(Reg d, Reg addr, Word off)
+{
+    Instruction i;
+    i.op = Opcode::LDG;
+    i.dst = d.idx;
+    i.src[0] = addr.idx;
+    i.imm = off;
+    push(i);
+}
+
+void
+KernelBuilder::stg(Reg addr, Reg val, Word off)
+{
+    Instruction i;
+    i.op = Opcode::STG;
+    i.src[0] = addr.idx;
+    i.src[1] = val.idx;
+    i.imm = off;
+    push(i);
+}
+
+void
+KernelBuilder::lds(Reg d, Reg addr, Word off)
+{
+    Instruction i;
+    i.op = Opcode::LDS;
+    i.dst = d.idx;
+    i.src[0] = addr.idx;
+    i.imm = off;
+    push(i);
+}
+
+void
+KernelBuilder::sts(Reg addr, Reg val, Word off)
+{
+    Instruction i;
+    i.op = Opcode::STS;
+    i.src[0] = addr.idx;
+    i.src[1] = val.idx;
+    i.imm = off;
+    push(i);
+}
+
+void
+KernelBuilder::bar()
+{
+    Instruction i;
+    i.op = Opcode::BAR;
+    push(i);
+}
+
+void
+KernelBuilder::ifThen(Pred p, const std::function<void()> &then_body)
+{
+    GS_ASSERT(guard_ == kNoPred, "control flow inside predicated region");
+    // Lanes where p is FALSE branch over the body.
+    Instruction bra;
+    bra.op = Opcode::BRA;
+    bra.guard = p.idx;
+    bra.guardNeg = true;
+    const int bra_pc = here();
+    push(bra);
+    then_body();
+    const int end = here();
+    code_[bra_pc].target = end;
+    code_[bra_pc].reconv = end;
+    markEnclosed(bra_pc + 1, end, p);
+    addRegion(bra_pc + 1, end, end);
+}
+
+void
+KernelBuilder::ifNotThen(Pred p, const std::function<void()> &then_body)
+{
+    GS_ASSERT(guard_ == kNoPred, "control flow inside predicated region");
+    Instruction bra;
+    bra.op = Opcode::BRA;
+    bra.guard = p.idx;
+    bra.guardNeg = false; // lanes where p TRUE skip the body
+    const int bra_pc = here();
+    push(bra);
+    then_body();
+    const int end = here();
+    code_[bra_pc].target = end;
+    code_[bra_pc].reconv = end;
+    markEnclosed(bra_pc + 1, end, p);
+    addRegion(bra_pc + 1, end, end);
+}
+
+void
+KernelBuilder::ifElse(Pred p, const std::function<void()> &then_body,
+                      const std::function<void()> &else_body)
+{
+    GS_ASSERT(guard_ == kNoPred, "control flow inside predicated region");
+    Instruction bra;
+    bra.op = Opcode::BRA;
+    bra.guard = p.idx;
+    bra.guardNeg = true; // !p lanes go to the else block
+    const int bra_pc = here();
+    push(bra);
+
+    then_body();
+
+    Instruction jmp;
+    jmp.op = Opcode::JMP;
+    const int jmp_pc = here();
+    push(jmp);
+
+    const int else_start = here();
+    else_body();
+    const int end = here();
+
+    code_[bra_pc].target = else_start;
+    code_[bra_pc].reconv = end;
+    code_[jmp_pc].target = end;
+    markEnclosed(bra_pc + 1, end, p);
+    // Lanes skipping the then arm execute the else arm, and vice versa.
+    addRegion(bra_pc + 1, else_start, else_start);
+    addRegion(else_start, end, end);
+}
+
+void
+KernelBuilder::loopWhile(const std::function<Pred()> &cond,
+                         const std::function<void()> &body)
+{
+    GS_ASSERT(guard_ == kNoPred, "control flow inside predicated region");
+    const int loop_start = here();
+    const Pred p = cond();
+
+    // Lanes where the continuation predicate is FALSE exit the loop.
+    Instruction bra;
+    bra.op = Opcode::BRA;
+    bra.guard = p.idx;
+    bra.guardNeg = true;
+    const int exit_bra = here();
+    push(bra);
+
+    body();
+
+    Instruction jmp;
+    jmp.op = Opcode::JMP;
+    jmp.target = loop_start;
+    push(jmp);
+
+    const int exit_pc = here();
+    code_[exit_bra].target = exit_pc;
+    code_[exit_bra].reconv = exit_pc;
+    // The whole loop region (condition included) runs under the
+    // continuation predicate once any lane has left the loop.
+    markEnclosed(loop_start, exit_pc, p);
+    addRegion(loop_start, exit_pc, exit_pc);
+}
+
+void
+KernelBuilder::forRange(Reg idx, Word start, Reg bound,
+                        const std::function<void()> &body)
+{
+    movi(idx, start);
+    const Pred p = pred();
+    loopWhile(
+        [&] {
+            isetp(p, CmpOp::LT, idx, bound);
+            return p;
+        },
+        [&] {
+            body();
+            iaddi(idx, idx, 1);
+        });
+}
+
+void
+KernelBuilder::forRangeI(Reg idx, Word start, Word bound,
+                         const std::function<void()> &body)
+{
+    movi(idx, start);
+    const Pred p = pred();
+    loopWhile(
+        [&] {
+            isetpi(p, CmpOp::LT, idx, bound);
+            return p;
+        },
+        [&] {
+            body();
+            iaddi(idx, idx, 1);
+        });
+}
+
+void
+KernelBuilder::predicated(Pred p, bool neg,
+                          const std::function<void()> &body)
+{
+    GS_ASSERT(guard_ == kNoPred, "nested predicated regions");
+    guard_ = p.idx;
+    guardNeg_ = neg;
+    body();
+    guard_ = kNoPred;
+    guardNeg_ = false;
+}
+
+Kernel
+KernelBuilder::build()
+{
+    GS_ASSERT(!built_, "kernel '", name_, "' already built");
+    Instruction exit_inst;
+    exit_inst.op = Opcode::EXIT;
+    push(exit_inst);
+    built_ = true;
+
+    Kernel k;
+    k.name = std::move(name_);
+    k.code = std::move(code_);
+    k.numRegs = numRegs_;
+    k.numPreds = numPreds_;
+    k.sharedBytes = sharedBytes_;
+    k.enclosingPreds = std::move(scopes_);
+    k.regions = std::move(regions_);
+    k.validate();
+    return k;
+}
+
+} // namespace gs

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Structured kernel builder. Workloads author kernels through this API;
+ * it allocates registers, emits instructions, and — crucially for the
+ * SIMT stack — computes immediate-post-dominator reconvergence PCs for
+ * all structured control flow (if/else and loops).
+ */
+
+#ifndef GSCALAR_ISA_KERNEL_BUILDER_HPP
+#define GSCALAR_ISA_KERNEL_BUILDER_HPP
+
+#include <functional>
+#include <string>
+
+#include "kernel.hpp"
+
+namespace gs
+{
+
+/** Strongly-typed handle to a vector register. */
+struct Reg
+{
+    RegIdx idx = kNoReg;
+    explicit operator bool() const { return idx != kNoReg; }
+};
+
+/** Strongly-typed handle to a predicate register. */
+struct Pred
+{
+    PredIdx idx = kNoPred;
+    explicit operator bool() const { return idx != kNoPred; }
+};
+
+/**
+ * Builds one Kernel. All emission helpers append to the instruction
+ * stream in order. Control-flow helpers take callables that emit the
+ * nested bodies.
+ */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    // ---- resources --------------------------------------------------------
+    /** Allocate a fresh vector register. */
+    Reg reg();
+    /** Allocate a fresh predicate register. */
+    Pred pred();
+    /** Reserve @p bytes of per-CTA shared memory; returns base offset. */
+    unsigned shared(unsigned bytes);
+
+    // ---- straight-line emission -------------------------------------------
+    void s2r(Reg d, SReg s);
+    void movi(Reg d, Word imm);
+    /** Move a float immediate (bit pattern of @p f). */
+    void movf(Reg d, float f);
+    void mov(Reg d, Reg s);
+
+    /** Generic two-source ALU/SFU op: d <- a op b. */
+    void emit2(Opcode op, Reg d, Reg a, Reg b);
+    /** Two-source op with immediate second operand: d <- a op imm. */
+    void emit2i(Opcode op, Reg d, Reg a, Word imm);
+    /** One-source op (NOT, IABS, FABS, FNEG, I2F, F2I, SFU ops). */
+    void emit1(Opcode op, Reg d, Reg a);
+    /** Three-source op (IMAD, FFMA): d <- a * b + c. */
+    void emit3(Opcode op, Reg d, Reg a, Reg b, Reg c);
+
+    // Convenience wrappers for the common ops.
+    void iadd(Reg d, Reg a, Reg b) { emit2(Opcode::IADD, d, a, b); }
+    void iaddi(Reg d, Reg a, Word i) { emit2i(Opcode::IADD, d, a, i); }
+    void isub(Reg d, Reg a, Reg b) { emit2(Opcode::ISUB, d, a, b); }
+    void imul(Reg d, Reg a, Reg b) { emit2(Opcode::IMUL, d, a, b); }
+    void imuli(Reg d, Reg a, Word i) { emit2i(Opcode::IMUL, d, a, i); }
+    void imad(Reg d, Reg a, Reg b, Reg c) { emit3(Opcode::IMAD, d, a, b, c); }
+    void idiv(Reg d, Reg a, Reg b) { emit2(Opcode::IDIV, d, a, b); }
+    void shli(Reg d, Reg a, Word i) { emit2i(Opcode::SHL, d, a, i); }
+    void shri(Reg d, Reg a, Word i) { emit2i(Opcode::SHR, d, a, i); }
+    void andi(Reg d, Reg a, Word i) { emit2i(Opcode::AND, d, a, i); }
+    void fadd(Reg d, Reg a, Reg b) { emit2(Opcode::FADD, d, a, b); }
+    void fsub(Reg d, Reg a, Reg b) { emit2(Opcode::FSUB, d, a, b); }
+    void fmul(Reg d, Reg a, Reg b) { emit2(Opcode::FMUL, d, a, b); }
+    void ffma(Reg d, Reg a, Reg b, Reg c) { emit3(Opcode::FFMA, d, a, b, c); }
+
+    /** pdst <- a cmp b (integer compare; signed). */
+    void isetp(Pred p, CmpOp c, Reg a, Reg b);
+    /** pdst <- a cmp imm (integer compare; signed). */
+    void isetpi(Pred p, CmpOp c, Reg a, Word imm);
+    /** pdst <- a cmp b (float compare). */
+    void fsetp(Pred p, CmpOp c, Reg a, Reg b);
+    /** pdst <- a cmp imm-float. */
+    void fsetpf(Pred p, CmpOp c, Reg a, float imm);
+
+    /** d <- psrc ? a : b. */
+    void sel(Reg d, Pred p, Reg a, Reg b);
+
+    /** Global load: d <- mem[addr + off]. */
+    void ldg(Reg d, Reg addr, Word off = 0);
+    /** Global store: mem[addr + off] <- val. */
+    void stg(Reg addr, Reg val, Word off = 0);
+    /** Shared-memory load. */
+    void lds(Reg d, Reg addr, Word off = 0);
+    /** Shared-memory store. */
+    void sts(Reg addr, Reg val, Word off = 0);
+
+    /** CTA-wide barrier. */
+    void bar();
+
+    // ---- structured control flow -------------------------------------------
+    /** if (p) { then() } — reconverges right after the body. */
+    void ifThen(Pred p, const std::function<void()> &then_body);
+    /** if (!p) { then() }. */
+    void ifNotThen(Pred p, const std::function<void()> &then_body);
+    /** if (p) { then() } else { else() }. */
+    void ifElse(Pred p, const std::function<void()> &then_body,
+                const std::function<void()> &else_body);
+    /**
+     * while (cond()) { body() }. @p cond emits code computing the
+     * continuation predicate and returns it; lanes whose predicate is
+     * false exit to the reconvergence point after the loop.
+     */
+    void loopWhile(const std::function<Pred()> &cond,
+                   const std::function<void()> &body);
+    /**
+     * Counted loop: for (idx = start; idx < bound_reg; ++idx) body().
+     * @p idx must be a register the body does not clobber.
+     */
+    void forRange(Reg idx, Word start, Reg bound,
+                  const std::function<void()> &body);
+    /** Counted loop with an immediate bound. */
+    void forRangeI(Reg idx, Word start, Word bound,
+                   const std::function<void()> &body);
+
+    /**
+     * Emit the instructions produced by @p body under guard predicate
+     * @p p (negated when @p neg): lanes where the guard fails are
+     * inactive for those instructions. Bodies must be straight-line.
+     */
+    void predicated(Pred p, bool neg, const std::function<void()> &body);
+
+    // ---- finalization --------------------------------------------------------
+    /** Append EXIT, validate and return the kernel. Builder is spent. */
+    Kernel build();
+
+    /** Current PC (next instruction index). */
+    int here() const { return static_cast<int>(code_.size()); }
+
+  private:
+    Instruction &push(Instruction inst);
+    /** Record @p p as enclosing predicate of instructions [from, to). */
+    void markEnclosed(int from, int to, Pred p);
+    /** Record a structured arm [from, to) whose inactive lanes resume
+     *  at @p check_pc. */
+    void addRegion(int from, int to, int check_pc);
+
+    std::string name_;
+    std::vector<Instruction> code_;
+    std::vector<std::vector<PredIdx>> scopes_;
+    std::vector<Kernel::Region> regions_;
+    unsigned numRegs_ = 0;
+    unsigned numPreds_ = 0;
+    unsigned sharedBytes_ = 0;
+    PredIdx guard_ = kNoPred;
+    bool guardNeg_ = false;
+    bool built_ = false;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_ISA_KERNEL_BUILDER_HPP

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The mini SIMT instruction set used by all workloads. Opcode traits
+ * (pipeline class, latency class, relative execution energy) drive both
+ * the timing and the power model.
+ */
+
+#ifndef GSCALAR_ISA_OPCODE_HPP
+#define GSCALAR_ISA_OPCODE_HPP
+
+#include <cstdint>
+#include <string_view>
+
+namespace gs
+{
+
+/** Execution pipeline an instruction dispatches to (§2.1). */
+enum class PipeClass : std::uint8_t
+{
+    ALU,  ///< 16-lane arithmetic/logic pipelines (2 per SM)
+    SFU,  ///< 4-lane special-function pipeline
+    MEM,  ///< 16-lane memory pipeline
+    CTRL, ///< branches, barriers, exit (handled at issue)
+};
+
+/** Result-latency class, priced in cycles by ArchConfig. */
+enum class LatClass : std::uint8_t
+{
+    Simple, ///< int add/logic/mov and fp add/mul
+    Mul,    ///< integer multiply, fused multiply-add
+    Div,    ///< microcoded integer divide/remainder
+    Sfu,    ///< transcendental
+    Mem,    ///< variable (cache hierarchy)
+    Ctrl,   ///< no register result
+};
+
+/** All opcodes of the mini ISA. */
+enum class Opcode : std::uint8_t
+{
+    // integer ALU
+    IADD, ISUB, IMUL, IMAD, IDIV, IREM, IMIN, IMAX, IABS,
+    AND, OR, XOR, NOT, SHL, SHR,
+    // floating-point ALU
+    FADD, FSUB, FMUL, FFMA, FMIN, FMAX, FABS, FNEG,
+    // data movement / conversion
+    MOV, SEL, I2F, F2I,
+    // predicate-setting compares
+    ISETP, FSETP,
+    // special function (SFU pipeline)
+    SIN, COS, EX2, LG2, RCP, RSQ, SQRT,
+    // memory
+    LDG, STG, LDS, STS,
+    // control
+    BRA, JMP, BAR, EXIT,
+    // special registers
+    S2R,
+    // hardware-inserted decompress-in-place move (§3.3)
+    SMOV,
+
+    NumOpcodes,
+};
+
+/** Comparison operator for ISETP/FSETP and the builder's branches. */
+enum class CmpOp : std::uint8_t
+{
+    EQ, NE, LT, LE, GT, GE,
+};
+
+/** Special registers readable via S2R. */
+enum class SReg : std::uint8_t
+{
+    Tid,    ///< linear thread index within the CTA (per-lane value)
+    CtaId,  ///< linear CTA index within the grid (warp-uniform)
+    NTid,   ///< threads per CTA (grid-constant)
+    NCtaId, ///< CTAs in the grid (grid-constant)
+    LaneId, ///< lane index within the warp (per-lane value)
+    WarpId, ///< warp index within the CTA (warp-uniform)
+};
+
+/** Static per-opcode properties. */
+struct OpcodeTraits
+{
+    std::string_view name;
+    PipeClass pipe;
+    LatClass lat;
+    /** Number of vector-register sources read. */
+    std::uint8_t numSrcs;
+    /** True when the op writes a vector destination register. */
+    bool writesDst;
+    /**
+     * Dynamic execution energy per active lane in units of one FP32
+     * operation (GPUWattch-style relative costs; SFU ops fall in the
+     * paper's 3-24x band).
+     */
+    double energyUnits;
+};
+
+/** Look up traits for @p op. */
+const OpcodeTraits &traits(Opcode op);
+
+/** Short mnemonic. */
+inline std::string_view opcodeName(Opcode op) { return traits(op).name; }
+
+/** Mnemonic for a comparison operator. */
+std::string_view cmpName(CmpOp c);
+
+/** Mnemonic for a special register. */
+std::string_view sregName(SReg s);
+
+/** True for LDG/LDS (register-writing memory loads). */
+inline bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LDG || op == Opcode::LDS;
+}
+
+/** True for STG/STS. */
+inline bool
+isStore(Opcode op)
+{
+    return op == Opcode::STG || op == Opcode::STS;
+}
+
+/** True for global-memory ops that traverse the cache hierarchy. */
+inline bool
+isGlobalMem(Opcode op)
+{
+    return op == Opcode::LDG || op == Opcode::STG;
+}
+
+} // namespace gs
+
+#endif // GSCALAR_ISA_OPCODE_HPP

@@ -1,0 +1,120 @@
+#include "energy_model.hpp"
+
+#include "common/table.hpp"
+
+namespace gs
+{
+
+namespace
+{
+constexpr double kPjToJ = 1e-12;
+} // namespace
+
+PowerReport
+computePower(const EventCounts &ev, const ArchConfig &cfg,
+             const EnergyParams &p)
+{
+    PowerReport r;
+    r.seconds = double(ev.cycles) / (cfg.coreClockGhz * 1e9);
+    r.ipc = ev.ipc();
+    if (r.seconds <= 0)
+        return r;
+
+    // ---- dynamic energies (joules) -----------------------------------------
+    const double alu_j = ev.aluEnergyUnits * p.eFpLaneOpPj * kPjToJ;
+    const double sfu_j = ev.sfuEnergyUnits * p.eFpLaneOpPj * kPjToJ;
+    const double mem_lane_j = double(ev.memLaneOps) * p.eMemLanePj * kPjToJ;
+
+    const double rf_j =
+        (double(ev.rfArrayReads + ev.rfArrayWrites) * p.eArrayAccessPj +
+         double(ev.bvrAccesses) * p.eBvrAccessPj +
+         double(ev.scalarRfAccesses) * p.eScalarRfAccessPj +
+         double(ev.crossbarBytes) * p.eCrossbarPerBytePj +
+         double(ev.ocAllocations) * p.eOperandCollectorPj) *
+        kPjToJ;
+
+    const double fe_j =
+        double(ev.issuedInsts) * p.eFrontendPerInstPj * kPjToJ;
+
+    const double codec_dyn_j =
+        (double(ev.compressorUses) * p.eCompressorUsePj +
+         double(ev.decompressorUses) * p.eDecompressorUsePj) *
+        kPjToJ;
+
+    const double mem_j =
+        (double(ev.l1Accesses) * p.eL1AccessPj +
+         double(ev.l2Accesses) * p.eL2AccessPj +
+         double(ev.dramAccesses) * p.eDramAccessPj +
+         double(ev.sharedAccesses) * p.eSharedAccessPj) *
+        kPjToJ;
+
+    // ---- static power --------------------------------------------------------
+    double static_w = p.staticPerSmW * cfg.numSms + p.staticChipW;
+    double codec_static_w = 0;
+    if (usesByteMaskCompression(cfg.mode))
+        codec_static_w = p.codecStaticPerSmW * cfg.numSms;
+    else if (usesBdiCompression(cfg.mode))
+        codec_static_w = p.bdiStaticPerSmW * cfg.numSms;
+    if (usesSingleBankScalarRf(cfg.mode))
+        static_w += p.scalarRfStaticPerSmW * cfg.numSms;
+
+    // ---- assemble -------------------------------------------------------------
+    r.frontendW = fe_j / r.seconds;
+    r.executeW = (alu_j + sfu_j + mem_lane_j) / r.seconds;
+    r.sfuW = sfu_j / r.seconds;
+    r.regFileW = rf_j / r.seconds;
+    r.codecW = codec_dyn_j / r.seconds + codec_static_w;
+    r.memoryW = mem_j / r.seconds;
+    r.staticW = static_w;
+    r.totalW = r.frontendW + r.executeW + r.regFileW + r.codecW +
+               r.memoryW + r.staticW;
+    return r;
+}
+
+RfEnergyBreakdown
+computeRfEnergy(const EventCounts &ev, const EnergyParams &p)
+{
+    RfEnergyBreakdown b;
+    b.baselineJ =
+        double(ev.shadowBaseArrayReads + ev.shadowBaseArrayWrites) *
+        p.eArrayAccessPj * kPjToJ;
+    b.scalarOnlyJ =
+        (double(ev.shadowScalarArrayReads + ev.shadowScalarArrayWrites) *
+             p.eArrayAccessPj +
+         double(ev.shadowScalarRfAccesses) * p.eScalarRfAccessPj) *
+        kPjToJ;
+    b.bdiJ = (double(ev.bdiArrayReads + ev.bdiArrayWrites) *
+                  p.eArrayAccessPj +
+              double(ev.bdiMetaAccesses) * p.eBvrAccessPj) *
+             kPjToJ;
+    b.oursJ =
+        (double(ev.shadowOursArrayReads + ev.shadowOursArrayWrites) *
+             p.eArrayAccessPj +
+         double(ev.shadowOursBvrAccesses) * p.eBvrAccessPj) *
+        kPjToJ;
+    return b;
+}
+
+std::string
+PowerReport::describe() const
+{
+    Table t("Power breakdown");
+    t.row({"component", "watts", "share"});
+    auto add = [&](const char *name, double w) {
+        t.row({name, Table::num(w, 2),
+               Table::pct(totalW > 0 ? w / totalW : 0)});
+    };
+    add("front-end", frontendW);
+    add("execute", executeW);
+    add("  (sfu)", sfuW);
+    add("register file", regFileW);
+    add("codec", codecW);
+    add("memory", memoryW);
+    add("static", staticW);
+    t.row({"total", Table::num(totalW, 2), "100%"});
+    t.row({"IPC", Table::num(ipc, 3), ""});
+    t.row({"IPC/W", Table::num(ipcPerWatt(), 4), ""});
+    return t.str();
+}
+
+} // namespace gs

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * GPUWattch-style event-based energy model. The timing simulator counts
+ * micro-architectural events (EventCounts); this module prices them in
+ * joules and produces per-component power and the IPC/W efficiency
+ * metric of Fig. 11.
+ *
+ * Absolute constants are calibrated, not measured: they are chosen so
+ * the baseline GTX 480-like GPU reproduces GPUWattch's published
+ * component shares (execution units ~24 % and register file ~16 % of
+ * chip power on compute-intensive workloads, SFU ops 3-24x an FP op,
+ * BVR/EBR access 5.2 % of a full vector-register access).
+ */
+
+#ifndef GSCALAR_POWER_ENERGY_MODEL_HPP
+#define GSCALAR_POWER_ENERGY_MODEL_HPP
+
+#include <string>
+
+#include "common/arch_mode.hpp"
+#include "common/config.hpp"
+#include "common/events.hpp"
+
+namespace gs
+{
+
+/** Per-event energies (picojoules) and static power (watts). */
+struct EnergyParams
+{
+    // execution units
+    double eFpLaneOpPj = 34.0;   ///< one FP32 lane op = 1.0 energy units
+    double eMemLanePj = 17.0;    ///< address generation per lane
+
+    // register file
+    double eArrayAccessPj = 40.0; ///< one 128-bit SRAM array activation
+    /** BVR/EBR/flag array: 5.2 % of a full 1024-bit register access. */
+    double eBvrAccessPj = 0.052 * 8 * 40.0;
+    double eScalarRfAccessPj = 24.0; ///< prior-work scalar RF [3]
+    double eCrossbarPerBytePj = 0.7;
+    double eOperandCollectorPj = 10.0;
+
+    // front end
+    double eFrontendPerInstPj = 42.0; ///< fetch + decode + schedule
+
+    // codec (Table 3: 16.22 / 15.86 mW at 1.4 GHz)
+    double eCompressorUsePj = 11.6;
+    double eDecompressorUsePj = 11.3;
+
+    // memory hierarchy
+    double eL1AccessPj = 160.0;
+    double eL2AccessPj = 420.0;
+    double eDramAccessPj = 8000.0;
+    double eSharedAccessPj = 90.0;
+
+    // static / background power (watts)
+    double staticPerSmW = 0.65;
+    double staticChipW = 12.5;        ///< NoC, MCs, L2 background
+    /** Codec leakage only: Table 3's mW figures are switching power at
+     *  1.4 GHz and are already charged per use. */
+    double codecStaticPerSmW = 0.04;
+    /** Prior-work scalar architectures add a dedicated scalar pipeline
+     *  and scalar RF per SM (§1); G-Scalar reuses existing lanes. */
+    double scalarRfStaticPerSmW = 0.21;
+    double bdiStaticPerSmW = 0.09;    ///< W-C codec+interconnect (~2x ours)
+};
+
+/** Power breakdown of one run (watts). */
+struct PowerReport
+{
+    double frontendW = 0;
+    double executeW = 0;  ///< ALU + SFU + MEM lanes
+    double sfuW = 0;      ///< SFU share of executeW (reported separately)
+    double regFileW = 0;  ///< arrays + BVR + scalar RF + crossbar + OC
+    double codecW = 0;    ///< compressor/decompressor dynamic + static
+    double memoryW = 0;   ///< L1 + L2 + DRAM + shared
+    double staticW = 0;
+
+    double totalW = 0;
+    double ipc = 0;
+    double seconds = 0;
+
+    /** The paper's efficiency metric (Fig. 11). */
+    double ipcPerWatt() const { return totalW > 0 ? ipc / totalW : 0; }
+
+    /** Render as an ASCII table. */
+    std::string describe() const;
+};
+
+/** Price the events of one run. */
+PowerReport computePower(const EventCounts &ev, const ArchConfig &cfg,
+                         const EnergyParams &p = {});
+
+/**
+ * Register-file-only dynamic energy (joules) under the four RF schemes
+ * of Fig. 12, computed from the shadow counters of a single run.
+ */
+struct RfEnergyBreakdown
+{
+    double baselineJ = 0;   ///< word-sliced baseline RF
+    double scalarOnlyJ = 0; ///< scalar RF technique [3]
+    double bdiJ = 0;        ///< Warped-Compression [4]
+    double oursJ = 0;       ///< byte-mask compression (this paper)
+};
+
+RfEnergyBreakdown computeRfEnergy(const EventCounts &ev,
+                                  const EnergyParams &p = {});
+
+} // namespace gs
+
+#endif // GSCALAR_POWER_ENERGY_MODEL_HPP

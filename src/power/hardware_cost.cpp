@@ -1,0 +1,164 @@
+#include "hardware_cost.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+/** Routing/wiring overhead on top of raw standard-cell area. */
+constexpr double kRoutingAreaFactor = 1.18;
+/** Wire-delay degradation on top of gate delay. */
+constexpr double kWireDelayFactor = 1.15;
+/** Dynamic power of one flip-flop incl. local clock at 1.4 GHz (uW). */
+constexpr double kFlopPowerUw = 13.0;
+/** Dynamic power of one logic NAND2-equivalent at full activity (uW). */
+constexpr double kLogicPowerUw = 1.4;
+
+struct GateBudget
+{
+    double flops = 0;      ///< flip-flop count
+    double logicGates = 0; ///< NAND2 equivalents excluding flops
+    double levels = 0;     ///< logic depth in NAND2-equivalent levels
+    double activity = 1.0; ///< switching activity of the logic part
+};
+
+BlockCost
+price(const GateBudget &b, const TechParams &t)
+{
+    BlockCost c;
+    c.gates = b.logicGates + b.flops * t.dffNand2Equiv;
+    c.areaUm2 = c.gates * t.nand2AreaUm2 * kRoutingAreaFactor;
+    c.delayNs =
+        t.dffSetupNs + b.levels * t.gateDelayNs * kWireDelayFactor;
+    const double scale = t.clockGhz / 1.4;
+    c.powerMw = (b.flops * kFlopPowerUw +
+                 b.logicGates * kLogicPowerUw * b.activity) *
+                1e-3 * scale;
+    return c;
+}
+
+} // namespace
+
+BlockCost
+compressorCost(const CodecGeometry &g, const TechParams &t)
+{
+    const unsigned lanes = g.lanes;
+    const unsigned bytes = g.bytesPerLane;
+
+    GateBudget b;
+    // (lanes-1) x bytes 8-bit equality comparators: 8 XNOR2 (2 NAND2-eq
+    // each) + a 7-gate AND reduce.
+    const double comparators = double(lanes - 1) * bytes * (8 * 2 + 7);
+    // All-ones detector per byte position: (lanes-2)-gate AND tree.
+    const double all_ones = double(bytes) * (lanes - 2);
+    // Broadcast network for divergent comparison (Fig. 7 (a)): a 2:1
+    // byte mux per lane-byte plus active-lane steering.
+    const double broadcast =
+        double(lanes) * bytes * 8 * 1.2 + double(lanes) * 6;
+    // enc[3:0] priority encoder.
+    const double encoder = 40;
+
+    b.logicGates = comparators + all_ones + broadcast + encoder;
+    b.flops = double(g.pipelineBits) + 36; // data + base/enc pipeline
+    // XNOR (2) + byte AND-tree (3) + broadcast mux (2) + lane AND tree
+    // (log2(lanes) ~ 5) + encode (2) + fan-out buffering (8).
+    b.levels = 22;
+    // Comparator/broadcast outputs toggle far less than the datapath.
+    b.activity = 0.5;
+    return price(b, t);
+}
+
+BlockCost
+decompressorCost(const CodecGeometry &g, const TechParams &t)
+{
+    GateBudget b;
+    // One 2:1 byte-select mux per lane-byte (array byte vs BVR byte).
+    const double muxes = double(g.lanes) * g.bytesPerLane * 8 * 1.2;
+    const double decode = 64; // enc -> per-byte select decode
+    b.logicGates = muxes + decode;
+    b.flops = double(g.pipelineBits);
+    // decode (3) + select (2) + fan-out buffering over 1024 bits (5).
+    b.levels = 10;
+    b.activity = 1.0;
+    return price(b, t);
+}
+
+BlockCost
+bdiCompressorCost(const CodecGeometry &g, const TechParams &t)
+{
+    GateBudget b;
+    // One 32-bit subtractor per lane (~250 NAND2-eq) plus delta-width
+    // detection and a multi-level packing network able to place deltas
+    // of diverse sizes (1/2/4 bytes) at arbitrary byte offsets.
+    const double subtractors = double(g.lanes) * 250;
+    const double detect = 500;
+    const double packing = double(g.pipelineBits) * 3.6;
+    b.logicGates = subtractors + detect + packing;
+    b.flops = double(g.pipelineBits) + 40;
+    b.levels = 30; // carry chains + packing levels
+    b.activity = 0.5;
+    return price(b, t);
+}
+
+SmOverheads
+smOverheads(const TechParams &t)
+{
+    SmOverheads o;
+    const BlockCost comp = compressorCost({}, t);
+    const BlockCost decomp = decompressorCost({}, t);
+    o.codecPowerPerSmW = (o.compressorsPerSm * comp.powerMw +
+                          o.decompressorsPerSm * decomp.powerMw) *
+                         1e-3;
+    o.codecAreaPerSmMm2 = (o.compressorsPerSm * comp.areaUm2 +
+                           o.decompressorsPerSm * decomp.areaUm2) *
+                          1e-6;
+    return o;
+}
+
+std::string
+describeHardwareCost()
+{
+    const BlockCost comp = compressorCost();
+    const BlockCost decomp = decompressorCost();
+    const BlockCost bdi = bdiCompressorCost();
+    const SmOverheads o = smOverheads();
+
+    std::ostringstream os;
+    Table t3("Table 3: codec area, delay and power at 1.4 GHz (40 nm)");
+    t3.row({"", "model", "paper", "", ""});
+    t3.row({"block", "area um^2 / delay ns / power mW",
+            "area um^2 / delay ns / power mW", "", ""});
+    t3.row({"decompressor",
+            Table::num(decomp.areaUm2, 0) + " / " +
+                Table::num(decomp.delayNs, 2) + " / " +
+                Table::num(decomp.powerMw, 2),
+            "7332 / 0.35 / 15.86", "", ""});
+    t3.row({"compressor",
+            Table::num(comp.areaUm2, 0) + " / " +
+                Table::num(comp.delayNs, 2) + " / " +
+                Table::num(comp.powerMw, 2),
+            "11624 / 0.67 / 16.22", "", ""});
+    os << t3.str() << "\n";
+
+    Table ov("Per-SM overheads (Section 5.1)");
+    ov.row({"metric", "model", "paper"});
+    ov.row({"codec power per SM (W)", Table::num(o.codecPowerPerSmW, 2),
+            "0.32 (1.6%)"});
+    ov.row({"codec area per SM (mm^2)",
+            Table::num(o.codecAreaPerSmMm2, 2), "0.16 (0.7%)"});
+    ov.row({"our compressor vs BDI area",
+            Table::pct(comp.areaUm2 / bdi.areaUm2), "52%"});
+    ov.row({"RF area overhead (single/half)",
+            Table::pct(o.rfAreaOverheadSingle) + " / " +
+                Table::pct(o.rfAreaOverheadHalf),
+            "3% / 7%"});
+    os << ov.str();
+    return os.str();
+}
+
+} // namespace gs

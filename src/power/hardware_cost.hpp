@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Structural hardware cost model of the compression logic (Table 3) and
+ * its comparison against the BDI implementation of Warped-Compression.
+ * Gate counts are derived from the circuit structure the paper
+ * describes; the per-gate constants model a commercial 40 nm standard
+ * cell library (NAND2-equivalent area, FO4-style delay, and dynamic
+ * power per gate at 1.4 GHz).
+ */
+
+#ifndef GSCALAR_POWER_HARDWARE_COST_HPP
+#define GSCALAR_POWER_HARDWARE_COST_HPP
+
+#include <string>
+
+namespace gs
+{
+
+/** 40 nm standard-cell technology constants. */
+struct TechParams
+{
+    double nand2AreaUm2 = 0.94;   ///< NAND2-equivalent footprint
+    double dffNand2Equiv = 5.2;   ///< one flip-flop in NAND2 equivalents
+    double gateDelayNs = 0.022;   ///< one NAND2-equivalent logic level
+    double dffSetupNs = 0.08;     ///< register setup + clk->q
+    /** Dynamic power per NAND2-equivalent at 1.4 GHz, typical activity. */
+    double powerPerGateUw = 0.55;
+    double clockGhz = 1.4;
+};
+
+/** Area/delay/power of one synthesized block (Table 3 row). */
+struct BlockCost
+{
+    double gates = 0;    ///< NAND2 equivalents (including flops)
+    double areaUm2 = 0;
+    double delayNs = 0;
+    double powerMw = 0;
+};
+
+/**
+ * Structural parameters of the codec datapath: a 32-lane, 4-byte
+ * register with one 1024-bit pipeline register per block (§5.1).
+ */
+struct CodecGeometry
+{
+    unsigned lanes = 32;
+    unsigned bytesPerLane = 4;
+    unsigned pipelineBits = 1024;
+};
+
+/** Compressor: byte comparators + all-ones reduce + broadcast (Fig. 7). */
+BlockCost compressorCost(const CodecGeometry &g = {},
+                         const TechParams &t = {});
+
+/** Decompressor: per-byte BVR/array select muxes (Fig. 5). */
+BlockCost decompressorCost(const CodecGeometry &g = {},
+                           const TechParams &t = {});
+
+/** BDI compressor of [4]: 32 x 32-bit subtractors + packing network. */
+BlockCost bdiCompressorCost(const CodecGeometry &g = {},
+                            const TechParams &t = {});
+
+/** Per-SM and per-chip overheads (§5.1). */
+struct SmOverheads
+{
+    unsigned decompressorsPerSm = 16; ///< one per operand collector
+    unsigned compressorsPerSm = 4;    ///< one per execution pipeline
+    double codecPowerPerSmW = 0;
+    double codecAreaPerSmMm2 = 0;
+    /** RF area growth from the BVR/EBR/flag arrays (~3 %, 7 % with
+     *  half-register compression). */
+    double rfAreaOverheadSingle = 0.03;
+    double rfAreaOverheadHalf = 0.07;
+};
+
+SmOverheads smOverheads(const TechParams &t = {});
+
+/** Render Table 3 plus the BDI comparison. */
+std::string describeHardwareCost();
+
+} // namespace gs
+
+#endif // GSCALAR_POWER_HARDWARE_COST_HPP

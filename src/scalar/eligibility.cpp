@@ -1,0 +1,144 @@
+#include "eligibility.hpp"
+
+#include "common/bit_utils.hpp"
+#include "common/log.hpp"
+
+namespace gs
+{
+
+std::string_view
+tierName(ScalarTier t)
+{
+    switch (t) {
+      case ScalarTier::None: return "none";
+      case ScalarTier::FullAlu: return "alu-scalar";
+      case ScalarTier::FullSfu: return "sfu-scalar";
+      case ScalarTier::FullMem: return "mem-scalar";
+      case ScalarTier::Half: return "half-scalar";
+      case ScalarTier::Divergent: return "divergent-scalar";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Full-warp scalar: every source register holds one compressed value. */
+bool
+sourcesFullScalar(std::span<const RegMeta> srcs)
+{
+    for (const RegMeta &m : srcs)
+        if (!m.fullScalar())
+            return false;
+    return true;
+}
+
+/** Group-g scalar: every source register's group g is scalar. */
+bool
+sourcesGroupScalar(std::span<const RegMeta> srcs, unsigned g)
+{
+    for (const RegMeta &m : srcs)
+        if (!m.groupScalar(g))
+            return false;
+    return true;
+}
+
+/**
+ * §4.2 check for one divergent source: a register last written
+ * non-divergently must be a full compressed scalar; a register last
+ * written divergently must have enc == 1111 *and* a stored active mask
+ * identical to the current one.
+ */
+bool
+divergentSourceScalar(const RegMeta &m, LaneMask active)
+{
+    if (!m.valid)
+        return false;
+    if (!m.divergent)
+        return m.fullEnc == 4;
+    return m.fullEnc == 4 && m.writeMask == active;
+}
+
+ScalarTier
+fullTierFor(PipeClass pipe)
+{
+    switch (pipe) {
+      case PipeClass::ALU: return ScalarTier::FullAlu;
+      case PipeClass::SFU: return ScalarTier::FullSfu;
+      case PipeClass::MEM: return ScalarTier::FullMem;
+      case PipeClass::CTRL: return ScalarTier::None;
+    }
+    return ScalarTier::None;
+}
+
+} // namespace
+
+Eligibility
+classifyScalar(const Instruction &inst, std::span<const RegMeta> srcs,
+               const EligibilityContext &ctx)
+{
+    Eligibility e;
+
+    const PipeClass pipe = inst.pipe();
+    if (pipe == PipeClass::CTRL || inst.op == Opcode::SMOV)
+        return e; // control handled at issue; SMOV must move the vector
+
+    // S2R of a per-lane special register can never execute scalar.
+    if (inst.op == Opcode::S2R && !ctx.sregUniform)
+        return e;
+
+    GS_ASSERT(ctx.active != 0, "classifying an instruction with no lanes");
+
+    if (ctx.active == ctx.fullMask) {
+        // Non-divergent path: tiers 1-3.
+        if (sourcesFullScalar(srcs) && ctx.predUniform) {
+            e.tier = fullTierFor(pipe);
+            e.scalarGroupMask = (1u << (ctx.warpSize / ctx.granularity)) - 1;
+            return e;
+        }
+        // Half-warp scalar (§4.3): non-divergent only.
+        const unsigned groups = ctx.warpSize / ctx.granularity;
+        unsigned gmask = 0;
+        for (unsigned g = 0; g < groups; ++g) {
+            if (sourcesGroupScalar(srcs, g) &&
+                (ctx.predUniformGroups & (1u << g))) {
+                gmask |= 1u << g;
+            }
+        }
+        if (gmask != 0) {
+            e.tier = ScalarTier::Half;
+            e.scalarGroupMask = gmask;
+        }
+        return e;
+    }
+
+    // Divergent path (§4.2).
+    for (const RegMeta &m : srcs)
+        if (!divergentSourceScalar(m, ctx.active))
+            return e;
+    if (!ctx.predUniform)
+        return e;
+    e.tier = ScalarTier::Divergent;
+    return e;
+}
+
+bool
+tierExploited(ScalarTier tier, ArchMode mode)
+{
+    switch (tier) {
+      case ScalarTier::None:
+        return false;
+      case ScalarTier::FullAlu:
+        return exploitsAluScalar(mode);
+      case ScalarTier::FullSfu:
+      case ScalarTier::FullMem:
+        return exploitsSfuMemScalar(mode);
+      case ScalarTier::Half:
+        return exploitsHalfScalar(mode);
+      case ScalarTier::Divergent:
+        return exploitsDivergentScalar(mode);
+    }
+    return false;
+}
+
+} // namespace gs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Scalar-execution eligibility (§4). Classifies a dynamic instruction
+ * into the tiers of Fig. 9: full-warp ALU scalar (prior work), full
+ * SFU/MEM scalar, half-warp scalar, and divergent scalar — based on the
+ * compression metadata of its source registers and its active mask.
+ */
+
+#ifndef GSCALAR_SCALAR_ELIGIBILITY_HPP
+#define GSCALAR_SCALAR_ELIGIBILITY_HPP
+
+#include <span>
+
+#include "common/arch_mode.hpp"
+#include "common/types.hpp"
+#include "compress/reg_meta.hpp"
+#include "isa/instruction.hpp"
+
+namespace gs
+{
+
+/** Scalar-execution tier of one dynamic instruction (Fig. 9 stack). */
+enum class ScalarTier : std::uint8_t
+{
+    None,     ///< vector execution required
+    FullAlu,  ///< non-divergent ALU, all sources scalar (prior work [3])
+    FullSfu,  ///< non-divergent SFU scalar (G-Scalar)
+    FullMem,  ///< non-divergent memory scalar (G-Scalar)
+    Half,     ///< some 16-lane group scalar, not the full warp (§4.3)
+    Divergent ///< divergent with matching mask & scalar actives (§4.2)
+};
+
+/** Human-readable tier name. */
+std::string_view tierName(ScalarTier t);
+
+/** Classification result. */
+struct Eligibility
+{
+    ScalarTier tier = ScalarTier::None;
+    /**
+     * Bitmask of scalar check groups (bit g = group g can execute on
+     * one lane). Set for Half; for the full and divergent tiers all
+     * groups covering active lanes are implied.
+     */
+    unsigned scalarGroupMask = 0;
+};
+
+/**
+ * Dynamic context needed beyond the instruction encoding.
+ */
+struct EligibilityContext
+{
+    /** Active mask after SIMT stack and guard predicate. */
+    LaneMask active = 0;
+    /** All lanes the warp owns. */
+    LaneMask fullMask = 0;
+    /** Check-group size (16). */
+    unsigned granularity = 16;
+    /** Warp size in lanes. */
+    unsigned warpSize = 32;
+    /**
+     * SEL's predicate source holds one value across active lanes
+     * (true when the instruction has no predicate source).
+     */
+    bool predUniform = true;
+    /**
+     * Per-group predicate uniformity for half-warp checks (bit g set
+     * when the predicate source is uniform within group g).
+     */
+    unsigned predUniformGroups = ~0u;
+    /** S2R source register is warp-uniform (CtaId/NTid/...). */
+    bool sregUniform = true;
+};
+
+/**
+ * Classify one dynamic instruction. @p srcs holds the metadata of its
+ * vector source registers in operand order (numSrcRegs entries).
+ */
+Eligibility classifyScalar(const Instruction &inst,
+                           std::span<const RegMeta> srcs,
+                           const EligibilityContext &ctx);
+
+/** True when @p tier is exploited (executes on one lane) under @p mode. */
+bool tierExploited(ScalarTier tier, ArchMode mode);
+
+} // namespace gs
+
+#endif // GSCALAR_SCALAR_ELIGIBILITY_HPP

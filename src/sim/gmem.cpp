@@ -1,0 +1,63 @@
+#include "gmem.hpp"
+
+#include "common/log.hpp"
+
+namespace gs
+{
+
+GlobalMemory::Page &
+GlobalMemory::page(Addr addr)
+{
+    const Addr key = addr / kPageBytes;
+    auto &slot = pages_[key];
+    if (!slot) {
+        slot = std::make_unique<Page>();
+        slot->fill(0);
+    }
+    return *slot;
+}
+
+const GlobalMemory::Page *
+GlobalMemory::pageIfPresent(Addr addr) const
+{
+    const auto it = pages_.find(addr / kPageBytes);
+    return it == pages_.end() ? nullptr : it->second.get();
+}
+
+Word
+GlobalMemory::readWord(Addr addr) const
+{
+    GS_ASSERT(addr % kBytesPerWord == 0, "unaligned read at ", addr);
+    const Page *p = pageIfPresent(addr);
+    if (!p)
+        return 0;
+    Word w;
+    std::memcpy(&w, p->data() + addr % kPageBytes, sizeof(w));
+    return w;
+}
+
+void
+GlobalMemory::writeWord(Addr addr, Word value)
+{
+    GS_ASSERT(addr % kBytesPerWord == 0, "unaligned write at ", addr);
+    Page &p = page(addr);
+    std::memcpy(p.data() + addr % kPageBytes, &value, sizeof(value));
+}
+
+void
+GlobalMemory::fillWords(Addr addr, const std::vector<Word> &values)
+{
+    for (std::size_t i = 0; i < values.size(); ++i)
+        writeWord(addr + i * kBytesPerWord, values[i]);
+}
+
+std::vector<Word>
+GlobalMemory::readWords(Addr addr, std::size_t count) const
+{
+    std::vector<Word> out(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out[i] = readWord(addr + i * kBytesPerWord);
+    return out;
+}
+
+} // namespace gs

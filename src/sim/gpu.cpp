@@ -1,0 +1,58 @@
+#include "gpu.hpp"
+
+#include <vector>
+
+#include "common/log.hpp"
+#include "sm.hpp"
+
+namespace gs
+{
+
+Gpu::Gpu(const ArchConfig &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+}
+
+EventCounts
+Gpu::launch(const Kernel &kernel, LaunchDims dims)
+{
+    kernel.validate();
+    if (dims.ctas == 0 || dims.threadsPerCta == 0)
+        GS_FATAL("empty launch for kernel '", kernel.name, "'");
+    if (dims.threadsPerCta > cfg_.maxThreadsPerSm)
+        GS_FATAL("CTA of ", dims.threadsPerCta,
+                 " threads exceeds the SM limit");
+
+    MemorySystem memsys(cfg_);
+    CtaDispatcher dispatcher(dims.ctas);
+    const KernelAnalysis analysis = analyzeKernel(kernel);
+
+    std::vector<std::unique_ptr<Sm>> sms;
+    sms.reserve(cfg_.numSms);
+    for (unsigned s = 0; s < cfg_.numSms; ++s)
+        sms.push_back(std::make_unique<Sm>(cfg_, s, kernel, analysis,
+                                           dims, gmem_, memsys,
+                                           dispatcher, tracer_));
+
+    Cycle now = 0;
+    for (; now < cfg_.maxCycles; ++now) {
+        bool all_idle = true;
+        for (auto &sm : sms) {
+            sm->tick(now);
+            all_idle &= sm->idle();
+        }
+        if (all_idle)
+            break;
+    }
+    if (now >= cfg_.maxCycles)
+        GS_WARN("kernel '", kernel.name, "' hit the ", cfg_.maxCycles,
+                "-cycle watchdog; results are partial");
+
+    EventCounts total;
+    for (auto &sm : sms)
+        total += sm->events();
+    total.cycles = now + 1;
+    return total;
+}
+
+} // namespace gs

@@ -1,0 +1,59 @@
+#include "cache.hpp"
+
+#include "common/bit_utils.hpp"
+#include "common/log.hpp"
+
+namespace gs
+{
+
+Cache::Cache(std::size_t bytes, unsigned assoc, unsigned line_bytes)
+    : assoc_(assoc), lineShift_(log2Exact(line_bytes)),
+      sets_(bytes / (std::size_t(assoc) * line_bytes))
+{
+    GS_ASSERT(isPow2(line_bytes), "line size must be a power of two");
+    GS_ASSERT(sets_ > 0, "cache too small for its associativity");
+    ways_.assign(sets_ * assoc_, Way{});
+}
+
+bool
+Cache::access(Addr addr, bool allocate)
+{
+    ++tick_;
+    const Addr line = addr >> lineShift_;
+    const std::size_t set = std::size_t(line) % sets_;
+    Way *base = &ways_[set * assoc_];
+
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            way.lastUse = tick_;
+            return true;
+        }
+    }
+    Way *lru = base;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        Way &way = base[w];
+        if (!way.valid) {
+            lru = &way;
+            break;
+        }
+        if (way.lastUse < lru->lastUse)
+            lru = &way;
+    }
+    if (allocate) {
+        lru->valid = true;
+        lru->tag = line;
+        lru->lastUse = tick_;
+    }
+    return false;
+}
+
+void
+Cache::clear()
+{
+    for (Way &w : ways_)
+        w = Way{};
+    tick_ = 0;
+}
+
+} // namespace gs

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tag-only set-associative cache with LRU replacement. Holds no data —
+ * the functional state lives in GlobalMemory — it exists purely to
+ * decide hit/miss for the timing and energy models.
+ */
+
+#ifndef GSCALAR_SIM_MEMORY_CACHE_HPP
+#define GSCALAR_SIM_MEMORY_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gs
+{
+
+/** Tag-only cache. Addresses are line-aligned byte addresses. */
+class Cache
+{
+  public:
+    /**
+     * @param bytes total capacity
+     * @param assoc ways per set
+     * @param line_bytes line size
+     */
+    Cache(std::size_t bytes, unsigned assoc, unsigned line_bytes);
+
+    /**
+     * Look up @p addr; on miss with @p allocate, victimise LRU and
+     * install the line.
+     * @return true on hit
+     */
+    bool access(Addr addr, bool allocate);
+
+    /** Invalidate everything (kernel boundary). */
+    void clear();
+
+    std::size_t numSets() const { return sets_; }
+
+  private:
+    struct Way
+    {
+        Addr tag = ~Addr{0};
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    unsigned assoc_;
+    unsigned lineShift_;
+    std::size_t sets_;
+    std::uint64_t tick_ = 0;
+    std::vector<Way> ways_; ///< sets_ x assoc_
+};
+
+} // namespace gs
+
+#endif // GSCALAR_SIM_MEMORY_CACHE_HPP

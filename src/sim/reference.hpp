@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Per-thread reference interpreter: executes a kernel one thread at a
+ * time as ordinary sequential code, with barrier-phase synchronisation
+ * for shared memory. For barrier-disciplined kernels (no reliance on
+ * intra-warp lockstep between barriers) it defines the architectural
+ * result the SIMT pipeline must reproduce — the differential-testing
+ * oracle used by the randomized test suite.
+ */
+
+#ifndef GSCALAR_SIM_REFERENCE_HPP
+#define GSCALAR_SIM_REFERENCE_HPP
+
+#include "gmem.hpp"
+#include "isa/kernel.hpp"
+
+namespace gs
+{
+
+/**
+ * Execute @p kernel over the whole grid against @p mem, thread by
+ * thread. CTAs run sequentially; within a CTA, threads advance in
+ * barrier-delimited phases (every thread runs to its next BAR or EXIT
+ * before any thread passes the barrier).
+ */
+void referenceExecute(const Kernel &kernel, LaunchDims dims,
+                      GlobalMemory &mem);
+
+} // namespace gs
+
+#endif // GSCALAR_SIM_REFERENCE_HPP

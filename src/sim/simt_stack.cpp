@@ -1,0 +1,93 @@
+#include "simt_stack.hpp"
+
+#include "common/log.hpp"
+
+namespace gs
+{
+
+void
+SimtStack::reset(int pc, LaneMask mask)
+{
+    stack_.clear();
+    stack_.push_back({pc, mask, -1});
+}
+
+int
+SimtStack::pc() const
+{
+    GS_ASSERT(!stack_.empty(), "pc() on exited warp");
+    return stack_.back().pc;
+}
+
+LaneMask
+SimtStack::activeMask() const
+{
+    GS_ASSERT(!stack_.empty(), "activeMask() on exited warp");
+    return stack_.back().mask;
+}
+
+void
+SimtStack::popConverged()
+{
+    while (!stack_.empty() && stack_.back().reconv >= 0 &&
+           stack_.back().pc == stack_.back().reconv) {
+        stack_.pop_back();
+    }
+}
+
+void
+SimtStack::advance(int next_pc)
+{
+    GS_ASSERT(!stack_.empty(), "advance() on exited warp");
+    stack_.back().pc = next_pc;
+    popConverged();
+}
+
+void
+SimtStack::jump(int target)
+{
+    GS_ASSERT(!stack_.empty(), "jump() on exited warp");
+    stack_.back().pc = target;
+    popConverged();
+}
+
+void
+SimtStack::branch(LaneMask taken, int target, int fallthrough, int reconv)
+{
+    GS_ASSERT(!stack_.empty(), "branch() on exited warp");
+    Entry &top = stack_.back();
+    const LaneMask mask = top.mask;
+    const LaneMask not_taken = mask & ~taken;
+    GS_ASSERT((taken & ~mask) == 0, "taken lanes outside active mask");
+
+    if (taken == 0) {
+        advance(fallthrough);
+        return;
+    }
+    if (not_taken == 0) {
+        jump(target);
+        return;
+    }
+
+    // Divergence: the current entry becomes the reconvergence entry; the
+    // two paths are pushed above it. A path whose start PC already
+    // equals the reconvergence point simply waits in the merged entry.
+    top.pc = reconv;
+    // Keep top.mask: both paths' lanes resume here.
+    if (fallthrough != reconv)
+        stack_.push_back({fallthrough, not_taken, reconv});
+    if (target != reconv)
+        stack_.push_back({target, taken, reconv});
+    popConverged();
+}
+
+void
+SimtStack::exit()
+{
+    GS_ASSERT(!stack_.empty(), "exit() on exited warp");
+    GS_ASSERT(stack_.size() == 1,
+              "EXIT inside divergent control flow is unsupported");
+    stack_.clear();
+}
+
+} // namespace gs

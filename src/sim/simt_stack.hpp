@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-warp SIMT reconvergence stack (immediate post-dominator scheme,
+ * as in GPGPU-Sim). Branch divergence splits the active mask into
+ * taken/fall-through entries that reconverge at the PC the kernel
+ * builder computed.
+ */
+
+#ifndef GSCALAR_SIM_SIMT_STACK_HPP
+#define GSCALAR_SIM_SIMT_STACK_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gs
+{
+
+/**
+ * SIMT stack. The top entry supplies the warp's current PC and active
+ * mask. Entries whose PC reaches their reconvergence PC are popped,
+ * resuming the (superset) entry below.
+ */
+class SimtStack
+{
+  public:
+    /** Reset to a single entry covering @p mask at @p pc. */
+    void reset(int pc, LaneMask mask);
+
+    /** Current PC (top entry). */
+    int pc() const;
+
+    /** Current active mask (top entry). */
+    LaneMask activeMask() const;
+
+    /** Warp has no live entries (exited). */
+    bool empty() const { return stack_.empty(); }
+
+    /** Advance the top entry to the fall-through PC, popping at the
+     *  reconvergence point. */
+    void advance(int next_pc);
+
+    /** Unconditional jump of the whole top entry. */
+    void jump(int target);
+
+    /**
+     * Conditional branch executed by the top entry. @p taken is the
+     * sub-mask branching to @p target; the rest falls through to
+     * @p fallthrough. @p reconv is the immediate post-dominator.
+     * Handles the non-divergent fast paths and the divergent split.
+     */
+    void branch(LaneMask taken, int target, int fallthrough, int reconv);
+
+    /** Terminate the warp (EXIT). */
+    void exit();
+
+    /** Entries currently on the stack (tests/inspection). */
+    std::size_t depth() const { return stack_.size(); }
+
+  private:
+    struct Entry
+    {
+        int pc;
+        LaneMask mask;
+        int reconv; ///< -1: never auto-pops (top-level)
+    };
+
+    void popConverged();
+
+    std::vector<Entry> stack_;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_SIM_SIMT_STACK_HPP

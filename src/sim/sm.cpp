@@ -1,0 +1,911 @@
+#include "sm.hpp"
+
+#include <algorithm>
+
+#include "common/bit_utils.hpp"
+#include "common/log.hpp"
+#include "compress/byte_mask_codec.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+/** Per-SM shared memory capacity (Fermi configures 48 KB). */
+constexpr unsigned kSharedBytesPerSm = 48 * 1024;
+
+} // namespace
+
+Sm::Sm(const ArchConfig &cfg, unsigned sm_id, const Kernel &kernel,
+       const KernelAnalysis &analysis, LaunchDims dims,
+       GlobalMemory &gmem, MemorySystem &memsys,
+       CtaDispatcher &dispatcher, Tracer *tracer)
+    : cfg_(cfg), smId_(sm_id), kernel_(kernel), analysis_(analysis),
+      dims_(dims), tracer_(tracer), gmem_(gmem), memsys_(memsys),
+      dispatcher_(dispatcher),
+      geo_{cfg.warpSize, cfg.checkGranularity},
+      l1_(cfg.l1Bytes, cfg.l1Assoc, cfg.lineBytes)
+{
+    warpsPerCta_ = cfg.warpsPerCta(dims.threadsPerCta);
+
+    unsigned cap = cfg.maxCtasPerSm;
+    cap = std::min(cap, cfg.maxThreadsPerSm / (warpsPerCta_ * cfg.warpSize));
+    if (kernel.numRegs > 0) {
+        const unsigned by_regs =
+            cfg.numVregsPerSm / (warpsPerCta_ * kernel.numRegs);
+        cap = std::min(cap, by_regs);
+    }
+    if (kernel.sharedBytes > 0)
+        cap = std::min(cap, kSharedBytesPerSm / kernel.sharedBytes);
+    if (cap == 0)
+        GS_FATAL("kernel '", kernel.name,
+                 "' does not fit on an SM (regs/threads/shared)");
+    ctaCapacity_ = cap;
+    maxWarps_ = ctaCapacity_ * warpsPerCta_;
+
+    slots_.resize(ctaCapacity_);
+    warps_.resize(maxWarps_);
+    boards_.resize(maxWarps_);
+    warpInFlight_.assign(maxWarps_, 0);
+    oc_.resize(cfg.numCollectors);
+    bankFreeAt_.assign(cfg.numBanks, 0);
+    scalarBankFreeAt_.assign(cfg.scalarRfBanks, 0);
+    l1Mshr_.assign(std::max(cfg.l1MshrEntries, 1u), 0);
+    greedyWarp_.assign(cfg.numSchedulers, 0);
+    rrCursor_.assign(cfg.numSchedulers, 0);
+}
+
+unsigned
+Sm::residentWarps() const
+{
+    unsigned n = 0;
+    for (const CtaSlot &s : slots_)
+        if (s.active)
+            n += s.numWarps;
+    return n;
+}
+
+bool
+Sm::idle() const
+{
+    if (!dispatcher_.exhausted())
+        return false;
+    for (const CtaSlot &s : slots_)
+        if (s.active)
+            return false;
+    if (!wbQueue_.empty())
+        return false;
+    for (const InFlight &f : oc_)
+        if (f.used)
+            return false;
+    return true;
+}
+
+void
+Sm::tick(Cycle now)
+{
+    writeback(now);
+    dispatchReady(now);
+    scheduleIssue(now);
+    retireCtas(now);
+    tryLaunchCtas(now);
+    ++ev_.cycles;
+}
+
+// --------------------------------------------------------------------------
+// CTA lifecycle
+// --------------------------------------------------------------------------
+
+void
+Sm::tryLaunchCtas(Cycle)
+{
+    // At most one CTA per SM per cycle so grids spread round-robin over
+    // the SM array instead of piling onto the first SM.
+    for (unsigned s = 0; s < ctaCapacity_; ++s) {
+        CtaSlot &slot = slots_[s];
+        if (slot.active)
+            continue;
+        const auto cta = dispatcher_.fetch();
+        if (!cta)
+            return;
+
+        slot.active = true;
+        slot.ctaId = *cta;
+        if (tracer_)
+            tracer_->onCtaLaunch(smId_, *cta, ev_.cycles);
+        slot.warpBase = s * warpsPerCta_;
+        slot.numWarps = warpsPerCta_;
+        slot.barrierArrived = 0;
+        slot.shared.assign(std::max(kernel_.sharedBytes / kBytesPerWord,
+                                    1u),
+                           0);
+
+        unsigned threads_left = dims_.threadsPerCta;
+        for (unsigned w = 0; w < warpsPerCta_; ++w) {
+            WarpState &ws = warps_[slot.warpBase + w];
+            const unsigned lanes = std::min(cfg_.warpSize, threads_left);
+            threads_left -= lanes;
+            ws.init(kernel_.numRegs, kernel_.numPreds, cfg_.warpSize,
+                    lanes);
+            ws.ctaSlot = int(s);
+            ws.ctaId = *cta;
+            ws.warpInCta = w;
+            ws.threadBase = w * cfg_.warpSize;
+            boards_[slot.warpBase + w].init(kernel_.numRegs,
+                                            kernel_.numPreds);
+            warpInFlight_[slot.warpBase + w] = 0;
+        }
+        return; // one launch per cycle
+    }
+}
+
+void
+Sm::retireCtas(Cycle)
+{
+    for (CtaSlot &slot : slots_) {
+        if (!slot.active)
+            continue;
+        bool done = true;
+        for (unsigned w = 0; w < slot.numWarps && done; ++w) {
+            const unsigned wi = slot.warpBase + w;
+            if (!warps_[wi].done() || warpInFlight_[wi] != 0)
+                done = false;
+        }
+        if (done) {
+            slot.active = false;
+            for (unsigned w = 0; w < slot.numWarps; ++w)
+                warps_[slot.warpBase + w].ctaSlot = -1;
+            if (tracer_)
+                tracer_->onCtaRetire(smId_, slot.ctaId, ev_.cycles);
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Issue
+// --------------------------------------------------------------------------
+
+void
+Sm::scheduleIssue(Cycle now)
+{
+    for (unsigned s = 0; s < cfg_.numSchedulers; ++s) {
+        bool issued = false;
+        bool saw_ready_warp = false;
+
+        auto tryWarp = [&](unsigned w) -> bool {
+            WarpState &ws = warps_[w];
+            if (ws.ctaSlot < 0 || ws.done() || ws.atBarrier)
+                return false;
+            saw_ready_warp = true;
+            return issueWarp(w, now);
+        };
+
+        if (cfg_.schedPolicy == SchedPolicy::GreedyThenOldest) {
+            const unsigned fav = greedyWarp_[s];
+            if (fav < maxWarps_ && fav % cfg_.numSchedulers == s &&
+                tryWarp(fav)) {
+                issued = true;
+            } else {
+                for (unsigned w = s; w < maxWarps_;
+                     w += cfg_.numSchedulers) {
+                    if (w != fav && tryWarp(w)) {
+                        greedyWarp_[s] = w;
+                        issued = true;
+                        break;
+                    }
+                }
+            }
+        } else {
+            const unsigned count =
+                (maxWarps_ + cfg_.numSchedulers - 1 - s) /
+                cfg_.numSchedulers;
+            for (unsigned k = 0; k < count; ++k) {
+                const unsigned slot_k = (rrCursor_[s] + k) % count;
+                const unsigned w = s + slot_k * cfg_.numSchedulers;
+                if (tryWarp(w)) {
+                    rrCursor_[s] = (slot_k + 1) % count;
+                    issued = true;
+                    break;
+                }
+            }
+        }
+
+        if (!issued) {
+            if (saw_ready_warp)
+                ++ev_.scoreboardStalls;
+            else
+                ++ev_.schedIdleCycles;
+        }
+    }
+}
+
+bool
+Sm::needsSpecialMove(const WarpState &w, const Instruction &inst,
+                     LaneMask mask, int pc) const
+{
+    if (!usesByteMaskCompression(cfg_.mode) || !cfg_.insertSpecialMoves)
+        return false;
+    if (!inst.writesDst())
+        return false;
+    if (mask == w.fullMask() || mask == 0)
+        return false;
+    const RegMeta &m = w.meta(inst.dst);
+    // A compressed destination (some bytes not stored) cannot take a
+    // partial update in place (§3.3).
+    if (!(m.valid && !m.divergent && m.fullEnc > 0))
+        return false;
+    // Compiler-assisted refinement: no move when the inactive lanes'
+    // old value is provably dead.
+    if (cfg_.compilerAssistedSmov &&
+        std::size_t(pc) < analysis_.oldValueDead.size() &&
+        analysis_.oldValueDead[std::size_t(pc)]) {
+        return false;
+    }
+    return true;
+}
+
+int
+Sm::bankOf(unsigned warp, RegIdx reg) const
+{
+    return int((unsigned(reg) + warp) % cfg_.numBanks);
+}
+
+void
+Sm::accountRegRead(const RegMeta &meta, bool reader_divergent,
+                   bool scalar_from_bvr)
+{
+    ++ev_.rfReads;
+    const LaneMask full = laneMaskLow(cfg_.warpSize);
+
+    // ---- Fig. 8 category (read-time classification) ---------------------
+    if (reader_divergent) {
+        ++ev_.rfAccDivergent;
+    } else if (!meta.valid || meta.divergent) {
+        ++ev_.rfAccOther;
+    } else {
+        switch (meta.fullEnc) {
+          case 4: ++ev_.rfAccScalar; break;
+          case 3: ++ev_.rfAcc3Byte; break;
+          case 2: ++ev_.rfAcc2Byte; break;
+          case 1: ++ev_.rfAcc1Byte; break;
+          default: ++ev_.rfAccOther; break;
+        }
+    }
+
+    // ---- shadow accounting: the four RF schemes of Fig. 12 ----------------
+    const AccessCost base = baselineRead(geo_);
+    ev_.shadowBaseArrayReads += base.arrays;
+
+    if (meta.fullScalar())
+        ++ev_.shadowScalarRfAccesses;
+    else
+        ev_.shadowScalarArrayReads += base.arrays;
+
+    const AccessCost ours =
+        compressedRead(geo_, meta, full, cfg_.halfRegisterCompression,
+                       meta.fullScalar());
+    ev_.shadowOursArrayReads += ours.arrays;
+    ev_.shadowOursBvrAccesses += ours.bvr;
+    ev_.shadowOursCrossbarBytes += ours.bytes;
+
+    const AccessCost bdi = bdiRead(geo_, meta, full);
+    ev_.bdiArrayReads += bdi.arrays;
+    ev_.bdiMetaAccesses += bdi.bvr;
+
+    // ---- actual cost under the configured mode -----------------------------
+    AccessCost actual;
+    switch (cfg_.mode) {
+      case ArchMode::Baseline:
+        actual = base;
+        break;
+      case ArchMode::AluScalar:
+        if (meta.fullScalar()) {
+            ++ev_.scalarRfAccesses;
+            actual.bytes = kBytesPerWord;
+        } else {
+            actual = base;
+        }
+        break;
+      case ArchMode::WarpedCompression:
+        actual = bdi;
+        ++ev_.decompressorUses;
+        break;
+      default: // byte-mask compression modes
+        actual = compressedRead(geo_, meta, full,
+                                cfg_.halfRegisterCompression,
+                                scalar_from_bvr);
+        ev_.bvrAccesses += actual.bvr;
+        if (!scalar_from_bvr)
+            ++ev_.decompressorUses;
+        break;
+    }
+    ev_.rfArrayReads += actual.arrays;
+    ev_.crossbarBytes += actual.bytes;
+}
+
+void
+Sm::accountRegWrite(const RegMeta &before, const RegMeta &after,
+                    bool scalar_to_bvr)
+{
+    (void)before;
+    ++ev_.rfWrites;
+    const LaneMask wmask = after.writeMask;
+
+    if (after.affine) {
+        ++ev_.affineWrites;
+        if (after.affineStride != 0)
+            ++ev_.affineNonScalarWrites;
+    }
+
+    // ---- compression-ratio accounting over the write stream ----------------
+    ev_.compBytesUncompressed += geo_.regBytes();
+    ev_.compBytesCompressed +=
+        byteMaskRegStoredBytes(geo_, after, cfg_.halfRegisterCompression);
+    ev_.bdiBytesUncompressed += geo_.regBytes();
+    ev_.bdiBytesCompressed +=
+        after.divergent ? geo_.regBytes() : after.bdiBytes;
+
+    // ---- shadow accounting -------------------------------------------------
+    const AccessCost base = baselineWrite(geo_, wmask);
+    ev_.shadowBaseArrayWrites += base.arrays;
+
+    if (after.fullScalar())
+        ++ev_.shadowScalarRfAccesses;
+    else
+        ev_.shadowScalarArrayWrites += base.arrays;
+
+    const AccessCost ours = compressedWrite(
+        geo_, after, cfg_.halfRegisterCompression, after.fullScalar());
+    ev_.shadowOursArrayWrites += ours.arrays;
+    ev_.shadowOursBvrAccesses += ours.bvr;
+    ev_.shadowOursCrossbarBytes += ours.bytes;
+
+    const AccessCost bdi = bdiWrite(geo_, after);
+    ev_.bdiArrayWrites += bdi.arrays;
+    ev_.bdiMetaAccesses += bdi.bvr;
+
+    // ---- actual cost under the configured mode ------------------------------
+    AccessCost actual;
+    switch (cfg_.mode) {
+      case ArchMode::Baseline:
+        actual = base;
+        break;
+      case ArchMode::AluScalar:
+        if (after.fullScalar() && scalar_to_bvr) {
+            ++ev_.scalarRfAccesses;
+            actual.bytes = kBytesPerWord;
+        } else {
+            actual = base;
+        }
+        break;
+      case ArchMode::WarpedCompression:
+        actual = bdi;
+        ++ev_.compressorUses;
+        break;
+      default:
+        actual = compressedWrite(geo_, after,
+                                 cfg_.halfRegisterCompression,
+                                 scalar_to_bvr);
+        ev_.bvrAccesses += actual.bvr;
+        ++ev_.compressorUses; // comparison logic runs on every write-back
+        break;
+    }
+    ev_.rfArrayWrites += actual.arrays;
+    ev_.crossbarBytes += actual.bytes;
+}
+
+void
+Sm::executeControl(unsigned w, const Instruction &inst, Cycle)
+{
+    WarpState &ws = warps_[w];
+    SimtStack &st = ws.stack();
+    const int pc = st.pc();
+    const LaneMask mask = st.activeMask();
+
+    ++ev_.issuedInsts;
+    ++ev_.warpInsts;
+    ++ev_.ctrlWarpInsts;
+    ev_.threadInsts += popCount(mask);
+    if (mask != ws.fullMask())
+        ++ev_.divergentWarpInsts;
+
+    if (tracer_) {
+        Tracer::IssueEvent te;
+        te.smId = smId_;
+        te.warp = w;
+        te.cycle = ev_.cycles;
+        te.pc = pc;
+        te.inst = &inst;
+        te.mask = mask;
+        tracer_->onIssue(te);
+    }
+
+    switch (inst.op) {
+      case Opcode::BRA: {
+        LaneMask taken = mask;
+        if (inst.guard != kNoPred) {
+            const LaneMask p = ws.pred(inst.guard);
+            taken = (inst.guardNeg ? ~p : p) & mask;
+        }
+        st.branch(taken, inst.target, pc + 1, inst.reconv);
+        break;
+      }
+      case Opcode::JMP:
+        st.jump(inst.target);
+        break;
+      case Opcode::BAR: {
+        GS_ASSERT(ws.ctaSlot >= 0, "barrier on idle warp");
+        CtaSlot &slot = slots_[unsigned(ws.ctaSlot)];
+        ws.atBarrier = true;
+        ++slot.barrierArrived;
+        if (slot.barrierArrived == slot.numWarps) {
+            slot.barrierArrived = 0;
+            for (unsigned i = 0; i < slot.numWarps; ++i) {
+                WarpState &peer = warps_[slot.warpBase + i];
+                peer.atBarrier = false;
+                peer.stack().advance(peer.stack().pc() + 1);
+            }
+        }
+        break;
+      }
+      case Opcode::EXIT:
+        st.exit();
+        break;
+      default:
+        GS_PANIC("not a control opcode: ", opcodeName(inst.op));
+    }
+}
+
+bool
+Sm::issueWarp(unsigned w, Cycle now)
+{
+    WarpState &ws = warps_[w];
+    const int pc = ws.stack().pc();
+    GS_ASSERT(pc >= 0 && std::size_t(pc) < kernel_.code.size(),
+              "pc out of range");
+    const Instruction &real = kernel_.code[std::size_t(pc)];
+
+    if (!boards_[w].ready(real))
+        return false;
+
+    // Control flow executes at issue and uses no collector.
+    if (real.pipe() == PipeClass::CTRL) {
+        executeControl(w, real, now);
+        return true;
+    }
+
+    // Resolve the active mask (SIMT stack + guard predicate).
+    const LaneMask stack_mask = ws.stack().activeMask();
+    LaneMask mask = stack_mask;
+    if (real.guard != kNoPred) {
+        const LaneMask p = ws.pred(real.guard);
+        mask = (real.guardNeg ? ~p : p) & stack_mask;
+    }
+
+    // Fully predicated-off: retires at issue without touching the RF.
+    if (mask == 0) {
+        ++ev_.issuedInsts;
+        ++ev_.warpInsts;
+        ws.stack().advance(pc + 1);
+        return true;
+    }
+
+    // §3.3: a divergent write to a compressed register first needs the
+    // special decompress-in-place move.
+    const bool smov = needsSpecialMove(ws, real, mask, pc);
+
+    // Both the SMOV and the real instruction need a collector.
+    InFlight *slot = nullptr;
+    for (InFlight &f : oc_) {
+        if (!f.used) {
+            slot = &f;
+            break;
+        }
+    }
+    if (!slot) {
+        ++ev_.ocFullStalls;
+        return false;
+    }
+
+    Instruction inst;
+    if (smov) {
+        inst.op = Opcode::SMOV;
+        inst.dst = real.dst;
+        inst.src[0] = real.dst;
+    } else {
+        inst = real;
+    }
+    const LaneMask exec_mask = smov ? ws.fullMask() : mask;
+
+    // ---- eligibility classification (Figs. 1, 9, 10) ---------------------
+    Eligibility elig;
+    bool exec_scalar = false;
+    if (!smov) {
+        std::array<RegMeta, 3> srcs{};
+        const unsigned nsrc = inst.numSrcRegs();
+        for (unsigned i = 0; i < nsrc; ++i)
+            srcs[i] = ws.meta(inst.src[i]);
+
+        EligibilityContext ctx;
+        ctx.active = mask;
+        ctx.fullMask = ws.fullMask();
+        ctx.granularity = cfg_.checkGranularity;
+        ctx.warpSize = cfg_.warpSize;
+        ctx.sregUniform =
+            inst.op != Opcode::S2R || sregIsUniform(inst.sreg);
+        if (inst.psrc != kNoPred) {
+            const LaneMask p = ws.pred(inst.psrc);
+            ctx.predUniform =
+                (p & mask) == 0 || (p & mask) == mask;
+            ctx.predUniformGroups = 0;
+            const unsigned groups = cfg_.warpSize / cfg_.checkGranularity;
+            for (unsigned g = 0; g < groups; ++g) {
+                const LaneMask gm = laneMaskLow(cfg_.checkGranularity)
+                                    << (g * cfg_.checkGranularity);
+                const LaneMask pg = p & gm;
+                if (pg == 0 || pg == gm)
+                    ctx.predUniformGroups |= 1u << g;
+            }
+        }
+
+        elig = classifyScalar(inst, {srcs.data(), nsrc}, ctx);
+        switch (elig.tier) {
+          case ScalarTier::FullAlu: ++ev_.scalarAluEligible; break;
+          case ScalarTier::FullSfu: ++ev_.scalarSfuEligible; break;
+          case ScalarTier::FullMem: ++ev_.scalarMemEligible; break;
+          case ScalarTier::Half: ++ev_.halfScalarEligible; break;
+          case ScalarTier::Divergent:
+            ++ev_.divergentScalarEligible;
+            break;
+          case ScalarTier::None: break;
+        }
+
+        exec_scalar = elig.tier != ScalarTier::None &&
+                      elig.tier != ScalarTier::Half &&
+                      tierExploited(elig.tier, cfg_.mode);
+        // Half-warp scalar execution needs the per-half BVR/EBR sets
+        // (§4.3's half-register compression).
+        const bool exec_half = elig.tier == ScalarTier::Half &&
+                               tierExploited(elig.tier, cfg_.mode) &&
+                               cfg_.halfRegisterCompression;
+        if (exec_scalar)
+            ++ev_.scalarExecuted;
+        if (exec_half)
+            ++ev_.halfScalarExecuted;
+    }
+
+    // ---- functional execution (program order) ------------------------------
+    SregContext sctx;
+    sctx.ctaId = ws.ctaId;
+    sctx.nTid = dims_.threadsPerCta;
+    sctx.nCtaId = dims_.ctas;
+    sctx.warpId = ws.warpInCta;
+    sctx.threadBase = ws.threadBase;
+
+    std::span<Word> shared;
+    if (ws.ctaSlot >= 0 && kernel_.sharedBytes > 0)
+        shared = std::span<Word>(slots_[unsigned(ws.ctaSlot)].shared);
+
+    const ExecResult res =
+        executeFunctional(inst, ws, exec_mask, sctx, gmem_, shared);
+
+    // ---- bookkeeping ---------------------------------------------------------
+    ++ev_.issuedInsts;
+    const unsigned lanes = popCount(exec_mask);
+    if (smov) {
+        ++ev_.specialMoveInsts;
+    } else {
+        ++ev_.warpInsts;
+        ev_.threadInsts += lanes;
+        if (std::size_t(pc) < analysis_.staticScalar.size() &&
+            analysis_.staticScalar[std::size_t(pc)]) {
+            ++ev_.staticScalarInsts;
+        }
+        const bool divergent = mask != ws.fullMask();
+        if (divergent)
+            ++ev_.divergentWarpInsts;
+
+        // Lanes that actually burn execution energy: one for scalar
+        // execution, one per scalar check group for half-warp scalar
+        // execution (§4.3, clock-gating all other lanes), all active
+        // lanes otherwise.
+        unsigned active_lanes = lanes;
+        if (exec_scalar) {
+            active_lanes = 1;
+        } else if (elig.tier == ScalarTier::Half &&
+                   tierExploited(elig.tier, cfg_.mode) &&
+                   cfg_.halfRegisterCompression) {
+            active_lanes = 0;
+            const unsigned groups = cfg_.warpSize / cfg_.checkGranularity;
+            for (unsigned g = 0; g < groups; ++g) {
+                active_lanes += (elig.scalarGroupMask & (1u << g))
+                                    ? 1u
+                                    : cfg_.checkGranularity;
+            }
+        }
+
+        const double eu = traits(inst.op).energyUnits;
+        switch (inst.pipe()) {
+          case PipeClass::ALU:
+            ++ev_.aluWarpInsts;
+            ev_.aluLaneOps += active_lanes;
+            ev_.aluEnergyUnits += eu * active_lanes;
+            break;
+          case PipeClass::SFU:
+            ++ev_.sfuWarpInsts;
+            ev_.sfuLaneOps += active_lanes;
+            ev_.sfuEnergyUnits += eu * active_lanes;
+            break;
+          case PipeClass::MEM:
+            ++ev_.memWarpInsts;
+            ev_.memLaneOps += active_lanes;
+            break;
+          case PipeClass::CTRL:
+            break;
+        }
+    }
+
+    // ---- register read accounting + bank timing -----------------------------
+    ++ev_.ocAllocations;
+    Cycle last_grant = now + 1;
+    const bool reader_divergent = !smov && mask != ws.fullMask();
+    const unsigned nsrc = inst.numSrcRegs();
+    for (unsigned i = 0; i < nsrc; ++i) {
+        const RegMeta &m = ws.meta(inst.src[i]);
+        const bool from_bvr = exec_scalar && !smov &&
+                              elig.tier != ScalarTier::Divergent &&
+                              usesByteMaskCompression(cfg_.mode) &&
+                              m.fullScalar();
+        accountRegRead(m, reader_divergent, from_bvr);
+
+        if (from_bvr)
+            continue; // BVR banklets: no main-port contention (§4.1)
+
+        if (cfg_.mode == ArchMode::AluScalar && m.fullScalar()) {
+            // Single-bank scalar RF: the §4.1 bottleneck.
+            auto it = std::min_element(scalarBankFreeAt_.begin(),
+                                       scalarBankFreeAt_.end());
+            const Cycle grant = std::max(*it, now) + 1;
+            if (*it > now)
+                ev_.scalarBankStalls += unsigned(*it - now);
+            *it = grant;
+            last_grant = std::max(last_grant, grant);
+            continue;
+        }
+
+        const int bank = bankOf(w, inst.src[i]);
+        Cycle &free_at = bankFreeAt_[unsigned(bank)];
+        const Cycle grant = std::max(free_at, now) + 1;
+        free_at = grant;
+        last_grant = std::max(last_grant, grant);
+    }
+
+    // ---- destination write (functional now, energy accounted now) ----------
+    if (inst.writesDst()) {
+        const RegMeta before = ws.meta(inst.dst);
+        auto dstvals = ws.regValues(inst.dst);
+        for (unsigned lane = 0; lane < cfg_.warpSize; ++lane)
+            if (res.writeMask & (LaneMask{1} << lane))
+                dstvals[lane] = res.dst[lane];
+
+        RegMeta after = analyzeWrite(dstvals, res.writeMask, ws.fullMask(),
+                                     cfg_.checkGranularity);
+        if (smov) {
+            // Stored raw after the special move; the imminent divergent
+            // write will set D properly. Mark raw via the D bit.
+            after.divergent = true;
+        }
+        const bool to_bvr = exec_scalar && !smov &&
+                            elig.tier != ScalarTier::Divergent &&
+                            usesByteMaskCompression(cfg_.mode) &&
+                            after.fullScalar();
+        const bool scalar_rf_write =
+            exec_scalar && cfg_.mode == ArchMode::AluScalar;
+        accountRegWrite(before, after, to_bvr || scalar_rf_write);
+        ws.meta(inst.dst) = after;
+    }
+
+    // ---- create the in-flight packet ------------------------------------------
+    slot->used = true;
+    slot->warp = w;
+    slot->inst = inst;
+    slot->mask = exec_mask;
+    slot->isSmov = smov;
+    slot->dispatched = false;
+    slot->execScalar = exec_scalar;
+    slot->scalarGroupMask = elig.scalarGroupMask;
+    slot->memLines.clear();
+    slot->isStore = isStore(inst.op);
+    slot->isShared = inst.op == Opcode::LDS || inst.op == Opcode::STS;
+    if (inst.pipe() == PipeClass::MEM) {
+        if (slot->isShared) {
+            ++ev_.sharedAccesses;
+            // Bank conflict degree: distinct words per bank, maximised
+            // over banks; identical words broadcast conflict-free.
+            std::vector<std::pair<unsigned, Addr>> uniq;
+            for (unsigned lane = 0; lane < cfg_.warpSize; ++lane) {
+                if (!(exec_mask & (LaneMask{1} << lane)))
+                    continue;
+                const Addr word = res.addrs[lane] / kBytesPerWord;
+                const unsigned bank = unsigned(word % cfg_.sharedBanks);
+                if (std::find(uniq.begin(), uniq.end(),
+                              std::make_pair(bank, word)) == uniq.end())
+                    uniq.emplace_back(bank, word);
+            }
+            unsigned degree = 1;
+            std::array<unsigned, kMaxWarpSize> per_bank{};
+            for (const auto &[bank, word] : uniq)
+                degree = std::max(degree, ++per_bank[bank]);
+            slot->sharedConflictDegree = degree;
+        } else {
+            slot->memLines =
+                coalesce(res.addrs, exec_mask, cfg_.lineBytes);
+            ev_.memRequests += slot->memLines.size();
+        }
+    }
+
+    if (tracer_) {
+        Tracer::IssueEvent te;
+        te.smId = smId_;
+        te.warp = w;
+        te.cycle = now;
+        te.pc = pc;
+        te.inst = &kernel_.code[std::size_t(pc)];
+        te.mask = exec_mask;
+        te.tier = elig.tier;
+        te.execScalar = exec_scalar;
+        te.isSpecialMove = smov;
+        tracer_->onIssue(te);
+    }
+
+    const unsigned extra_front =
+        usesByteMaskCompression(cfg_.mode) || usesBdiCompression(cfg_.mode)
+            ? 2u  // EBR read + decompress stages (§5.1)
+            : 0u;
+    slot->collectDone =
+        std::max<Cycle>(last_grant, now + 1) + extra_front;
+
+    boards_[w].reserve(inst);
+    ++warpInFlight_[w];
+
+    if (!smov)
+        ws.stack().advance(pc + 1);
+    return true;
+}
+
+// --------------------------------------------------------------------------
+// Dispatch & write-back
+// --------------------------------------------------------------------------
+
+unsigned
+Sm::occupancyCycles(const InFlight &f) const
+{
+    if (f.execScalar && cfg_.scalarShortensOccupancy)
+        return 1; // §6: a scalar instruction can issue in one cycle
+    const unsigned width =
+        f.inst.pipe() == PipeClass::SFU ? cfg_.sfuWidth : cfg_.simtWidth;
+    return cfg_.dispatchCycles(width);
+}
+
+Cycle
+Sm::memoryCompletion(InFlight &f, Cycle start)
+{
+    if (f.isShared) {
+        // Bank conflicts serialise the access (§2.1-style shared
+        // memory; degree computed from per-lane word addresses).
+        const unsigned extra = f.sharedConflictDegree - 1;
+        ev_.sharedBankConflicts += extra;
+        return start + cfg_.sharedLatency + extra;
+    }
+
+    Cycle done = start + 1;
+    for (const Addr line : f.memLines) {
+        // Non-blocking L1: the tag port is held for one cycle per
+        // access; misses park in an MSHR without blocking later hits.
+        const Cycle inject = std::max(l1PortFreeAt_, start) + 1;
+        l1PortFreeAt_ = inject;
+        ++ev_.l1Accesses;
+        const bool hit = l1_.access(line, /*allocate=*/!f.isStore);
+        Cycle d;
+        if (hit) {
+            d = inject + cfg_.l1Latency;
+        } else {
+            ++ev_.l1Misses;
+            // A free MSHR entry gates when the miss reaches the
+            // hierarchy.
+            auto slot =
+                std::min_element(l1Mshr_.begin(), l1Mshr_.end());
+            Cycle issue = inject;
+            if (*slot > issue) {
+                ev_.mshrStallCycles += unsigned(*slot - issue);
+                issue = *slot;
+            }
+            d = memsys_.access(line, f.isStore, issue + cfg_.l1Latency,
+                               ev_);
+            *slot = f.isStore ? issue + 1 : d;
+        }
+        if (f.isStore)
+            d = inject + 1; // write-through: do not wait for the line
+        done = std::max(done, d);
+    }
+    return done;
+}
+
+void
+Sm::dispatchReady(Cycle now)
+{
+    const unsigned n = unsigned(oc_.size());
+    for (unsigned k = 0; k < n; ++k) {
+        InFlight &f = oc_[(ocRotate_ + k) % n];
+        if (!f.used || f.collectDone > now)
+            continue;
+
+        Pipe *pipe = nullptr;
+        switch (f.inst.pipe()) {
+          case PipeClass::ALU:
+            if (alu0_.freeAt <= now)
+                pipe = &alu0_;
+            else if (alu1_.freeAt <= now)
+                pipe = &alu1_;
+            break;
+          case PipeClass::SFU:
+            if (sfu_.freeAt <= now)
+                pipe = &sfu_;
+            break;
+          case PipeClass::MEM:
+            if (mem_.freeAt <= now)
+                pipe = &mem_;
+            break;
+          case PipeClass::CTRL:
+            GS_PANIC("control instruction in a collector");
+        }
+        if (!pipe) {
+            ++ev_.pipeBusyStalls;
+            continue;
+        }
+
+        const unsigned occ = occupancyCycles(f);
+        pipe->freeAt = now + occ;
+
+        const unsigned extra_wb = cfg_.extraCycles() > 0 ? 1u : 0u;
+        Cycle wb;
+        if (f.inst.pipe() == PipeClass::MEM) {
+            wb = memoryCompletion(f, now + occ);
+        } else {
+            unsigned lat = cfg_.aluLatency;
+            switch (traits(f.inst.op).lat) {
+              case LatClass::Simple: lat = cfg_.aluLatency; break;
+              case LatClass::Mul: lat = cfg_.mulLatency; break;
+              case LatClass::Div: lat = cfg_.divLatency; break;
+              case LatClass::Sfu: lat = cfg_.sfuLatency; break;
+              default: break;
+            }
+            wb = now + occ + lat;
+        }
+        f.wbAt = wb + extra_wb;
+        f.dispatched = true;
+        wbQueue_.push_back(std::move(f));
+        f = InFlight{}; // free the collector slot
+    }
+    ocRotate_ = (ocRotate_ + 1) % n;
+}
+
+void
+Sm::writeback(Cycle now)
+{
+    for (std::size_t i = 0; i < wbQueue_.size();) {
+        InFlight &f = wbQueue_[i];
+        if (f.wbAt <= now) {
+            boards_[f.warp].release(f.inst);
+            GS_ASSERT(warpInFlight_[f.warp] > 0, "in-flight underflow");
+            --warpInFlight_[f.warp];
+            wbQueue_[i] = std::move(wbQueue_.back());
+            wbQueue_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+}
+
+} // namespace gs

@@ -1,0 +1,39 @@
+#include "trace.hpp"
+
+#include <iomanip>
+
+namespace gs
+{
+
+void
+TextTracer::onIssue(const IssueEvent &e)
+{
+    os_ << std::setw(8) << e.cycle << " sm" << e.smId << " w"
+        << std::setw(2) << e.warp << " pc" << std::setw(3) << e.pc
+        << " mask=" << std::hex << std::setw(8) << std::setfill('0')
+        << (e.mask & 0xffffffffull) << std::setfill(' ') << std::dec
+        << "  " << (e.inst ? e.inst->toString() : "?");
+    if (e.isSpecialMove)
+        os_ << "  [special-move]";
+    else if (e.execScalar)
+        os_ << "  [scalar:" << tierName(e.tier) << "]";
+    else if (e.tier != ScalarTier::None)
+        os_ << "  [eligible:" << tierName(e.tier) << "]";
+    os_ << "\n";
+}
+
+void
+TextTracer::onCtaLaunch(unsigned sm_id, unsigned cta_id, Cycle now)
+{
+    os_ << std::setw(8) << now << " sm" << sm_id << " launch cta"
+        << cta_id << "\n";
+}
+
+void
+TextTracer::onCtaRetire(unsigned sm_id, unsigned cta_id, Cycle now)
+{
+    os_ << std::setw(8) << now << " sm" << sm_id << " retire cta"
+        << cta_id << "\n";
+}
+
+} // namespace gs

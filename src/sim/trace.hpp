@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Execution tracing hooks. A Tracer attached to the GPU observes every
+ * issued instruction (with its mask and scalar-execution decision) and
+ * CTA lifecycle events — the debugging workflow gem5-style simulators
+ * rely on.
+ */
+
+#ifndef GSCALAR_SIM_TRACE_HPP
+#define GSCALAR_SIM_TRACE_HPP
+
+#include <ostream>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "scalar/eligibility.hpp"
+
+namespace gs
+{
+
+/** Observer of simulation events. All callbacks are optional. */
+class Tracer
+{
+  public:
+    virtual ~Tracer() = default;
+
+    struct IssueEvent
+    {
+        unsigned smId = 0;
+        unsigned warp = 0;
+        Cycle cycle = 0;
+        int pc = 0;
+        const Instruction *inst = nullptr;
+        LaneMask mask = 0;
+        ScalarTier tier = ScalarTier::None;
+        bool execScalar = false;
+        bool isSpecialMove = false;
+    };
+
+    /** An instruction (or special move) issued. */
+    virtual void onIssue(const IssueEvent &) {}
+    /** A CTA began executing on an SM. */
+    virtual void onCtaLaunch(unsigned sm_id, unsigned cta_id, Cycle now)
+    {
+        (void)sm_id;
+        (void)cta_id;
+        (void)now;
+    }
+    /** A CTA finished. */
+    virtual void onCtaRetire(unsigned sm_id, unsigned cta_id, Cycle now)
+    {
+        (void)sm_id;
+        (void)cta_id;
+        (void)now;
+    }
+};
+
+/** Tracer printing one line per event to a stream. */
+class TextTracer : public Tracer
+{
+  public:
+    explicit TextTracer(std::ostream &os) : os_(os) {}
+
+    void onIssue(const IssueEvent &e) override;
+    void onCtaLaunch(unsigned sm_id, unsigned cta_id,
+                     Cycle now) override;
+    void onCtaRetire(unsigned sm_id, unsigned cta_id,
+                     Cycle now) override;
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_SIM_TRACE_HPP

@@ -1,0 +1,54 @@
+#include "warp_state.hpp"
+
+namespace gs
+{
+
+void
+WarpState::init(unsigned num_regs, unsigned num_preds, unsigned warp_size,
+                unsigned lanes)
+{
+    GS_ASSERT(lanes > 0 && lanes <= warp_size, "bad lane count ", lanes);
+    numRegs_ = num_regs;
+    numPreds_ = num_preds;
+    warpSize_ = warp_size;
+    fullMask_ = laneMaskLow(lanes);
+
+    regs_.assign(std::size_t(num_regs) * warp_size, 0);
+    meta_.assign(num_regs, RegMeta{});
+    preds_.assign(num_preds, 0);
+    stack_.reset(0, fullMask_);
+    atBarrier = false;
+}
+
+std::span<Word>
+WarpState::regValues(RegIdx r)
+{
+    const unsigned idx = checkReg(r);
+    return {regs_.data() + std::size_t(idx) * warpSize_, warpSize_};
+}
+
+std::span<const Word>
+WarpState::regValues(RegIdx r) const
+{
+    const unsigned idx = checkReg(r);
+    return {regs_.data() + std::size_t(idx) * warpSize_, warpSize_};
+}
+
+LaneMask
+WarpState::pred(PredIdx p) const
+{
+    GS_ASSERT(p >= 0 && unsigned(p) < numPreds_, "predicate p", p,
+              " out of range");
+    return preds_[unsigned(p)];
+}
+
+void
+WarpState::setPred(PredIdx p, LaneMask lanes_true, LaneMask written)
+{
+    GS_ASSERT(p >= 0 && unsigned(p) < numPreds_, "predicate p", p,
+              " out of range");
+    LaneMask &v = preds_[unsigned(p)];
+    v = (v & ~written) | (lanes_true & written);
+}
+
+} // namespace gs

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Architectural state of one warp: vector register values, predicate
+ * registers (stored as lane masks), the SIMT stack, and CTA membership.
+ */
+
+#ifndef GSCALAR_SIM_WARP_STATE_HPP
+#define GSCALAR_SIM_WARP_STATE_HPP
+
+#include <span>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+#include "compress/reg_meta.hpp"
+#include "isa/instruction.hpp"
+#include "simt_stack.hpp"
+
+namespace gs
+{
+
+/** One warp's architectural and micro-architectural state. */
+class WarpState
+{
+  public:
+    /**
+     * (Re)initialise for a launch.
+     *
+     * @param num_regs  vector registers per thread
+     * @param num_preds predicate registers per thread
+     * @param warp_size lanes
+     * @param lanes     lanes actually populated with threads (the last
+     *                  warp of a CTA may be partial)
+     */
+    void init(unsigned num_regs, unsigned num_preds, unsigned warp_size,
+              unsigned lanes);
+
+    /** All lanes this warp owns (partial for the last warp of a CTA). */
+    LaneMask fullMask() const { return fullMask_; }
+
+    unsigned warpSize() const { return warpSize_; }
+
+    /** Value span of register @p r (warpSize words). */
+    std::span<Word> regValues(RegIdx r);
+    std::span<const Word> regValues(RegIdx r) const;
+
+    /** Compression metadata of register @p r. */
+    RegMeta &meta(RegIdx r) { return meta_[checkReg(r)]; }
+    const RegMeta &meta(RegIdx r) const { return meta_[checkReg(r)]; }
+
+    /** Predicate register @p p as a lane mask. */
+    LaneMask pred(PredIdx p) const;
+    void setPred(PredIdx p, LaneMask lanes_true, LaneMask written);
+
+    /** SIMT reconvergence stack. */
+    SimtStack &stack() { return stack_; }
+    const SimtStack &stack() const { return stack_; }
+
+    /** Warp finished (EXIT executed). */
+    bool done() const { return stack_.empty(); }
+
+    // ---- identity within the SM (set by the CTA dispatcher) ------------
+    int ctaSlot = -1;      ///< hardware CTA slot on the SM (-1: idle)
+    unsigned ctaId = 0;    ///< logical CTA index in the grid
+    unsigned warpInCta = 0;///< warp index within the CTA
+    unsigned threadBase = 0; ///< first thread id of this warp in the CTA
+    bool atBarrier = false;
+
+  private:
+    unsigned
+    checkReg(RegIdx r) const
+    {
+        GS_ASSERT(r >= 0 && unsigned(r) < numRegs_, "register r", r,
+                  " out of range");
+        return unsigned(r);
+    }
+
+    unsigned numRegs_ = 0;
+    unsigned numPreds_ = 0;
+    unsigned warpSize_ = 0;
+    LaneMask fullMask_ = 0;
+
+    std::vector<Word> regs_;      ///< numRegs x warpSize values
+    std::vector<RegMeta> meta_;   ///< numRegs entries
+    std::vector<LaneMask> preds_; ///< numPreds lane masks
+    SimtStack stack_;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_SIM_WARP_STATE_HPP

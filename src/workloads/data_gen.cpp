@@ -1,0 +1,73 @@
+#include "data_gen.hpp"
+
+#include <bit>
+
+namespace gs
+{
+
+std::vector<Word>
+uniformWords(std::size_t n, Word value)
+{
+    return std::vector<Word>(n, value);
+}
+
+std::vector<Word>
+clusteredInts(std::size_t n, Word base, unsigned range, Rng &rng)
+{
+    std::vector<Word> v(n);
+    for (auto &w : v)
+        w = base + Word(rng.below(range));
+    return v;
+}
+
+std::vector<Word>
+clusteredFloats(std::size_t n, float center, float spread, Rng &rng)
+{
+    std::vector<Word> v(n);
+    for (auto &w : v) {
+        const float f =
+            center * (1.0f + spread * (2.0f * float(rng.uniform()) - 1.0f));
+        w = std::bit_cast<Word>(f);
+    }
+    return v;
+}
+
+std::vector<Word>
+rampInts(std::size_t n, Word base, Word step)
+{
+    std::vector<Word> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = base + Word(i) * step;
+    return v;
+}
+
+std::vector<Word>
+randomWords(std::size_t n, Rng &rng)
+{
+    std::vector<Word> v(n);
+    for (auto &w : v)
+        w = rng.next32();
+    return v;
+}
+
+std::vector<Word>
+randomFloats(std::size_t n, float lo, float hi, Rng &rng)
+{
+    std::vector<Word> v(n);
+    for (auto &w : v) {
+        const float f = lo + (hi - lo) * float(rng.uniform());
+        w = std::bit_cast<Word>(f);
+    }
+    return v;
+}
+
+std::vector<Word>
+bernoulliFlags(std::size_t n, double p, Rng &rng)
+{
+    std::vector<Word> v(n);
+    for (auto &w : v)
+        w = rng.chance(p) ? 1u : 0u;
+    return v;
+}
+
+} // namespace gs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Input-data generators for the synthetic benchmarks. The cross-lane
+ * value similarity of loaded data is what drives the compression and
+ * scalar-eligibility results, so each generator targets one similarity
+ * class: uniform (scalar), clustered (top-byte similar), ramp
+ * (address-like) or random (incompressible).
+ */
+
+#ifndef GSCALAR_WORKLOADS_DATA_GEN_HPP
+#define GSCALAR_WORKLOADS_DATA_GEN_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace gs
+{
+
+/** Device-memory layout shared by all workloads. */
+namespace layout
+{
+/** Uniform kernel parameters (scalar values). */
+inline constexpr Addr kParams = 0x1000;
+/** Primary input array. */
+inline constexpr Addr kArrayA = 0x100000;
+/** Secondary input array. */
+inline constexpr Addr kArrayB = 0x400000;
+/** Tertiary input array. */
+inline constexpr Addr kArrayC = 0x700000;
+/** Output array. */
+inline constexpr Addr kOutput = 0xa00000;
+} // namespace layout
+
+/** n copies of the same word (scalar loads). */
+std::vector<Word> uniformWords(std::size_t n, Word value);
+
+/** Integers base + delta with |delta| < range (top bytes similar). */
+std::vector<Word> clusteredInts(std::size_t n, Word base, unsigned range,
+                                Rng &rng);
+
+/** Floats uniformly in [center*(1-spread), center*(1+spread)] — nearby
+ *  magnitudes share exponent and mantissa MSBs. */
+std::vector<Word> clusteredFloats(std::size_t n, float center,
+                                  float spread, Rng &rng);
+
+/** base, base+step, base+2*step, ... (address-like ramps). */
+std::vector<Word> rampInts(std::size_t n, Word base, Word step);
+
+/** Fully random words (incompressible). */
+std::vector<Word> randomWords(std::size_t n, Rng &rng);
+
+/** Random floats in [lo, hi]. */
+std::vector<Word> randomFloats(std::size_t n, float lo, float hi,
+                               Rng &rng);
+
+/** 0/1 flags, each 1 with probability @p p (divergence masks). */
+std::vector<Word> bernoulliFlags(std::size_t n, double p, Rng &rng);
+
+} // namespace gs
+
+#endif // GSCALAR_WORKLOADS_DATA_GEN_HPP

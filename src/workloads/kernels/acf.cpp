@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ACF (tpacf, Parboil). Two-point angular correlation: a dot product
+ * per pair, then a data-dependent binning loop against warp-uniform bin
+ * edges — divergent iterations on scalar values.
+ */
+
+#include <bit>
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 150;
+constexpr unsigned kPairs = 10;
+constexpr unsigned kBins = 7;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("acf_binning");
+
+    const Reg gtid = emitGlobalTid(kb);
+    const Reg edge0 = emitParamLoad(kb, 0); // first bin edge (scalar)
+    const Reg scale = emitParamLoad(kb, 1); // edge ratio (scalar)
+
+    const Reg xaddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg x = kb.reg();
+    kb.ldg(x, xaddr);
+
+    const Reg hist = kb.reg();
+    kb.movi(hist, 0);
+
+    const Reg yaddr = kb.reg();
+    const Reg y = kb.reg();
+    const Reg dot = kb.reg();
+    const Reg edge = kb.reg();
+    const Reg b = kb.reg();
+    const Reg bi = kb.reg();
+    const Pred below = kb.pred();
+
+    const Reg pidx = kb.reg();
+    kb.forRangeI(pidx, 0, kPairs, [&] {
+        kb.shli(yaddr, pidx, 2);                    // scalar ALU
+        kb.iaddi(yaddr, yaddr, Word(layout::kArrayB));
+        kb.ldg(y, yaddr);                           // scalar memory
+        kb.fmul(dot, x, y);                         // vector
+
+        // Walk the bin edges; a lane keeps climbing only while its dot
+        // product is below the current (warp-uniform) edge, so the body
+        // runs divergently on scalar values.
+        kb.mov(edge, edge0);                        // scalar ALU
+        kb.movi(b, 0);
+        kb.forRangeI(bi, 0, kBins, [&] {
+            kb.fsetp(below, CmpOp::LT, dot, edge);
+            kb.ifThen(below, [&] {
+                kb.fmul(edge, edge, scale); // divergent scalar
+                kb.fadd(edge, edge, edge0); // divergent scalar
+                kb.iaddi(b, b, 1);          // divergent vector
+            });
+        });
+        kb.iadd(hist, hist, b); // vector
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, hist);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeACF()
+{
+    Workload w;
+    w.name = "ACF";
+    w.fullName = "tpacf";
+    w.suite = "parboil";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0xaf);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams,
+                      {std::bit_cast<Word>(0.02f),
+                       std::bit_cast<Word>(1.7f)});
+        mem.fillWords(layout::kArrayA,
+                      randomFloats(threads, 0.0f, 1.0f, rng));
+        mem.fillWords(layout::kArrayB,
+                      randomFloats(kPairs, 0.0f, 1.0f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

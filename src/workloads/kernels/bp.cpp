@@ -1,0 +1,98 @@
+/**
+ * @file
+ * BP (backprop, Rodinia). The paper singles this benchmark out: each
+ * thread computes 2.0^n in a loop (EX2 on a warp-uniform exponent, so
+ * every SFU instruction is scalar), ~14 % of dynamic instructions are
+ * SFU, and 12 % of instructions are half-warp scalar (per-16-lane
+ * uniform layer weights).
+ */
+
+#include <bit>
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 240;
+constexpr unsigned kIters = 24;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("bp_layer");
+
+    const Reg gtid = emitGlobalTid(kb);
+
+    // Per-thread connection weight (clustered floats).
+    const Reg waddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg w = kb.reg();
+    kb.ldg(w, waddr);
+
+    // Per-16-thread-group layer value: every lane of a check group
+    // loads the same address, making it a half-warp scalar source.
+    const Reg gid = kb.reg();
+    kb.shri(gid, gtid, 4);
+    const Reg haddr = emitWordAddr(kb, gid, layout::kArrayB);
+    const Reg hval = kb.reg();
+    kb.ldg(hval, haddr);
+
+    const Reg rate = emitParamLoad(kb, 0); // learning rate (scalar)
+
+    const Reg acc = kb.reg();
+    const Reg hacc = kb.reg();
+    const Reg fi = kb.reg();
+    const Reg e = kb.reg();
+    const Reg g = kb.reg();
+    const Reg we = kb.reg();
+    kb.movf(acc, 0.0f);
+    kb.mov(hacc, hval);
+
+    const Reg i = kb.reg();
+    kb.forRangeI(i, 0, kIters, [&] {
+        kb.emit1(Opcode::I2F, fi, i);      // scalar ALU
+        kb.emit1(Opcode::EX2, e, fi);      // scalar SFU: 2.0^i
+        kb.fmul(g, rate, e);               // scalar ALU
+        kb.emit1(Opcode::RCP, g, g);       // scalar SFU: 1/(rate*2^i)
+        kb.ffma(acc, w, e, acc);           // vector FMA
+        kb.fmul(we, w, g);                 // vector
+        kb.fmul(hacc, hacc, e);            // half-warp scalar
+        kb.fadd(hacc, hacc, hval);         // half-warp scalar
+        kb.fadd(acc, acc, we);             // vector
+    });
+
+    const Reg out = kb.reg();
+    kb.fadd(out, acc, hacc);
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, out);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeBP()
+{
+    Workload w;
+    w.name = "BP";
+    w.fullName = "backprop";
+    w.suite = "rodinia";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0xb9);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams, {std::bit_cast<Word>(0.05f)});
+        mem.fillWords(layout::kArrayA,
+                      clusteredFloats(threads, 0.37f, 0.05f, rng));
+        mem.fillWords(layout::kArrayB,
+                      randomFloats(threads / 16 + 1, 0.9f, 1.1f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * BT (b+tree, Rodinia). Batched key search: every query starts at the
+ * shared root (scalar loads of node keys), then paths diverge as
+ * per-thread keys choose different children.
+ */
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 150;
+constexpr unsigned kLevels = 10;
+constexpr unsigned kNodes = 2048;   ///< nodes per level (wraps)
+constexpr unsigned kFanout = 4;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("bt_search");
+
+    const Reg gtid = emitGlobalTid(kb);
+
+    const Reg qaddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg key = kb.reg();
+    kb.ldg(key, qaddr);
+
+    const Reg node = kb.reg();
+    kb.movi(node, 0); // all queries start at the root (scalar)
+
+    const Reg naddr = kb.reg();
+    const Reg pivot = kb.reg();
+    const Reg child = kb.reg();
+    const Reg adj = kb.reg();
+    const Reg found = kb.reg();
+    kb.movi(found, 0);
+    kb.movi(adj, 1);
+    const Pred goRight = kb.pred();
+
+    const Reg lvl = kb.reg();
+    kb.forRangeI(lvl, 0, kLevels, [&] {
+        // Load this node's pivot. At the root every lane reads the same
+        // address (scalar memory); deeper levels scatter.
+        kb.shli(naddr, node, 2);                    // starts scalar
+        kb.iaddi(naddr, naddr, Word(layout::kArrayB));
+        kb.ldg(pivot, naddr);
+
+        // Choose the child: left or right half of the fanout.
+        kb.isetp(goRight, CmpOp::GT, key, pivot);
+        kb.imuli(child, node, kFanout);
+        kb.iaddi(child, child, 1);
+        // The taken/not-taken paths update only divergently-written
+        // registers (adj, found), so no decompress move is needed once
+        // their D bits are set.
+        kb.ifElse(
+            goRight,
+            [&] {
+                kb.iaddi(adj, child, 2);        // divergent vector
+                kb.iaddi(found, found, 1);      // divergent vector
+                kb.iadd(adj, adj, found);       // divergent vector
+                kb.imuli(found, found, 3);      // divergent vector
+                kb.andi(found, found, 0xffff);  // divergent vector
+            },
+            [&] {
+                kb.shli(adj, child, 1);         // divergent vector
+                kb.iaddi(found, found, 2);      // divergent vector
+                kb.iadd(adj, adj, found);       // divergent vector
+            });
+        kb.iadd(node, child, adj);
+        kb.andi(node, node, kNodes - 1);
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, found);
+    kb.stg(oaddr, node, 4u * kThreadsPerCta * kCtas);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeBT()
+{
+    Workload w;
+    w.name = "BT";
+    w.fullName = "b+tree";
+    w.suite = "rodinia";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0xb7);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kArrayA,
+                      clusteredInts(threads, 4000, 250, rng));
+        mem.fillWords(layout::kArrayB,
+                      clusteredInts(kNodes, 4000, 250, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * CC (cutcp, Parboil). Cutoff Coulomb potential: each iteration loads
+ * warp-uniform atom coordinates (scalar memory), computes a per-thread
+ * distance, and only lanes within the cutoff evaluate the divergent
+ * RSQ/accumulate path.
+ */
+
+#include <bit>
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 150;
+constexpr unsigned kAtoms = 12;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("cc_cutoff");
+
+    const Reg gtid = emitGlobalTid(kb);
+    const Reg cutoff2 = emitParamLoad(kb, 0); // squared cutoff (scalar)
+    const Reg qscale = emitParamLoad(kb, 1);  // charge scale (scalar)
+
+    const Reg xaddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg x = kb.reg();
+    kb.ldg(x, xaddr);
+
+    const Reg pot = kb.reg();
+    kb.movf(pot, 0.0f);
+
+    const Reg aaddr = kb.reg();
+    const Reg ax = kb.reg();
+    const Reg dx = kb.reg();
+    const Reg r2 = kb.reg();
+    const Reg rinv = kb.reg();
+    const Reg term = kb.reg();
+    const Pred within = kb.pred();
+
+    const Reg a = kb.reg();
+    kb.forRangeI(a, 0, kAtoms, [&] {
+        kb.shli(aaddr, a, 2);                       // scalar ALU
+        kb.iaddi(aaddr, aaddr, Word(layout::kArrayB));
+        kb.ldg(ax, aaddr);                          // scalar memory
+        kb.fsub(dx, ax, x);                         // vector
+        kb.fmul(r2, dx, dx);                        // vector
+        kb.fsetp(within, CmpOp::LT, r2, cutoff2);
+        // Per-atom scalar SFU: the switching-function prefactor depends
+        // only on the (uniform) atom coordinate.
+        const Reg pref = kb.reg();
+        kb.emit1(Opcode::RCP, pref, ax);            // scalar SFU
+        kb.ifElse(
+            within,
+            [&] {
+                kb.emit1(Opcode::RSQ, rinv, r2); // divergent SFU
+                kb.fmul(term, qscale, qscale);   // divergent scalar
+                kb.fadd(term, term, cutoff2);    // divergent scalar
+                kb.fmul(term, term, qscale);     // divergent scalar
+                kb.fmul(term, term, rinv);       // divergent vector
+                kb.ffma(rinv, rinv, term, term); // divergent vector
+                kb.fadd(pot, pot, term);         // divergent vector
+            },
+            [&] {
+                kb.fmul(term, cutoff2, qscale);  // divergent scalar
+                kb.fadd(term, term, qscale);     // divergent scalar
+                kb.ffma(pot, dx, term, pot);     // divergent vector
+            });
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, pot);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeCC()
+{
+    Workload w;
+    w.name = "CC";
+    w.fullName = "cutcup";
+    w.suite = "parboil";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0xcc);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams,
+                      {std::bit_cast<Word>(1.1f),
+                       std::bit_cast<Word>(0.35f)});
+        mem.fillWords(layout::kArrayA,
+                      randomFloats(threads, -2.0f, 2.0f, rng));
+        mem.fillWords(layout::kArrayB,
+                      randomFloats(kAtoms, -2.0f, 2.0f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

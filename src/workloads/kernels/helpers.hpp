@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared emission helpers for the benchmark kernels.
+ */
+
+#ifndef GSCALAR_WORKLOADS_KERNELS_HELPERS_HPP
+#define GSCALAR_WORKLOADS_KERNELS_HELPERS_HPP
+
+#include "isa/kernel_builder.hpp"
+#include "workloads/data_gen.hpp"
+
+namespace gs
+{
+
+/** gtid = ctaid * ntid + tid (global linear thread id). */
+inline Reg
+emitGlobalTid(KernelBuilder &kb)
+{
+    const Reg tid = kb.reg();
+    const Reg ctaid = kb.reg();
+    const Reg ntid = kb.reg();
+    const Reg gtid = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    kb.s2r(ctaid, SReg::CtaId);
+    kb.s2r(ntid, SReg::NTid);
+    kb.imad(gtid, ctaid, ntid, tid);
+    return gtid;
+}
+
+/** addr = base + idx*4 (word-indexed array address). */
+inline Reg
+emitWordAddr(KernelBuilder &kb, Reg idx, Addr base)
+{
+    const Reg addr = kb.reg();
+    kb.shli(addr, idx, 2);
+    kb.iaddi(addr, addr, Word(base));
+    return addr;
+}
+
+/** Load the uniform parameter word @p slot (a scalar value). */
+inline Reg
+emitParamLoad(KernelBuilder &kb, unsigned slot)
+{
+    const Reg addr = kb.reg();
+    const Reg val = kb.reg();
+    kb.movi(addr, Word(layout::kParams));
+    kb.ldg(val, addr, slot * kBytesPerWord);
+    return val;
+}
+
+} // namespace gs
+
+#endif // GSCALAR_WORKLOADS_KERNELS_HELPERS_HPP

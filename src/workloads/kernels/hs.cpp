@@ -1,0 +1,117 @@
+/**
+ * @file
+ * HS (hotspot, Rodinia). Iterative 5-point thermal stencil whose
+ * column-boundary conditional diverges a couple of lanes per warp; the
+ * boundary handling operates on warp-uniform coefficients, giving the
+ * ~17 % divergent-scalar share the paper reports for HS.
+ */
+
+#include <bit>
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 150;
+constexpr unsigned kSteps = 6;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("hs_stencil");
+
+    const Reg gtid = emitGlobalTid(kb);
+    const Reg col = kb.reg();
+    kb.andi(col, gtid, 31);
+
+    const Reg cap = emitParamLoad(kb, 0);  // Rx^-1 (scalar)
+    const Reg amb = emitParamLoad(kb, 1);  // ambient temp (scalar)
+
+    const Reg taddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg paddr = emitWordAddr(kb, gtid, layout::kArrayB);
+    const Reg t0 = kb.reg();
+    const Reg power = kb.reg();
+    kb.ldg(t0, taddr);
+    kb.ldg(power, paddr);
+
+    const Reg left = kb.reg();
+    const Reg right = kb.reg();
+    const Reg acc = kb.reg();
+    const Reg delta = kb.reg();
+    const Reg edge = kb.reg();
+    const Reg edgeAcc = kb.reg();
+    const Reg t = kb.reg();
+    kb.mov(t, t0);
+
+    const Pred interior = kb.pred();
+    const Reg step = kb.reg();
+    kb.forRangeI(step, 0, kSteps, [&] {
+        kb.ldg(left, taddr, 4);                   // neighbour loads
+        kb.ldg(right, taddr, 8);
+        kb.fadd(acc, left, right);                // vector
+        kb.ffma(delta, acc, cap, power);          // vector
+        kb.fadd(t, t, delta);                     // vector
+
+        // Column boundary: lanes 0 of each 32-column tile recompute
+        // against the ambient temperature (divergent path on uniform
+        // coefficients -> divergent scalar).
+        // Both boundary paths accumulate into edgeAcc, which only ever
+        // sees divergent writes (no per-step decompress moves).
+        kb.isetpi(interior, CmpOp::NE, col, 0);
+        kb.ifNotThen(interior, [&] {
+            kb.fmul(edge, amb, cap);          // divergent scalar
+            kb.fadd(edge, edge, amb);         // divergent scalar
+            kb.fmul(edge, edge, cap);         // divergent scalar
+            kb.fadd(edgeAcc, edgeAcc, edge);  // divergent vector
+        });
+
+        // High-power cells shed extra heat (data-dependent divergence
+        // on the uniform sink coefficients; the mask stays mixed since
+        // the power map is random).
+        const Pred hot = kb.pred();
+        kb.fsetpf(hot, CmpOp::GT, power, 0.5f);
+        kb.ifThen(hot, [&] {
+            kb.fadd(edge, cap, cap);          // divergent scalar
+            kb.fmul(edge, edge, amb);         // divergent scalar
+            kb.fsub(edgeAcc, edgeAcc, edge);  // divergent vector
+        });
+        kb.fadd(t, t, edgeAcc);
+        kb.stg(taddr, t, 4u * kThreadsPerCta * kCtas);
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, t);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeHS()
+{
+    Workload w;
+    w.name = "HS";
+    w.fullName = "hotspot";
+    w.suite = "rodinia";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x45);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams,
+                      {std::bit_cast<Word>(0.024f),
+                       std::bit_cast<Word>(80.0f)});
+        mem.fillWords(layout::kArrayA,
+                      clusteredFloats(threads + 2, 330.0f, 0.02f, rng));
+        mem.fillWords(layout::kArrayB,
+                      clusteredFloats(threads, 0.5f, 0.4f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * HW (heartwall, Rodinia). Ultrasound tracking with data-dependent
+ * intensity thresholds: roughly half of all dynamic instructions run
+ * under a partial mask (the paper cites heartwall at ~50 % divergent),
+ * and the template constants inside the branches are warp-uniform.
+ */
+
+#include <bit>
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 150;
+constexpr unsigned kPoints = 14;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("hw_track");
+
+    const Reg gtid = emitGlobalTid(kb);
+    const Reg tmplA = emitParamLoad(kb, 0); // template coeff (scalar)
+    const Reg tmplB = emitParamLoad(kb, 1);
+
+    const Reg pixAddr = emitWordAddr(kb, gtid, layout::kArrayA);
+
+    // Per-32-thread sub-image gain: scalar at warp 32, half-scalar at
+    // warp 64 (Fig. 10).
+    const Reg sub = kb.reg();
+    kb.shri(sub, gtid, 5);
+    const Reg gAddr = emitWordAddr(kb, sub, layout::kArrayC);
+    const Reg gain = kb.reg();
+    kb.ldg(gain, gAddr);
+    const Reg gacc = kb.reg();
+    kb.mov(gacc, gain);
+
+    const Reg acc = kb.reg();
+    kb.movf(acc, 0.0f);
+
+    const Reg pix = kb.reg();
+    const Reg coeff = kb.reg();
+    const Reg term = kb.reg();
+    const Pred bright = kb.pred();
+
+    const Reg i = kb.reg();
+    const Reg paddr2 = kb.reg();
+    const Reg tmplC = kb.reg();
+    kb.forRangeI(i, 0, kPoints, [&] {
+        kb.ldg(pix, pixAddr);                      // random intensities
+        kb.iaddi(pixAddr, pixAddr, 512);           // strided walk
+        // Template row refresh: warp-uniform address (scalar memory).
+        kb.shli(paddr2, i, 2);                     // scalar ALU
+        kb.iaddi(paddr2, paddr2, Word(layout::kArrayB));
+        kb.ldg(tmplC, paddr2);                     // scalar memory
+        kb.fmul(gacc, gacc, gain);                 // scalar@32, half@64
+        // Default coefficient, consumed below and conditionally
+        // overwritten in the branches (special-move elidable, §3.3).
+        kb.fmul(coeff, tmplA, tmplC);              // scalar ALU
+        kb.ffma(acc, pix, coeff, acc);             // vector
+        kb.fsetpf(bright, CmpOp::GT, pix, 0.5f);
+        kb.ifElse(
+            bright,
+            [&] {
+                kb.fmul(coeff, tmplA, tmplB);  // divergent scalar
+                kb.fadd(coeff, coeff, tmplC);  // divergent scalar
+                kb.fmul(coeff, coeff, tmplA);  // divergent scalar
+                kb.fmul(term, pix, coeff);     // divergent vector
+                kb.fadd(acc, acc, term);       // divergent vector
+            },
+            [&] {
+                kb.fadd(coeff, tmplB, tmplC);  // divergent scalar
+                kb.fmul(coeff, coeff, tmplB);  // divergent scalar
+                kb.fmul(term, pix, coeff);     // divergent vector
+                kb.fsub(acc, acc, term);       // divergent vector
+            });
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.fadd(acc, acc, gacc);
+    kb.stg(oaddr, acc);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeHW()
+{
+    Workload w;
+    w.name = "HW";
+    w.fullName = "heartwall";
+    w.suite = "rodinia";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x11);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams,
+                      {std::bit_cast<Word>(0.8f),
+                       std::bit_cast<Word>(1.3f)});
+        // Strided pixel walk: threads*points words at stride 512 B.
+        mem.fillWords(layout::kArrayA,
+                      randomFloats(threads + 128 * kPoints, 0.0f, 1.0f,
+                                   rng));
+        mem.fillWords(layout::kArrayB,
+                      randomFloats(kPoints, 0.2f, 0.9f, rng));
+        mem.fillWords(layout::kArrayC,
+                      randomFloats(threads / 32 + 2, 0.99f, 1.01f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

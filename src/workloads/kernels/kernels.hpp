@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Factories for the 17 synthetic benchmarks of Table 2. Each mirrors
+ * the hot loop of its Rodinia/Parboil namesake and is calibrated to the
+ * per-benchmark instruction-mix / divergence / value-similarity profile
+ * the paper reports (Figs. 1, 8, 9).
+ */
+
+#ifndef GSCALAR_WORKLOADS_KERNELS_KERNELS_HPP
+#define GSCALAR_WORKLOADS_KERNELS_KERNELS_HPP
+
+#include "workloads/workload.hpp"
+
+namespace gs
+{
+
+Workload makeBT();  ///< b+tree: tree search, data-dependent divergence
+Workload makeBP();  ///< backprop: 2^n SFU loop, half-scalar groups
+Workload makeHW();  ///< heartwall: ~50% divergent tracking loop
+Workload makeHS();  ///< hotspot: stencil with boundary conditionals
+Workload makeLC();  ///< leukocyte: few warps + long-latency IDIV
+Workload makePF();  ///< pathfinder: DP sweep with shared memory
+Workload makeSR1(); ///< srad_1: gradients + divergent coefficient clamp
+Workload makeSR2(); ///< srad_2: update step with scalar coefficients
+Workload makeCC();  ///< cutcp: cutoff pairs, divergent SFU
+Workload makeLBM(); ///< lbm: branchy streaming update, memory-heavy
+Workload makeMG();  ///< mri-gridding: scattered address arithmetic
+Workload makeMQ();  ///< mri-q: SIN/COS heavy, non-divergent
+Workload makeSAD(); ///< sad: absolute differences with early-out
+Workload makeMM();  ///< sgemm: broadcast A row (scalar memory)
+Workload makeMV();  ///< spmv: irregular gather, few scalars
+Workload makeST();  ///< stencil: 7-point, scalar coefficients
+Workload makeACF(); ///< tpacf: histogram binning loop
+
+} // namespace gs
+
+#endif // GSCALAR_WORKLOADS_KERNELS_KERNELS_HPP

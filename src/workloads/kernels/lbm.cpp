@@ -1,0 +1,129 @@
+/**
+ * @file
+ * LBM (Parboil). Lattice-Boltzmann streaming/collision step: a
+ * data-dependent obstacle branch makes ~half the dynamic instructions
+ * divergent, and the collision arithmetic on warp-uniform relaxation
+ * constants makes a large share of them divergent *scalar* (the paper
+ * reports 30 % divergent-scalar instructions). Streaming access to
+ * large distribution arrays keeps it memory-intensive, which caps the
+ * efficiency gain (Fig. 11 discussion).
+ */
+
+#include <bit>
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 360;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("lbm_stream_collide");
+
+    const Reg gtid = emitGlobalTid(kb);
+
+    const Reg flagAddr = emitWordAddr(kb, gtid, layout::kArrayC);
+    const Reg flag = kb.reg();
+    kb.ldg(flag, flagAddr);
+
+    const Reg rhoAddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg rho = kb.reg();
+    kb.ldg(rho, rhoAddr);
+    const Reg uAddr = emitWordAddr(kb, gtid, layout::kArrayB);
+    const Reg u = kb.reg();
+    kb.ldg(u, uAddr);
+
+    const Reg omega = emitParamLoad(kb, 0); // relaxation (scalar)
+    const Reg one = emitParamLoad(kb, 1);   // 1.0 (scalar)
+
+    const Reg omega2 = kb.reg();
+    const Reg c1 = kb.reg();
+    const Reg c2 = kb.reg();
+    const Reg r2 = kb.reg();
+    const Reg u2 = kb.reg();
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+
+    const Pred p = kb.pred();
+    const Reg tstep = kb.reg();
+    kb.forRangeI(tstep, 0, 3, [&] {
+    kb.isetpi(p, CmpOp::NE, flag, 0);
+    kb.ifElse(
+        p,
+        [&] {
+            // Collision: relaxation constants are warp-uniform, so these
+            // are divergent scalar instructions (§4.2).
+            kb.fmul(omega2, omega, omega); // divergent scalar
+            kb.fadd(c1, omega2, one);      // divergent scalar
+            kb.fmul(c2, c1, omega);        // divergent scalar
+            kb.fadd(c2, c2, omega2);       // divergent scalar
+            kb.fmul(c1, c2, c1);           // divergent scalar
+            kb.fmul(r2, rho, c1);          // divergent vector
+            kb.ffma(u2, u, c2, r2);        // divergent vector
+            kb.fadd(u2, u2, rho);          // divergent vector
+            kb.stg(oaddr, u2);             // divergent store
+        },
+        [&] {
+            // Bounce-back: fewer, still mixing uniform and per-thread.
+            kb.fadd(c1, one, one);   // divergent scalar
+            kb.fmul(c2, c1, omega);  // divergent scalar
+            kb.fadd(c2, c2, one);    // divergent scalar
+            kb.fsub(u2, c2, u);      // divergent vector
+            kb.fmul(u2, u2, rho);    // divergent vector
+            kb.stg(oaddr, u2);       // divergent store
+        });
+    });
+
+    // Streaming phase: gather two distribution slices with no reuse
+    // (compulsory misses -> DRAM traffic).
+    const Reg nb = kb.reg();
+    const Reg sum = kb.reg();
+    kb.movf(sum, 0.0f);
+    for (unsigned d = 0; d < 2; ++d) {
+        const Reg naddr = kb.reg();
+        kb.shli(naddr, gtid, 2);
+        kb.iaddi(naddr, naddr,
+                 Word(layout::kArrayA + 0x500000 + d * 0x300000));
+        kb.ldg(nb, naddr);
+        kb.fadd(sum, sum, nb);
+    }
+    kb.stg(oaddr, sum, 4u * kThreadsPerCta * kCtas);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeLBM()
+{
+    Workload w;
+    w.name = "LBM";
+    w.fullName = "lbm";
+    w.suite = "parboil";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x1b);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams,
+                      {std::bit_cast<Word>(1.85f), std::bit_cast<Word>(1.0f)});
+        mem.fillWords(layout::kArrayA,
+                      clusteredFloats(threads, 1.0f, 0.1f, rng));
+        mem.fillWords(layout::kArrayB,
+                      clusteredFloats(threads, 0.05f, 0.5f, rng));
+        mem.fillWords(layout::kArrayC,
+                      bernoulliFlags(threads, 0.45, rng));
+        for (unsigned d = 0; d < 3; ++d)
+            mem.fillWords(layout::kArrayA + 0x500000 + d * 0x300000,
+                          clusteredFloats(threads, 0.11f, 0.3f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

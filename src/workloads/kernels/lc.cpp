@@ -1,0 +1,77 @@
+/**
+ * @file
+ * LC (leukocyte, Rodinia). GICOV-style score with microcoded integer
+ * division in the dependence chain and deliberately few resident warps
+ * (one small CTA per SM), so the +3-cycle pipeline depth of the
+ * compression configs cannot be hidden — the paper's worst-case IPC
+ * benchmark (§5.4).
+ */
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 64; ///< 2 warps per CTA
+constexpr unsigned kCtas = 15;          ///< one CTA per SM
+constexpr unsigned kIters = 60;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("lc_gicov");
+
+    const Reg gtid = emitGlobalTid(kb);
+
+    const Reg gaddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg grad = kb.reg();
+    kb.ldg(grad, gaddr);
+
+    const Reg acc = kb.reg();
+    const Reg div = kb.reg();
+    const Reg nrm = kb.reg();
+    kb.movi(acc, 982451653u);
+
+    const Reg i = kb.reg();
+    const Reg radius = kb.reg();
+    kb.forRangeI(i, 0, kIters, [&] {
+        // Serial IDIV chain: each result feeds the next division.
+        kb.iaddi(div, i, 3);                     // scalar ALU
+        kb.idiv(acc, acc, div);                  // vector, 40-cycle op
+        kb.iadd(acc, acc, grad);                 // vector
+        kb.emit1(Opcode::I2F, radius, div);      // scalar ALU
+        kb.emit1(Opcode::RCP, radius, radius);   // scalar SFU
+        kb.emit1(Opcode::SQRT, nrm, acc);        // vector SFU
+        kb.emit1(Opcode::F2I, nrm, nrm);         // vector
+        kb.iadd(acc, acc, nrm);                  // vector
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, acc);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeLC()
+{
+    Workload w;
+    w.name = "LC";
+    w.fullName = "leukocyte";
+    w.suite = "rodinia";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x1c);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kArrayA,
+                      clusteredInts(threads, 0x3f000000, 200, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * MG (mri-gridding, Parboil). Scattered gridding: heavy per-thread
+ * address arithmetic producing 3-byte/2-byte-similar register values
+ * but few full scalars (the paper pairs MG with MV as the benchmarks
+ * where partial compression beats the scalar-only RF by >40 %).
+ */
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 150;
+constexpr unsigned kSamples = 12;
+constexpr unsigned kGridSize = 8192;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("mg_gridding");
+
+    const Reg gtid = emitGlobalTid(kb);
+
+    const Reg sAddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg acc = kb.reg();
+    kb.movf(acc, 0.0f);
+
+    const Reg sample = kb.reg();
+    const Reg pos = kb.reg();
+    const Reg cell = kb.reg();
+    const Reg gaddr = kb.reg();
+    const Reg gval = kb.reg();
+    const Reg wgt = kb.reg();
+    const Reg foldc = kb.reg();
+    const Reg folda = kb.reg();
+
+    const Reg i = kb.reg();
+    kb.forRangeI(i, 0, kSamples, [&] {
+        kb.ldg(sample, sAddr);                 // clustered k-space data
+        kb.iaddi(sAddr, sAddr, 4 * 64);        // strided ramp
+        // Grid coordinate: fixed-point scale then clamp to the grid.
+        kb.emit1(Opcode::F2I, pos, sample);    // vector
+        kb.imuli(cell, pos, 37);               // vector (2-byte similar)
+        kb.andi(cell, cell, kGridSize - 1);    // vector
+        kb.shli(gaddr, cell, 2);               // vector address math
+        kb.iaddi(gaddr, gaddr, Word(layout::kArrayC));
+        kb.ldg(gval, gaddr);                   // scattered gather
+        kb.fmul(wgt, sample, gval);            // vector
+        kb.fadd(acc, acc, wgt);                // vector
+
+        // Fold samples landing in the upper half-grid (data-dependent).
+        // The fold registers are only ever written divergently, so no
+        // decompress moves are needed inside the loop.
+        const Pred upper = kb.pred();
+        kb.isetpi(upper, CmpOp::GT, cell, kGridSize / 2);
+        kb.ifThen(upper, [&] {
+            kb.shri(foldc, cell, 1);             // divergent vector
+            kb.imuli(foldc, foldc, 3);           // divergent vector
+            kb.andi(foldc, foldc, kGridSize - 1);// divergent vector
+            kb.fadd(folda, folda, gval);         // divergent vector
+            kb.fmul(folda, folda, gval);         // divergent vector
+            kb.fadd(folda, folda, folda);        // divergent vector
+        });
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.fadd(acc, acc, folda);
+    kb.iadd(pos, pos, foldc);
+    kb.stg(oaddr, acc);
+    kb.stg(oaddr, pos, 4u * kThreadsPerCta * kCtas);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeMG()
+{
+    Workload w;
+    w.name = "MG";
+    w.fullName = "mri-grid";
+    w.suite = "parboil";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x33);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kArrayA,
+                      clusteredFloats(threads + kSamples * 64, 900.0f,
+                                      0.05f, rng));
+        mem.fillWords(layout::kArrayC,
+                      randomFloats(kGridSize, 0.0f, 1.0f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * MM (sgemm, Parboil). Each warp computes elements of one C row: the A
+ * operand is identical across the warp (scalar memory broadcast), the B
+ * operand is a coalesced per-lane stream, and the loop/address
+ * arithmetic on the A pointer is warp-uniform (scalar ALU).
+ */
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kN = 32;            ///< C columns (one 32-warp per row)
+constexpr unsigned kK = 40;            ///< inner dimension
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 120;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("mm_sgemm");
+
+    const Reg gtid = emitGlobalTid(kb);
+
+    // row = gtid / N (warp-uniform for N a multiple of the warp size),
+    // col = gtid % N.
+    const Reg row = kb.reg();
+    const Reg col = kb.reg();
+    kb.shri(row, gtid, 5);
+    kb.andi(col, gtid, kN - 1);
+
+    // aAddr = A + row*K*4 : warp-uniform (scalar value).
+    const Reg aAddr = kb.reg();
+    kb.imuli(aAddr, row, kK * 4);
+    kb.iaddi(aAddr, aAddr, Word(layout::kArrayA));
+
+    // bAddr = B + col*4 : per-lane ramp (3-byte-similar addresses).
+    const Reg bAddr = emitWordAddr(kb, col, layout::kArrayB);
+
+    const Reg acc = kb.reg();
+    kb.movf(acc, 0.0f);
+
+    const Reg a = kb.reg();
+    const Reg b = kb.reg();
+    const Reg k = kb.reg();
+    kb.forRangeI(k, 0, kK, [&] {
+        kb.ldg(a, aAddr);               // scalar memory (A broadcast)
+        kb.ldg(b, bAddr);               // coalesced vector load
+        kb.ffma(acc, a, b, acc);        // vector FMA
+        kb.iaddi(aAddr, aAddr, 4);      // scalar ALU
+        kb.iaddi(bAddr, bAddr, kN * 4); // vector (ramp stays a ramp)
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, acc);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeMM()
+{
+    Workload w;
+    w.name = "MM";
+    w.fullName = "sgemm";
+    w.suite = "parboil";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x44);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        const std::size_t rows = threads / kN + 1;
+        mem.fillWords(layout::kArrayA,
+                      randomFloats(rows * kK, -1.0f, 1.0f, rng));
+        mem.fillWords(layout::kArrayB,
+                      randomFloats(std::size_t(kK) * kN, -1.0f, 1.0f,
+                                   rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * MQ (mri-q, Parboil). Non-divergent Fourier-sample accumulation: each
+ * loop iteration loads warp-uniform k-space coordinates (scalar memory
+ * loads and scalar ALU) and evaluates SIN/COS of a per-thread phase
+ * (vector SFU).
+ */
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 180;
+constexpr unsigned kSamples = 20;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("mq_compute_q");
+
+    const Reg gtid = emitGlobalTid(kb);
+
+    const Reg xaddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg x = kb.reg();
+    kb.ldg(x, xaddr);
+    const Reg yaddr = emitWordAddr(kb, gtid, layout::kArrayB);
+    const Reg y = kb.reg();
+    kb.ldg(y, yaddr);
+
+    const Reg accR = kb.reg();
+    const Reg accI = kb.reg();
+    kb.movf(accR, 0.0f);
+    kb.movf(accI, 0.0f);
+
+    const Reg kaddr = kb.reg();
+    const Reg kx = kb.reg();
+    const Reg ky = kb.reg();
+    const Reg phi = kb.reg();
+    const Reg t = kb.reg();
+    const Reg s = kb.reg();
+    const Reg c = kb.reg();
+
+    const Reg k = kb.reg();
+    kb.forRangeI(k, 0, kSamples, [&] {
+        // Warp-uniform sample coordinate: scalar address arithmetic, a
+        // scalar (broadcast) load, and a scalar SFU magnitude factor.
+        kb.shli(kaddr, k, 2);                       // scalar ALU
+        kb.iaddi(kaddr, kaddr, Word(layout::kArrayC));
+        kb.ldg(kx, kaddr, 0);                       // scalar memory
+        kb.fmul(ky, kx, kx);                        // scalar ALU
+        kb.emit1(Opcode::RSQ, ky, ky);              // scalar SFU
+        kb.fmul(t, kx, x);                          // vector
+        kb.ffma(phi, ky, y, t);                     // vector
+        kb.emit1(Opcode::SIN, s, phi);              // vector SFU
+        kb.emit1(Opcode::COS, c, phi);              // vector SFU
+        kb.fadd(accR, accR, c);                     // vector
+        kb.fadd(accI, accI, s);                     // vector
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, accR);
+    kb.stg(oaddr, accI, 4u * kThreadsPerCta * kCtas);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeMQ()
+{
+    Workload w;
+    w.name = "MQ";
+    w.fullName = "mri-q";
+    w.suite = "parboil";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x30);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kArrayA,
+                      randomFloats(threads, -1.0f, 1.0f, rng));
+        mem.fillWords(layout::kArrayB,
+                      randomFloats(threads, -1.0f, 1.0f, rng));
+        mem.fillWords(layout::kArrayC,
+                      randomFloats(kSamples, 0.5f, 3.0f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * MV (spmv, Parboil). Sparse matrix-vector product: irregular gathers
+ * through a column-index array. Few scalar values but many
+ * 3-byte/2-byte-similar accesses (indices and addresses within a narrow
+ * range), matching the paper's note that MV benefits mostly from
+ * partial compression (Fig. 12 discussion).
+ */
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 150;
+constexpr unsigned kNnzPerRow = 14;
+constexpr unsigned kCols = 768;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("mv_spmv");
+
+    const Reg gtid = emitGlobalTid(kb);
+
+    // CSR-ish layout: row r owns nnz slots [r*K, (r+1)*K).
+    const Reg slot = kb.reg();
+    kb.imuli(slot, gtid, kNnzPerRow);
+
+    const Reg valAddr = emitWordAddr(kb, slot, layout::kArrayA);
+    const Reg idxAddr = emitWordAddr(kb, slot, layout::kArrayB);
+
+    const Reg acc = kb.reg();
+    kb.movf(acc, 0.0f);
+
+    const Reg val = kb.reg();
+    const Reg colIdx = kb.reg();
+    const Reg xaddr = kb.reg();
+    const Reg x = kb.reg();
+
+    const Reg j = kb.reg();
+    kb.forRangeI(j, 0, kNnzPerRow, [&] {
+        kb.ldg(val, valAddr);                 // clustered matrix values
+        kb.ldg(colIdx, idxAddr);              // 2-byte-similar indices
+        kb.shli(xaddr, colIdx, 2);            // vector address math
+        kb.iaddi(xaddr, xaddr, Word(layout::kArrayC));
+        kb.ldg(x, xaddr);                     // irregular gather
+
+        // Skip near-zero entries (value-dependent divergence).
+        const Pred live = kb.pred();
+        kb.fsetpf(live, CmpOp::GT, val, 0.01f);
+        kb.ifThen(live, [&] {
+            kb.fmul(x, x, val);               // divergent vector
+            kb.fadd(acc, acc, x);             // divergent vector
+            kb.ffma(acc, val, x, acc);        // divergent vector
+        });
+        kb.iaddi(valAddr, valAddr, 4);        // vector ramp
+        kb.iaddi(idxAddr, idxAddr, 4);        // vector ramp
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, acc);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeMV()
+{
+    Workload w;
+    w.name = "MV";
+    w.fullName = "spmv";
+    w.suite = "parboil";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x77);
+        const std::size_t nnz =
+            std::size_t(kThreadsPerCta) * kCtas * kNnzPerRow;
+        mem.fillWords(layout::kArrayA,
+                      clusteredFloats(nnz, 0.01f, 0.6f, rng));
+        mem.fillWords(layout::kArrayB,
+                      clusteredInts(nnz, 0, kCols, rng));
+        mem.fillWords(layout::kArrayC,
+                      randomFloats(kCols, -2.0f, 2.0f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * PF (pathfinder, Rodinia). Dynamic-programming sweep: each step loads
+ * the previous row from shared memory, takes the min of three
+ * neighbours, adds the cost, and synchronises at a CTA barrier. Block
+ * edges diverge through a guard predicate.
+ */
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 150;
+constexpr unsigned kRows = 8;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("pf_dp_sweep");
+
+    const unsigned row_off = kb.shared(kThreadsPerCta * 4);
+    (void)row_off;
+
+    const Reg tid = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    const Reg gtid = emitGlobalTid(kb);
+
+    // Shared-memory slot of this thread (byte address).
+    const Reg saddr = kb.reg();
+    kb.shli(saddr, tid, 2);
+
+    // Seed the DP row from global memory.
+    const Reg caddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg best = kb.reg();
+    kb.ldg(best, caddr);
+    kb.sts(saddr, best);
+    kb.bar();
+
+    const Reg lanes = emitParamLoad(kb, 0); // width-1 constant (scalar)
+    const Reg left = kb.reg();
+    const Reg right = kb.reg();
+    const Reg mid = kb.reg();
+    const Reg m = kb.reg();
+    const Reg cost = kb.reg();
+    const Reg clampv = kb.reg();
+    const Reg renorm = kb.reg();
+    kb.movi(clampv, 0x7fffffff);
+    kb.movi(renorm, 0x7fffffff);
+    const Pred inner = kb.pred();
+
+    const Reg r = kb.reg();
+    kb.forRangeI(r, 0, kRows, [&] {
+        kb.lds(mid, saddr);                    // shared loads
+        kb.lds(left, saddr, Word(4));
+        kb.lds(right, saddr, Word(8));
+        kb.emit2(Opcode::IMIN, m, left, right); // vector
+        kb.emit2(Opcode::IMIN, m, m, mid);      // vector
+        kb.ldg(cost, caddr, 4u * kThreadsPerCta * kCtas);
+        kb.iadd(best, m, cost);                // vector
+
+        // Edge threads clamp against the uniform width constant. The
+        // branches write only divergently-held registers so no
+        // decompress move is triggered per iteration.
+        kb.isetp(inner, CmpOp::LT, tid, lanes);
+        kb.ifNotThen(inner, [&] {
+            kb.iadd(clampv, lanes, lanes); // divergent scalar
+            kb.iadd(clampv, clampv, m);    // divergent vector
+        });
+
+        // Paths that just improved re-normalise (data-dependent mask).
+        const Pred improved = kb.pred();
+        kb.isetp(improved, CmpOp::LT, m, cost);
+        kb.ifThen(improved, [&] {
+            kb.iadd(renorm, lanes, lanes);  // divergent scalar
+            kb.iadd(renorm, renorm, cost);  // divergent vector
+        });
+        kb.emit2(Opcode::IMIN, best, best, clampv);
+        kb.emit2(Opcode::IMIN, best, best, renorm);
+
+        kb.bar();
+        kb.sts(saddr, best);
+        kb.bar();
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, best);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makePF()
+{
+    Workload w;
+    w.name = "PF";
+    w.fullName = "pathfinder";
+    w.suite = "rodinia";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x9f);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams, {kThreadsPerCta - 8});
+        mem.fillWords(layout::kArrayA,
+                      clusteredInts(2 * threads, 10, 90, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

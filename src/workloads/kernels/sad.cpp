@@ -1,0 +1,116 @@
+/**
+ * @file
+ * SAD (Parboil). Sum-of-absolute-differences block matching with a
+ * threshold-based refinement branch: the refinement arithmetic uses
+ * warp-uniform search parameters, yielding the ~19 % divergent-scalar
+ * instructions the paper reports.
+ */
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 180;
+constexpr unsigned kPixels = 12;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("sad_block");
+
+    const Reg gtid = emitGlobalTid(kb);
+    const Reg thresh = emitParamLoad(kb, 0); // search threshold (scalar)
+    const Reg penalty = emitParamLoad(kb, 1);
+
+    const Reg curAddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg refAddr = emitWordAddr(kb, gtid, layout::kArrayB);
+
+    // Per-32-thread macroblock weight: scalar for 32-wide warps but
+    // only half/quarter-uniform when warps widen (Fig. 10).
+    const Reg mb = kb.reg();
+    kb.shri(mb, gtid, 5);
+    const Reg mbAddr = emitWordAddr(kb, mb, layout::kArrayC);
+    const Reg mbw = kb.reg();
+    kb.ldg(mbw, mbAddr);
+    const Reg wacc = kb.reg();
+    kb.mov(wacc, mbw);
+
+    const Reg sad = kb.reg();
+    kb.movi(sad, 0);
+
+    const Reg cur = kb.reg();
+    const Reg ref = kb.reg();
+    const Reg diff = kb.reg();
+    const Reg bias = kb.reg();
+    const Pred close = kb.pred();
+
+    const Reg i = kb.reg();
+    kb.forRangeI(i, 0, kPixels, [&] {
+        kb.ldg(cur, curAddr);                    // clustered pixels
+        kb.ldg(ref, refAddr);
+        kb.isub(diff, cur, ref);                 // vector
+        kb.emit1(Opcode::IABS, diff, diff);      // vector
+        kb.iadd(sad, sad, diff);                 // vector
+        kb.iaddi(curAddr, curAddr, 4);           // vector ramp
+        kb.iaddi(refAddr, refAddr, 4);           // vector ramp
+
+        // Default penalty bias: computed convergently, consumed, then
+        // conditionally *overwritten* below — the pattern whose special
+        // move the compiler-assisted liveness elides (§3.3).
+        kb.iadd(bias, thresh, penalty);          // scalar ALU
+        kb.iadd(wacc, wacc, bias);               // scalar@32, half@64
+
+        // Refinement of well-matched pixels: the per-lane difference
+        // decides, so the mask is irregular, while the penalty update
+        // itself is uniform arithmetic (divergent scalar).
+        kb.isetp(close, CmpOp::LT, diff, thresh);
+        kb.ifElse(
+            close,
+            [&] {
+                kb.shli(bias, thresh, 1);        // divergent scalar
+                kb.iadd(bias, bias, penalty);    // divergent scalar
+                kb.iadd(sad, sad, bias);         // divergent vector
+            },
+            [&] {
+                kb.shri(bias, thresh, 1);        // divergent scalar
+                kb.iadd(sad, sad, bias);         // divergent vector
+            });
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.iadd(sad, sad, wacc);
+    kb.stg(oaddr, sad);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeSAD()
+{
+    Workload w;
+    w.name = "SAD";
+    w.fullName = "sad";
+    w.suite = "parboil";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x5a);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams, {50u, 35u});
+        mem.fillWords(layout::kArrayA,
+                      clusteredInts(threads + kPixels, 128, 100, rng));
+        mem.fillWords(layout::kArrayB,
+                      clusteredInts(threads + kPixels, 120, 100, rng));
+        mem.fillWords(layout::kArrayC,
+                      clusteredInts(threads / 32 + 2, 7, 40, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

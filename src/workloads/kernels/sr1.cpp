@@ -1,0 +1,98 @@
+/**
+ * @file
+ * SR1 (srad_1, Rodinia). SRAD gradient/coefficient pass: gradient
+ * magnitudes per thread, a diffusion coefficient built from the
+ * warp-uniform lambda, and a divergent clamp where the coefficient
+ * leaves [0, 1].
+ */
+
+#include <bit>
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 150;
+constexpr unsigned kIters = 7;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("sr1_gradient");
+
+    const Reg gtid = emitGlobalTid(kb);
+    const Reg lambda = emitParamLoad(kb, 0); // scalar
+    const Reg q0 = emitParamLoad(kb, 1);     // scalar
+
+    const Reg addr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg img = kb.reg();
+    const Reg north = kb.reg();
+    const Reg grad = kb.reg();
+    const Reg q = kb.reg();
+    const Reg denom = kb.reg();
+    const Reg coeff = kb.reg();
+    const Pred oob = kb.pred();
+
+    const Reg caddr = emitWordAddr(kb, gtid, layout::kArrayB);
+
+    const Reg i = kb.reg();
+    kb.forRangeI(i, 0, kIters, [&] {
+        kb.ldg(img, addr);
+        kb.ldg(north, addr, 4u * 64);
+        kb.fsub(grad, north, img);            // vector
+        kb.fmul(grad, grad, grad);            // vector
+        kb.emit1(Opcode::RCP, denom, img);    // vector SFU
+        kb.fmul(q, grad, denom);              // vector
+        kb.fmul(denom, lambda, q0);           // scalar ALU
+        kb.fadd(denom, denom, lambda);        // scalar ALU
+        kb.fsub(coeff, q, denom);             // vector
+
+        // Clamp where the coefficient escapes [0,1] (data-dependent).
+        kb.fsetpf(oob, CmpOp::GT, coeff, 0.0f);
+        kb.ifElse(
+            oob,
+            [&] {
+                kb.fmul(q, lambda, lambda);   // divergent scalar
+                kb.fadd(coeff, q, lambda);    // divergent scalar
+                kb.fmul(coeff, coeff, img);   // divergent vector
+            },
+            [&] {
+                kb.fadd(q, lambda, q0);       // divergent scalar
+                kb.fmul(coeff, q, img);       // divergent vector
+            });
+        kb.stg(caddr, coeff);
+        kb.iaddi(addr, addr, 4u * 64);
+    });
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeSR1()
+{
+    Workload w;
+    w.name = "SR1";
+    w.fullName = "srad_1";
+    w.suite = "rodinia";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x51);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams,
+                      {std::bit_cast<Word>(0.5f),
+                       std::bit_cast<Word>(0.05f)});
+        mem.fillWords(layout::kArrayA,
+                      clusteredFloats(threads + 64 * (kIters + 1), 1.2f,
+                                      0.9f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

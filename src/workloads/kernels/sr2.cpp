@@ -1,0 +1,85 @@
+/**
+ * @file
+ * SR2 (srad_2, Rodinia). SRAD update pass: almost entirely
+ * non-divergent, with the diffusion step built from warp-uniform
+ * constants — a scalar-friendly counterpart to SR1.
+ */
+
+#include <bit>
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 150;
+constexpr unsigned kIters = 8;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("sr2_update");
+
+    const Reg gtid = emitGlobalTid(kb);
+    const Reg dt = emitParamLoad(kb, 0);   // scalar
+    const Reg damp = emitParamLoad(kb, 1); // scalar
+
+    const Reg iaddr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg caddr = emitWordAddr(kb, gtid, layout::kArrayB);
+    const Reg img = kb.reg();
+    const Reg coeff = kb.reg();
+    const Reg east = kb.reg();
+    const Reg step = kb.reg();
+    const Reg scaled = kb.reg();
+
+    const Reg i = kb.reg();
+    kb.forRangeI(i, 0, kIters, [&] {
+        kb.ldg(img, iaddr);
+        kb.ldg(coeff, caddr);
+        kb.ldg(east, caddr, 4);
+        kb.fadd(step, coeff, east);     // vector
+        kb.fmul(scaled, dt, damp);      // scalar ALU
+        kb.emit1(Opcode::EX2, scaled, scaled); // scalar SFU
+        kb.fadd(scaled, scaled, dt);    // scalar ALU
+        kb.fmul(scaled, scaled, damp);  // scalar ALU
+        kb.ffma(img, step, scaled, img);// vector
+        kb.stg(iaddr, img);
+        kb.iaddi(caddr, caddr, 4u * 64);
+    });
+
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+    kb.stg(oaddr, img);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeSR2()
+{
+    Workload w;
+    w.name = "SR2";
+    w.fullName = "srad_2";
+    w.suite = "rodinia";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x52);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams,
+                      {std::bit_cast<Word>(0.25f),
+                       std::bit_cast<Word>(0.8f)});
+        mem.fillWords(layout::kArrayA,
+                      clusteredFloats(threads, 1.0f, 0.5f, rng));
+        mem.fillWords(layout::kArrayB,
+                      clusteredFloats(threads + 64 * (kIters + 1), 0.4f,
+                                      0.4f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * ST (stencil, Parboil). Non-divergent 7-point stencil: per-thread
+ * neighbour loads with ramp addresses (3-byte-similar values) scaled by
+ * warp-uniform coefficients (scalar ALU on the coefficient side).
+ */
+
+#include <bit>
+
+#include "helpers.hpp"
+#include "kernels.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr unsigned kThreadsPerCta = 128;
+constexpr unsigned kCtas = 180;
+constexpr unsigned kSweeps = 5;
+
+Kernel
+buildKernel()
+{
+    KernelBuilder kb("st_7point");
+
+    const Reg gtid = emitGlobalTid(kb);
+    const Reg c0 = emitParamLoad(kb, 0); // centre coefficient (scalar)
+    const Reg c1 = emitParamLoad(kb, 1); // face coefficient (scalar)
+
+    // Per-16-thread tile damping factor (half-warp scalar source).
+    const Reg tile = kb.reg();
+    kb.shri(tile, gtid, 4);
+    const Reg taddr = emitWordAddr(kb, tile, layout::kArrayB);
+    const Reg damp = kb.reg();
+    kb.ldg(damp, taddr);
+    const Reg hsum = kb.reg();
+    kb.mov(hsum, damp);
+
+    const Reg addr = emitWordAddr(kb, gtid, layout::kArrayA);
+    const Reg oaddr = emitWordAddr(kb, gtid, layout::kOutput);
+
+    const Reg centre = kb.reg();
+    const Reg n1 = kb.reg();
+    const Reg n2 = kb.reg();
+    const Reg faces = kb.reg();
+    const Reg scale = kb.reg();
+    const Reg out = kb.reg();
+
+    const Reg s = kb.reg();
+    kb.forRangeI(s, 0, kSweeps, [&] {
+        kb.ldg(centre, addr);
+        kb.ldg(n1, addr, 4);
+        kb.ldg(n2, addr, 4 * 64);
+        kb.fadd(faces, n1, n2);            // vector
+        kb.fmul(scale, c0, c1);            // scalar ALU
+        kb.fadd(scale, scale, c1);         // scalar ALU
+        kb.fmul(out, centre, scale);       // vector
+        kb.fmul(hsum, hsum, damp);         // half-warp scalar
+        kb.ffma(out, faces, c1, out);      // vector
+        kb.stg(oaddr, out);
+        kb.iaddi(addr, addr, 4u * kThreadsPerCta * kCtas / kSweeps);
+    });
+    const Reg haddr = emitWordAddr(kb, gtid, layout::kArrayC);
+    kb.stg(haddr, hsum);
+    return kb.build();
+}
+
+} // namespace
+
+Workload
+makeST()
+{
+    Workload w;
+    w.name = "ST";
+    w.fullName = "stencil";
+    w.suite = "parboil";
+    w.setup = [](GlobalMemory &mem, std::uint64_t seed) {
+        Rng rng(seed ^ 0x57);
+        const std::size_t threads = kThreadsPerCta * kCtas;
+        mem.fillWords(layout::kParams,
+                      {std::bit_cast<Word>(0.5f),
+                       std::bit_cast<Word>(0.08f)});
+        mem.fillWords(layout::kArrayA,
+                      clusteredFloats(2 * threads + 70, 25.0f, 0.1f,
+                                      rng));
+        mem.fillWords(layout::kArrayB,
+                      randomFloats(threads / 16 + 1, 0.95f, 1.0f, rng));
+    };
+    w.launches.push_back({buildKernel(), {kCtas, kThreadsPerCta}});
+    return w;
+}
+
+} // namespace gs

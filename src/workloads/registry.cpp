@@ -1,0 +1,52 @@
+#include "workload.hpp"
+
+#include "common/log.hpp"
+#include "kernels/kernels.hpp"
+
+namespace gs
+{
+
+std::vector<Workload>
+makeSuite()
+{
+    std::vector<Workload> suite;
+    // Table 2 order: Rodinia then Parboil.
+    suite.push_back(makeBT());
+    suite.push_back(makeBP());
+    suite.push_back(makeHW());
+    suite.push_back(makeHS());
+    suite.push_back(makeLC());
+    suite.push_back(makePF());
+    suite.push_back(makeSR1());
+    suite.push_back(makeSR2());
+    suite.push_back(makeCC());
+    suite.push_back(makeLBM());
+    suite.push_back(makeMG());
+    suite.push_back(makeMQ());
+    suite.push_back(makeSAD());
+    suite.push_back(makeMM());
+    suite.push_back(makeMV());
+    suite.push_back(makeST());
+    suite.push_back(makeACF());
+    return suite;
+}
+
+Workload
+makeWorkload(const std::string &abbr)
+{
+    for (Workload &w : makeSuite())
+        if (w.name == abbr)
+            return std::move(w);
+    GS_FATAL("unknown workload '", abbr, "'");
+}
+
+const std::vector<std::string> &
+workloadNames()
+{
+    static const std::vector<std::string> names = {
+        "BT", "BP", "HW", "HS", "LC", "PF", "SR1", "SR2", "CC",
+        "LBM", "MG", "MQ", "SAD", "MM", "MV", "ST", "ACF"};
+    return names;
+}
+
+} // namespace gs

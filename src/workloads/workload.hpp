@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A workload: one kernel (or a short kernel sequence) modelling a
+ * Rodinia/Parboil benchmark (Table 2), together with its input
+ * initialisation and launch geometry.
+ */
+
+#ifndef GSCALAR_WORKLOADS_WORKLOAD_HPP
+#define GSCALAR_WORKLOADS_WORKLOAD_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hpp"
+#include "sim/gmem.hpp"
+
+namespace gs
+{
+
+/** One kernel launch of a workload. */
+struct WorkloadLaunch
+{
+    Kernel kernel;
+    LaunchDims dims;
+};
+
+/** A synthetic benchmark: input setup plus one or more launches. */
+struct Workload
+{
+    std::string name;   ///< Table 2 abbreviation (e.g. "BP")
+    std::string fullName;
+    std::string suite;  ///< "rodinia" or "parboil"
+    /** Initialise device memory; called once before the launches. */
+    std::function<void(GlobalMemory &, std::uint64_t seed)> setup;
+    std::vector<WorkloadLaunch> launches;
+};
+
+/** All 17 benchmarks of Table 2, in the paper's order. */
+std::vector<Workload> makeSuite();
+
+/** Look up one benchmark by its Table 2 abbreviation. */
+Workload makeWorkload(const std::string &abbr);
+
+/** Table 2 abbreviations in paper order. */
+const std::vector<std::string> &workloadNames();
+
+} // namespace gs
+
+#endif // GSCALAR_WORKLOADS_WORKLOAD_HPP

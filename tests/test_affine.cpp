@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/affine.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(Affine, ScalarIsAffineWithZeroStride)
+{
+    const std::vector<Word> v(32, 0x1234);
+    const auto a = analyzeAffine(v, laneMaskLow(32));
+    EXPECT_TRUE(a.affine);
+    EXPECT_TRUE(a.isScalar());
+    EXPECT_EQ(a.base, 0x1234u);
+    EXPECT_EQ(a.stride, 0u);
+}
+
+TEST(Affine, AddressRamp)
+{
+    std::vector<Word> v;
+    for (Word i = 0; i < 32; ++i)
+        v.push_back(0x100000 + i * 4);
+    const auto a = analyzeAffine(v, laneMaskLow(32));
+    EXPECT_TRUE(a.affine);
+    EXPECT_EQ(a.stride, 4u);
+    EXPECT_EQ(a.base, 0x100000u);
+    EXPECT_FALSE(a.isScalar());
+}
+
+TEST(Affine, NegativeStrideWraps)
+{
+    std::vector<Word> v;
+    for (Word i = 0; i < 8; ++i)
+        v.push_back(1000 - 3 * i);
+    const auto a = analyzeAffine(v, laneMaskLow(8));
+    EXPECT_TRUE(a.affine);
+    EXPECT_EQ(a.stride, Word(-3));
+}
+
+TEST(Affine, NonAffineRejected)
+{
+    std::vector<Word> v = {0, 4, 8, 13};
+    EXPECT_FALSE(analyzeAffine(v, 0b1111).affine);
+}
+
+TEST(Affine, RandomValuesRejected)
+{
+    const std::vector<Word> v = {0xdead, 0xbeef, 0xcafe, 0xf00d};
+    EXPECT_FALSE(analyzeAffine(v, 0b1111).affine);
+}
+
+TEST(Affine, PartialMaskUsesLaneIndices)
+{
+    // Lanes 1 and 3 active: values must fit base + i*stride at those
+    // indices specifically.
+    std::vector<Word> v(8, 0);
+    v[1] = 14; // base 10, stride 4 -> lane1 = 14
+    v[3] = 22; // lane3 = 22
+    const auto a = analyzeAffine(v, 0b1010);
+    EXPECT_TRUE(a.affine);
+    EXPECT_EQ(a.stride, 4u);
+    EXPECT_EQ(a.base, 10u);
+}
+
+TEST(Affine, PartialMaskGapNotDivisible)
+{
+    std::vector<Word> v(8, 0);
+    v[0] = 0;
+    v[2] = 5; // gap 2, diff 5: no integer stride
+    EXPECT_FALSE(analyzeAffine(v, 0b0101).affine);
+}
+
+TEST(Affine, SingleLaneAffine)
+{
+    std::vector<Word> v(8, 0);
+    v[5] = 99;
+    const auto a = analyzeAffine(v, 0b100000);
+    EXPECT_TRUE(a.affine);
+    EXPECT_TRUE(a.isScalar());
+}
+
+TEST(Affine, TidRampDetected)
+{
+    // S2R tid produces exactly the affine pattern (stride 1).
+    std::vector<Word> v;
+    for (Word i = 0; i < 32; ++i)
+        v.push_back(64 + i);
+    const auto a = analyzeAffine(v, laneMaskLow(32));
+    EXPECT_TRUE(a.affine);
+    EXPECT_EQ(a.stride, 1u);
+}
+
+} // namespace
+} // namespace gs

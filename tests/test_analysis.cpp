@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "isa/analysis.hpp"
+#include "isa/kernel_builder.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(Analysis, UniformPropagation)
+{
+    KernelBuilder kb("k");
+    const Reg ctaid = kb.reg();
+    const Reg tid = kb.reg();
+    const Reg u = kb.reg();
+    const Reg v = kb.reg();
+    kb.s2r(ctaid, SReg::CtaId); // uniform source
+    kb.s2r(tid, SReg::Tid);     // per-lane source
+    kb.iaddi(u, ctaid, 5);      // uniform
+    kb.iadd(v, u, tid);         // tainted by tid
+    const Kernel k = kb.build();
+
+    const KernelAnalysis a = analyzeKernel(k);
+    EXPECT_TRUE(a.uniformReg[unsigned(ctaid.idx)]);
+    EXPECT_FALSE(a.uniformReg[unsigned(tid.idx)]);
+    EXPECT_TRUE(a.uniformReg[unsigned(u.idx)]);
+    EXPECT_FALSE(a.uniformReg[unsigned(v.idx)]);
+}
+
+TEST(Analysis, LoadsAreNeverStaticallyUniform)
+{
+    // The §6 limitation: even a broadcast load's value is unknown at
+    // compile time.
+    KernelBuilder kb("k");
+    const Reg addr = kb.reg();
+    const Reg val = kb.reg();
+    kb.movi(addr, 0x1000); // uniform address
+    kb.ldg(val, addr);
+    const Kernel k = kb.build();
+
+    const KernelAnalysis a = analyzeKernel(k);
+    EXPECT_TRUE(a.uniformReg[unsigned(addr.idx)]);
+    EXPECT_FALSE(a.uniformReg[unsigned(val.idx)]);
+    // But the load itself is statically scalarizable: its address is
+    // provably uniform.
+    EXPECT_TRUE(a.staticScalar[1]);
+}
+
+TEST(Analysis, DivergentBranchTaintsWrites)
+{
+    KernelBuilder kb("k");
+    const Reg tid = kb.reg();
+    const Reg u = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    kb.movi(u, 1); // uniform so far
+    const Pred p = kb.pred();
+    kb.isetpi(p, CmpOp::LT, tid, 4); // divergent predicate
+    kb.ifThen(p, [&] { kb.iaddi(u, u, 1); }); // partial write
+    const Kernel k = kb.build();
+
+    const KernelAnalysis a = analyzeKernel(k);
+    EXPECT_FALSE(a.uniformPred[unsigned(p.idx)]);
+    EXPECT_FALSE(a.uniformReg[unsigned(u.idx)]); // written divergently
+    // The body instruction is not convergent.
+    EXPECT_FALSE(a.convergent[4]);
+}
+
+TEST(Analysis, UniformBranchKeepsConvergence)
+{
+    KernelBuilder kb("k");
+    const Reg ctaid = kb.reg();
+    const Reg u = kb.reg();
+    kb.s2r(ctaid, SReg::CtaId);
+    kb.movi(u, 1);
+    const Pred p = kb.pred();
+    kb.isetpi(p, CmpOp::LT, ctaid, 4); // uniform predicate
+    kb.ifThen(p, [&] { kb.iaddi(u, u, 1); });
+    const Kernel k = kb.build();
+
+    const KernelAnalysis a = analyzeKernel(k);
+    EXPECT_TRUE(a.uniformPred[unsigned(p.idx)]);
+    EXPECT_TRUE(a.convergent[4]);                // body stays convergent
+    EXPECT_TRUE(a.uniformReg[unsigned(u.idx)]);  // write stays uniform
+}
+
+TEST(Analysis, UniformLoopCounterStaysUniform)
+{
+    KernelBuilder kb("k");
+    const Reg i = kb.reg();
+    const Reg acc = kb.reg();
+    kb.movi(acc, 0);
+    kb.forRangeI(i, 0, 10, [&] { kb.iaddi(acc, acc, 1); });
+    const Kernel k = kb.build();
+
+    const KernelAnalysis a = analyzeKernel(k);
+    // The trip count is uniform, so the loop does not diverge and both
+    // the counter and the accumulator stay uniform.
+    EXPECT_TRUE(a.uniformReg[unsigned(i.idx)]);
+    EXPECT_TRUE(a.uniformReg[unsigned(acc.idx)]);
+}
+
+TEST(Analysis, DataDependentLoopTaints)
+{
+    KernelBuilder kb("k");
+    const Reg tid = kb.reg();
+    const Reg i = kb.reg();
+    const Reg acc = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    kb.movi(acc, 0);
+    kb.forRange(i, 0, tid, [&] { kb.iaddi(acc, acc, 1); }); // bound=tid
+    const Kernel k = kb.build();
+
+    const KernelAnalysis a = analyzeKernel(k);
+    EXPECT_FALSE(a.uniformReg[unsigned(acc.idx)]);
+}
+
+TEST(Analysis, OldValueDeadWhenFullyOverwritten)
+{
+    KernelBuilder kb("k");
+    const Reg tid = kb.reg();
+    const Reg v = kb.reg();
+    const Reg out = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    kb.movi(v, 7);
+    const Pred p = kb.pred();
+    kb.isetpi(p, CmpOp::LT, tid, 4);
+    const int divergent_write = kb.here() + 1; // first body instruction
+    kb.ifThen(p, [&] { kb.iaddi(v, tid, 1); });
+    kb.mov(v, tid);   // convergent full overwrite: old v dead above
+    kb.mov(out, v);
+    kb.movi(out, 0);  // kills out
+    const Kernel k = kb.build();
+
+    const KernelAnalysis a = analyzeKernel(k);
+    EXPECT_TRUE(a.oldValueDead[std::size_t(divergent_write)]);
+}
+
+TEST(Analysis, OldValueLiveWhenReadAfterDivergentWrite)
+{
+    KernelBuilder kb("k");
+    const Reg tid = kb.reg();
+    const Reg v = kb.reg();
+    const Reg out = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    kb.movi(v, 7);
+    const Pred p = kb.pred();
+    kb.isetpi(p, CmpOp::LT, tid, 4);
+    const int divergent_write = kb.here() + 1;
+    kb.ifThen(p, [&] { kb.iaddi(v, tid, 1); });
+    kb.mov(out, v); // reads v: inactive lanes observe the old value
+    const Kernel k = kb.build();
+
+    const KernelAnalysis a = analyzeKernel(k);
+    EXPECT_FALSE(a.oldValueDead[std::size_t(divergent_write)]);
+}
+
+TEST(Analysis, StaticScalarSubsetOfConvergentUniform)
+{
+    KernelBuilder kb("k");
+    const Reg ctaid = kb.reg();
+    const Reg tid = kb.reg();
+    const Reg a1 = kb.reg();
+    const Reg a2 = kb.reg();
+    kb.s2r(ctaid, SReg::CtaId);
+    kb.s2r(tid, SReg::Tid);
+    kb.imuli(a1, ctaid, 3); // static scalar
+    kb.iadd(a2, a1, tid);   // not (tid source)
+    const Kernel k = kb.build();
+
+    const KernelAnalysis an = analyzeKernel(k);
+    EXPECT_TRUE(an.staticScalar[0]);  // s2r ctaid
+    EXPECT_FALSE(an.staticScalar[1]); // s2r tid
+    EXPECT_TRUE(an.staticScalar[2]);
+    EXPECT_FALSE(an.staticScalar[3]);
+}
+
+TEST(Analysis, ManyRegistersFallBackConservatively)
+{
+    KernelBuilder kb("k");
+    std::vector<Reg> regs;
+    for (int i = 0; i < 70; ++i)
+        regs.push_back(kb.reg());
+    const Reg tid = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    const Pred p = kb.pred();
+    kb.isetpi(p, CmpOp::LT, tid, 4);
+    kb.movi(regs[0], 1);
+    kb.ifThen(p, [&] { kb.iaddi(regs[0], tid, 1); });
+    const Kernel k = kb.build();
+
+    const KernelAnalysis a = analyzeKernel(k);
+    for (const bool dead : a.oldValueDead)
+        EXPECT_FALSE(dead); // >64 regs: claim nothing
+}
+
+} // namespace
+} // namespace gs

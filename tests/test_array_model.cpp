@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/array_model.hpp"
+
+namespace gs
+{
+namespace
+{
+
+const RfGeometry kGeo{32, 16};
+const LaneMask kFull = laneMaskLow(32);
+
+RegMeta
+writeMeta(const std::vector<Word> &v, LaneMask mask)
+{
+    return analyzeWrite(v, mask, kFull, kGeo.granularity);
+}
+
+TEST(ArrayModel, Geometry)
+{
+    EXPECT_EQ(kGeo.groups(), 2u);
+    EXPECT_EQ(kGeo.byteArrays(), 8u);  // 2 groups x 4 byte slices
+    EXPECT_EQ(kGeo.wordArrays(), 8u);  // 8 x four-lane word arrays
+    EXPECT_EQ(kGeo.regBytes(), 128u);
+
+    const RfGeometry g64{64, 16};
+    EXPECT_EQ(g64.groups(), 4u);
+    EXPECT_EQ(g64.byteArrays(), 16u);
+    EXPECT_EQ(g64.wordArrays(), 16u);
+}
+
+TEST(ArrayModel, BaselineFullRead)
+{
+    const auto c = baselineRead(kGeo);
+    EXPECT_EQ(c.arrays, 8u);
+    EXPECT_EQ(c.bvr, 0u);
+    EXPECT_EQ(c.bytes, 128u);
+}
+
+TEST(ArrayModel, BaselinePartialWriteFewerArrays)
+{
+    // Section 3.3: the baseline activates only word arrays whose 4-lane
+    // groups contain written lanes.
+    EXPECT_EQ(baselineWrite(kGeo, 0b1111).arrays, 1u);
+    EXPECT_EQ(baselineWrite(kGeo, 0b10001).arrays, 2u);
+    EXPECT_EQ(baselineWrite(kGeo, kFull).arrays, 8u);
+    EXPECT_EQ(baselineWrite(kGeo, 1).bytes, 4u);
+}
+
+TEST(ArrayModel, CompressedScalarReadFromBvrOnly)
+{
+    const RegMeta m = writeMeta(std::vector<Word>(32, 5), kFull);
+    const auto c = compressedRead(kGeo, m, kFull, true, true);
+    EXPECT_EQ(c.arrays, 0u);
+    EXPECT_EQ(c.bvr, 2u); // one per half-register set
+    EXPECT_EQ(c.bytes, 4u);
+}
+
+TEST(ArrayModel, CompressedReadActivatesOnlyDifferingSlices)
+{
+    // 3 common MSBs: one byte slice per group.
+    std::vector<Word> v;
+    for (Word i = 0; i < 32; ++i)
+        v.push_back(0xAB112200 + i);
+    const RegMeta m = writeMeta(v, kFull);
+    ASSERT_EQ(m.fullEnc, 3);
+    const auto c = compressedRead(kGeo, m, kFull, true, false);
+    EXPECT_EQ(c.arrays, 2u); // (4-3) per group x 2 groups
+    EXPECT_EQ(c.bytes, 2u * 16u);
+}
+
+TEST(ArrayModel, CompressedReadUncompressibleActivatesAll)
+{
+    std::vector<Word> v(32);
+    for (unsigned i = 0; i < 32; ++i)
+        v[i] = i * 0x01010101;
+    const RegMeta m = writeMeta(v, kFull);
+    ASSERT_EQ(m.fullEnc, 0);
+    const auto c = compressedRead(kGeo, m, kFull, true, false);
+    EXPECT_EQ(c.arrays, 8u);
+    EXPECT_EQ(c.bytes, 128u);
+}
+
+TEST(ArrayModel, DivergentStoredReadTouchedGroupsOnly)
+{
+    std::vector<Word> v(32, 9);
+    const RegMeta m = writeMeta(v, 0b0110); // divergent (group 0 only)
+    ASSERT_TRUE(m.divergent);
+    const auto lo = compressedRead(kGeo, m, 0b1, true, false);
+    EXPECT_EQ(lo.arrays, 4u); // all 4 byte slices of group 0
+    const auto both =
+        compressedRead(kGeo, m, (LaneMask{1} << 20) | 1, true, false);
+    EXPECT_EQ(both.arrays, 8u);
+}
+
+TEST(ArrayModel, DivergentWriteActivatesAllSlicesOfTouchedGroups)
+{
+    // Section 3.3: a partial update applies to decoded storage; every
+    // byte slice of a touched group activates.
+    std::vector<Word> v(32, 9);
+    const RegMeta m = writeMeta(v, 0b0110);
+    const auto c = compressedWrite(kGeo, m, true, false);
+    EXPECT_EQ(c.arrays, 4u);
+    EXPECT_EQ(c.bytes, 2u * 4u);
+}
+
+TEST(ArrayModel, ScalarWriteToBvrOnly)
+{
+    const RegMeta m = writeMeta(std::vector<Word>(32, 5), kFull);
+    const auto c = compressedWrite(kGeo, m, true, true);
+    EXPECT_EQ(c.arrays, 0u);
+    EXPECT_EQ(c.bytes, 4u);
+}
+
+TEST(ArrayModel, HalfRegisterVsFullRegisterEncoding)
+{
+    // Group 0 scalar, group 1 uncompressible: per-half encodings save
+    // arrays that a single full-warp encoding cannot.
+    std::vector<Word> v(32);
+    for (unsigned i = 0; i < 16; ++i)
+        v[i] = 0x42;
+    for (unsigned i = 16; i < 32; ++i)
+        v[i] = i * 0x01010101;
+    const RegMeta m = writeMeta(v, kFull);
+    const auto half = compressedRead(kGeo, m, kFull, true, false);
+    const auto full = compressedRead(kGeo, m, kFull, false, false);
+    EXPECT_EQ(half.arrays, 4u); // 0 + 4
+    EXPECT_EQ(full.arrays, 8u); // fullEnc == 0 everywhere
+    EXPECT_LT(half.bytes, full.bytes);
+}
+
+TEST(ArrayModel, BdiReadPacksArrays)
+{
+    std::vector<Word> v;
+    for (Word i = 0; i < 32; ++i)
+        v.push_back(1000 + i);
+    const RegMeta m = writeMeta(v, kFull);
+    ASSERT_EQ(m.bdiMode, BdiMode::BaseDelta1);
+    const auto c = bdiRead(kGeo, m, kFull);
+    // ceil(36/16) = 3 plus one misalignment activation.
+    EXPECT_EQ(c.arrays, 4u);
+    EXPECT_EQ(c.bytes, 36u);
+}
+
+TEST(ArrayModel, BdiScalarBeatsUncompressed)
+{
+    const RegMeta s = writeMeta(std::vector<Word>(32, 3), kFull);
+    const auto c = bdiRead(kGeo, s, kFull);
+    EXPECT_EQ(c.arrays, 1u);
+}
+
+TEST(ArrayModel, StoredBytesAccounting)
+{
+    const RegMeta s = writeMeta(std::vector<Word>(32, 3), kFull);
+    // Per-half: 4 base bytes each, no per-lane bytes.
+    EXPECT_EQ(byteMaskRegStoredBytes(kGeo, s, true), 8u);
+    EXPECT_EQ(byteMaskRegStoredBytes(kGeo, s, false), 8u);
+
+    std::vector<Word> v(32, 9);
+    const RegMeta d = writeMeta(v, 0b1); // divergent: stored raw
+    EXPECT_EQ(byteMaskRegStoredBytes(kGeo, d, true), 128u);
+}
+
+TEST(ArrayModel, InvalidRegisterCostsFullAccess)
+{
+    const RegMeta m;
+    EXPECT_EQ(compressedRead(kGeo, m, kFull, true, false).arrays, 8u);
+    EXPECT_EQ(bdiRead(kGeo, m, kFull).arrays, 8u);
+}
+
+} // namespace
+} // namespace gs

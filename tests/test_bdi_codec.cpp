@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/bdi_codec.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(BdiCodec, AllZero)
+{
+    const std::vector<Word> v(32, 0);
+    const auto e = analyzeBdi(v, laneMaskLow(32));
+    EXPECT_EQ(e.mode, BdiMode::Zero);
+    EXPECT_EQ(e.storedBytes, 0u);
+    EXPECT_TRUE(e.isScalar());
+}
+
+TEST(BdiCodec, Scalar)
+{
+    const std::vector<Word> v(32, 0xCAFEBABE);
+    const auto e = analyzeBdi(v, laneMaskLow(32));
+    EXPECT_EQ(e.mode, BdiMode::Scalar);
+    EXPECT_EQ(e.storedBytes, 4u);
+    EXPECT_TRUE(e.isScalar());
+}
+
+TEST(BdiCodec, Delta1)
+{
+    std::vector<Word> v;
+    for (Word i = 0; i < 32; ++i)
+        v.push_back(0x10000000 + i * 4); // deltas < 128
+    const auto e = analyzeBdi(v, laneMaskLow(32));
+    EXPECT_EQ(e.mode, BdiMode::BaseDelta1);
+    EXPECT_EQ(e.storedBytes, 4u + 32u);
+}
+
+TEST(BdiCodec, Delta2)
+{
+    std::vector<Word> v;
+    for (Word i = 0; i < 32; ++i)
+        v.push_back(0x10000000 + i * 512); // deltas < 32768
+    const auto e = analyzeBdi(v, laneMaskLow(32));
+    EXPECT_EQ(e.mode, BdiMode::BaseDelta2);
+    EXPECT_EQ(e.storedBytes, 4u + 64u);
+}
+
+TEST(BdiCodec, Uncompressible)
+{
+    std::vector<Word> v(32, 0);
+    v[7] = 0x7fffffff;
+    const auto e = analyzeBdi(v, laneMaskLow(32));
+    EXPECT_EQ(e.mode, BdiMode::Uncompressed);
+    EXPECT_EQ(e.storedBytes, 128u);
+}
+
+TEST(BdiCodec, HandlesHexBoundaryThatDefeatsByteMasking)
+{
+    // 0x3FFFFFFF vs 0x40000000: delta 1 -> BDI compresses where the
+    // byte-mask codec cannot (Section 3.1 trade-off).
+    const std::vector<Word> v = {0x3FFFFFFF, 0x40000000};
+    const auto e = analyzeBdi(v, laneMaskLow(2));
+    EXPECT_EQ(e.mode, BdiMode::BaseDelta1);
+}
+
+TEST(BdiCodec, NegativeDeltas)
+{
+    const std::vector<Word> v = {1000, 990, 1005, 920};
+    const auto e = analyzeBdi(v, laneMaskLow(4));
+    EXPECT_EQ(e.mode, BdiMode::BaseDelta1);
+}
+
+TEST(BdiCodec, InactiveLanesIgnored)
+{
+    std::vector<Word> v = {5, 0xffffffff, 5, 0xffffffff};
+    const auto e = analyzeBdi(v, 0b0101);
+    EXPECT_EQ(e.mode, BdiMode::Scalar);
+}
+
+TEST(BdiCodec, BaseIsFirstActiveLane)
+{
+    const std::vector<Word> v = {7, 42, 43, 44};
+    const auto e = analyzeBdi(v, 0b1110);
+    EXPECT_EQ(e.base, 42u);
+    EXPECT_EQ(e.mode, BdiMode::BaseDelta1);
+}
+
+TEST(BdiCodec, StoredBytesTable)
+{
+    EXPECT_EQ(bdiStoredBytes(BdiMode::Zero, 32), 0u);
+    EXPECT_EQ(bdiStoredBytes(BdiMode::Scalar, 32), 4u);
+    EXPECT_EQ(bdiStoredBytes(BdiMode::BaseDelta1, 32), 36u);
+    EXPECT_EQ(bdiStoredBytes(BdiMode::BaseDelta2, 32), 68u);
+    EXPECT_EQ(bdiStoredBytes(BdiMode::Uncompressed, 32), 128u);
+}
+
+/** Property: the delta-width boundary is exact. */
+class BdiBoundary : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BdiBoundary, DeltaBoundaries)
+{
+    const int delta = GetParam();
+    const std::vector<Word> v = {1 << 20, Word((1 << 20) + delta)};
+    const auto e = analyzeBdi(v, 0b11);
+    if (delta == 0)
+        EXPECT_EQ(e.mode, BdiMode::Scalar);
+    else if (std::abs(delta) < 128)
+        EXPECT_EQ(e.mode, BdiMode::BaseDelta1);
+    else if (std::abs(delta) < 32768)
+        EXPECT_EQ(e.mode, BdiMode::BaseDelta2);
+    else
+        EXPECT_EQ(e.mode, BdiMode::Uncompressed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Boundaries, BdiBoundary,
+                         ::testing::Values(0, 1, -1, 127, -127, 128, -128,
+                                           32767, -32767, 32768, -32768,
+                                           1000000));
+
+} // namespace
+} // namespace gs

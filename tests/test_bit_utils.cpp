@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "common/bit_utils.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(BitUtils, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0b1011), 3u);
+    EXPECT_EQ(popCount(~LaneMask{0}), 64u);
+}
+
+TEST(BitUtils, FirstLane)
+{
+    EXPECT_EQ(firstLane(0b1000), 3u);
+    EXPECT_EQ(firstLane(1), 0u);
+    EXPECT_EQ(firstLane(LaneMask{1} << 63), 63u);
+}
+
+TEST(BitUtils, ByteOf)
+{
+    const Word w = 0xC04039C8;
+    EXPECT_EQ(byteOf(w, 0), 0xC8);
+    EXPECT_EQ(byteOf(w, 1), 0x39);
+    EXPECT_EQ(byteOf(w, 2), 0x40);
+    EXPECT_EQ(byteOf(w, 3), 0xC0);
+}
+
+TEST(BitUtils, WithByte)
+{
+    Word w = 0;
+    w = withByte(w, 3, 0xAB);
+    EXPECT_EQ(w, 0xAB000000u);
+    w = withByte(w, 0, 0xCD);
+    EXPECT_EQ(w, 0xAB0000CDu);
+    w = withByte(w, 3, 0x00);
+    EXPECT_EQ(w, 0x000000CDu);
+}
+
+TEST(BitUtils, LaneMaskLow)
+{
+    EXPECT_EQ(laneMaskLow(0), 0u);
+    EXPECT_EQ(laneMaskLow(4), 0xfu);
+    EXPECT_EQ(laneMaskLow(32), 0xffffffffull);
+    EXPECT_EQ(laneMaskLow(64), ~LaneMask{0});
+}
+
+TEST(BitUtils, SingleLane)
+{
+    EXPECT_TRUE(isSingleLane(0b1000));
+    EXPECT_FALSE(isSingleLane(0b1100));
+    EXPECT_FALSE(isSingleLane(0));
+}
+
+TEST(BitUtils, CeilDivAndPow2)
+{
+    EXPECT_EQ(ceilDiv(10, 4), 3u);
+    EXPECT_EQ(ceilDiv(8, 4), 2u);
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(48));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_EQ(log2Exact(128), 7u);
+}
+
+} // namespace
+} // namespace gs

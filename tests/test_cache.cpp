@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "sim/memory/cache.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(1024, 2, 128);
+    EXPECT_FALSE(c.access(0x0, true));
+    EXPECT_TRUE(c.access(0x0, true));
+    EXPECT_TRUE(c.access(0x7c, true)); // same line
+}
+
+TEST(Cache, NoAllocateLeavesMiss)
+{
+    Cache c(1024, 2, 128);
+    EXPECT_FALSE(c.access(0x0, false));
+    EXPECT_FALSE(c.access(0x0, true));
+}
+
+TEST(Cache, SetGeometry)
+{
+    Cache c(1024, 2, 128); // 4 sets
+    EXPECT_EQ(c.numSets(), 4u);
+}
+
+TEST(Cache, LruEviction)
+{
+    Cache c(1024, 2, 128); // 4 sets x 2 ways
+    // Three lines mapping to set 0 (stride = sets*line = 512).
+    c.access(0, true);
+    c.access(512, true);
+    c.access(0, true);     // touch line 0: line 512 becomes LRU
+    c.access(1024, true);  // evicts 512
+    EXPECT_TRUE(c.access(0, true));
+    EXPECT_FALSE(c.access(512, true));
+}
+
+TEST(Cache, Clear)
+{
+    Cache c(1024, 2, 128);
+    c.access(0, true);
+    c.clear();
+    EXPECT_FALSE(c.access(0, true));
+}
+
+TEST(Cache, DistinctSetsDoNotConflict)
+{
+    Cache c(1024, 2, 128);
+    for (Addr a = 0; a < 1024; a += 128)
+        c.access(a, true); // exactly fills the cache
+    for (Addr a = 0; a < 1024; a += 128)
+        EXPECT_TRUE(c.access(a, true)) << a;
+}
+
+} // namespace
+} // namespace gs

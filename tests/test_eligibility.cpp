@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scalar/eligibility.hpp"
+
+namespace gs
+{
+namespace
+{
+
+constexpr unsigned kWarp = 32;
+constexpr unsigned kGran = 16;
+const LaneMask kFull = laneMaskLow(kWarp);
+
+EligibilityContext
+ctx(LaneMask active)
+{
+    EligibilityContext c;
+    c.active = active;
+    c.fullMask = kFull;
+    c.granularity = kGran;
+    c.warpSize = kWarp;
+    return c;
+}
+
+RegMeta
+scalarMeta(Word v)
+{
+    return analyzeWrite(std::vector<Word>(kWarp, v), kFull, kFull, kGran);
+}
+
+RegMeta
+vectorMeta()
+{
+    std::vector<Word> v(kWarp);
+    for (unsigned i = 0; i < kWarp; ++i)
+        v[i] = i * 0x01010101;
+    return analyzeWrite(v, kFull, kFull, kGran);
+}
+
+RegMeta
+divergentScalarMeta(LaneMask mask, Word v)
+{
+    std::vector<Word> vals(kWarp, 0);
+    for (unsigned i = 0; i < kWarp; ++i)
+        if (mask & (LaneMask{1} << i))
+            vals[i] = v;
+    return analyzeWrite(vals, mask, kFull, kGran);
+}
+
+Instruction
+aluInst()
+{
+    Instruction i;
+    i.op = Opcode::FADD;
+    i.dst = 0;
+    i.src[0] = 1;
+    i.src[1] = 2;
+    return i;
+}
+
+TEST(Eligibility, FullAluScalar)
+{
+    const RegMeta srcs[] = {scalarMeta(1), scalarMeta(2)};
+    const auto e = classifyScalar(aluInst(), srcs, ctx(kFull));
+    EXPECT_EQ(e.tier, ScalarTier::FullAlu);
+    EXPECT_EQ(e.scalarGroupMask, 0b11u);
+}
+
+TEST(Eligibility, VectorSourceBlocksScalar)
+{
+    const RegMeta srcs[] = {scalarMeta(1), vectorMeta()};
+    const auto e = classifyScalar(aluInst(), srcs, ctx(kFull));
+    EXPECT_EQ(e.tier, ScalarTier::None);
+}
+
+TEST(Eligibility, SfuAndMemTiers)
+{
+    Instruction sfu;
+    sfu.op = Opcode::SIN;
+    sfu.dst = 0;
+    sfu.src[0] = 1;
+    const RegMeta one[] = {scalarMeta(7)};
+    EXPECT_EQ(classifyScalar(sfu, {one, 1}, ctx(kFull)).tier,
+              ScalarTier::FullSfu);
+
+    Instruction ld;
+    ld.op = Opcode::LDG;
+    ld.dst = 0;
+    ld.src[0] = 1;
+    EXPECT_EQ(classifyScalar(ld, {one, 1}, ctx(kFull)).tier,
+              ScalarTier::FullMem);
+
+    Instruction st;
+    st.op = Opcode::STG;
+    st.src[0] = 1;
+    st.src[1] = 2;
+    const RegMeta two[] = {scalarMeta(7), scalarMeta(9)};
+    EXPECT_EQ(classifyScalar(st, {two, 2}, ctx(kFull)).tier,
+              ScalarTier::FullMem);
+}
+
+TEST(Eligibility, HalfScalar)
+{
+    // Group 0 scalar, group 1 vector.
+    std::vector<Word> v(kWarp);
+    for (unsigned i = 0; i < 16; ++i)
+        v[i] = 0x42;
+    for (unsigned i = 16; i < kWarp; ++i)
+        v[i] = i * 0x01010101;
+    const RegMeta half = analyzeWrite(v, kFull, kFull, kGran);
+
+    const RegMeta srcs[] = {half, scalarMeta(3)};
+    const auto e = classifyScalar(aluInst(), srcs, ctx(kFull));
+    EXPECT_EQ(e.tier, ScalarTier::Half);
+    EXPECT_EQ(e.scalarGroupMask, 0b01u);
+}
+
+TEST(Eligibility, TwoDistinctHalvesStillHalfScalar)
+{
+    // Section 4.3: both halves scalar with different values (FS=0).
+    std::vector<Word> v(kWarp, 0x10);
+    for (unsigned i = 16; i < kWarp; ++i)
+        v[i] = 0x20;
+    const RegMeta m = analyzeWrite(v, kFull, kFull, kGran);
+    const RegMeta srcs[] = {m, scalarMeta(3)};
+    const auto e = classifyScalar(aluInst(), srcs, ctx(kFull));
+    EXPECT_EQ(e.tier, ScalarTier::Half);
+    EXPECT_EQ(e.scalarGroupMask, 0b11u);
+}
+
+TEST(Eligibility, DivergentScalarWithMatchingMask)
+{
+    // Fig. 7(b) step 2/3: a divergently-written register is scalar only
+    // with respect to the exact mask it was written under.
+    const LaneMask m1 = 0b10001111;
+    const RegMeta d = divergentScalarMeta(m1, 0xAA);
+    const RegMeta srcs[] = {d, scalarMeta(1)};
+
+    EXPECT_EQ(classifyScalar(aluInst(), srcs, ctx(m1)).tier,
+              ScalarTier::Divergent);
+
+    const LaneMask m2 = 0b01110000; // the other path's mask
+    EXPECT_EQ(classifyScalar(aluInst(), srcs, ctx(m2)).tier,
+              ScalarTier::None);
+}
+
+TEST(Eligibility, CompressedScalarIsScalarForAnyMask)
+{
+    // A register holding one compressed scalar value (D=0, enc=1111) is
+    // scalar with respect to any divergent mask.
+    const RegMeta srcs[] = {scalarMeta(1), scalarMeta(2)};
+    const auto e = classifyScalar(aluInst(), srcs, ctx(0b1010));
+    EXPECT_EQ(e.tier, ScalarTier::Divergent);
+}
+
+TEST(Eligibility, DivergentNonUniformBlocks)
+{
+    std::vector<Word> v(kWarp, 0);
+    v[0] = 1;
+    v[1] = 999999;
+    const RegMeta d = analyzeWrite(v, 0b11, kFull, kGran);
+    const RegMeta srcs[] = {d, scalarMeta(2)};
+    EXPECT_EQ(classifyScalar(aluInst(), srcs, ctx(0b11)).tier,
+              ScalarTier::None);
+}
+
+TEST(Eligibility, NoHalfScalarOnDivergentPath)
+{
+    // Section 4.3: half-warp scalar execution is non-divergent only.
+    std::vector<Word> v(kWarp, 0x42);
+    for (unsigned i = 16; i < kWarp; ++i)
+        v[i] = i;
+    const RegMeta half = analyzeWrite(v, kFull, kFull, kGran);
+    const RegMeta srcs[] = {half, scalarMeta(3)};
+    EXPECT_EQ(classifyScalar(aluInst(), srcs, ctx(0b111)).tier,
+              ScalarTier::None);
+}
+
+TEST(Eligibility, S2RUniformity)
+{
+    Instruction s2r;
+    s2r.op = Opcode::S2R;
+    s2r.dst = 0;
+
+    auto c = ctx(kFull);
+    c.sregUniform = true;
+    EXPECT_EQ(classifyScalar(s2r, {}, c).tier, ScalarTier::FullAlu);
+    c.sregUniform = false;
+    EXPECT_EQ(classifyScalar(s2r, {}, c).tier, ScalarTier::None);
+}
+
+TEST(Eligibility, SelNeedsUniformPredicate)
+{
+    Instruction sel;
+    sel.op = Opcode::SEL;
+    sel.dst = 0;
+    sel.src[0] = 1;
+    sel.src[1] = 2;
+    sel.psrc = 0;
+    const RegMeta srcs[] = {scalarMeta(1), scalarMeta(2)};
+
+    auto c = ctx(kFull);
+    c.predUniform = false;
+    c.predUniformGroups = 0;
+    EXPECT_EQ(classifyScalar(sel, srcs, c).tier, ScalarTier::None);
+    c.predUniform = true;
+    EXPECT_EQ(classifyScalar(sel, srcs, c).tier, ScalarTier::FullAlu);
+}
+
+TEST(Eligibility, ControlAndSmovNeverScalar)
+{
+    Instruction bra;
+    bra.op = Opcode::BRA;
+    EXPECT_EQ(classifyScalar(bra, {}, ctx(kFull)).tier,
+              ScalarTier::None);
+
+    Instruction smov;
+    smov.op = Opcode::SMOV;
+    smov.dst = 0;
+    smov.src[0] = 0;
+    const RegMeta srcs[] = {scalarMeta(1)};
+    EXPECT_EQ(classifyScalar(smov, {srcs, 1}, ctx(kFull)).tier,
+              ScalarTier::None);
+}
+
+TEST(Eligibility, UnwrittenSourceBlocksDivergentScalar)
+{
+    const RegMeta invalid;
+    const RegMeta srcs[] = {invalid};
+    Instruction mov;
+    mov.op = Opcode::MOV;
+    mov.dst = 0;
+    mov.src[0] = 1;
+    EXPECT_EQ(classifyScalar(mov, {srcs, 1}, ctx(0b1)).tier,
+              ScalarTier::None);
+}
+
+TEST(Eligibility, TierExploitationByMode)
+{
+    using T = ScalarTier;
+    using M = ArchMode;
+    EXPECT_FALSE(tierExploited(T::FullAlu, M::Baseline));
+    EXPECT_TRUE(tierExploited(T::FullAlu, M::AluScalar));
+    EXPECT_FALSE(tierExploited(T::FullSfu, M::AluScalar));
+    EXPECT_TRUE(tierExploited(T::FullSfu, M::GScalarNoDiv));
+    EXPECT_TRUE(tierExploited(T::FullMem, M::GScalarNoDiv));
+    EXPECT_FALSE(tierExploited(T::Half, M::GScalarNoDiv));
+    EXPECT_FALSE(tierExploited(T::Divergent, M::GScalarNoDiv));
+    EXPECT_TRUE(tierExploited(T::Half, M::GScalarFull));
+    EXPECT_TRUE(tierExploited(T::Divergent, M::GScalarFull));
+    EXPECT_FALSE(tierExploited(T::FullAlu, M::WarpedCompression));
+    EXPECT_FALSE(tierExploited(T::None, M::GScalarFull));
+}
+
+} // namespace
+} // namespace gs

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "power/energy_model.hpp"
+
+namespace gs
+{
+namespace
+{
+
+EventCounts
+syntheticRun()
+{
+    // Roughly a 15-SM GPU sustaining ~12 warp instructions per cycle
+    // on a compute-heavy mix.
+    EventCounts e;
+    e.cycles = 1'000'000;
+    e.warpInsts = 12'000'000;
+    e.issuedInsts = 12'000'000;
+    e.aluLaneOps = 240'000'000;
+    e.aluEnergyUnits = 240'000'000;
+    e.sfuLaneOps = 8'000'000;
+    e.sfuEnergyUnits = 96'000'000;
+    e.memLaneOps = 32'000'000;
+    e.rfArrayReads = 160'000'000;
+    e.rfArrayWrites = 72'000'000;
+    e.crossbarBytes = 2'400'000'000;
+    e.ocAllocations = 9'600'000;
+    e.l1Accesses = 4'000'000;
+    e.l2Accesses = 800'000;
+    e.dramAccesses = 320'000;
+    return e;
+}
+
+TEST(EnergyModel, TotalIsSumOfComponents)
+{
+    ArchConfig cfg;
+    const PowerReport r = computePower(syntheticRun(), cfg);
+    EXPECT_NEAR(r.totalW,
+                r.frontendW + r.executeW + r.regFileW + r.codecW +
+                    r.memoryW + r.staticW,
+                1e-9);
+    EXPECT_GT(r.totalW, 0.0);
+    EXPECT_GT(r.ipcPerWatt(), 0.0);
+}
+
+TEST(EnergyModel, SfuSubsetOfExecute)
+{
+    const PowerReport r = computePower(syntheticRun(), ArchConfig{});
+    EXPECT_LE(r.sfuW, r.executeW);
+    EXPECT_GT(r.sfuW, 0.0);
+}
+
+TEST(EnergyModel, ComponentSharesMatchGpuWattchBands)
+{
+    // On a compute-intensive mix, execution units and register file
+    // should sit near GPUWattch's published shares (~24 % and ~16 %).
+    const PowerReport r = computePower(syntheticRun(), ArchConfig{});
+    const double exe = r.executeW / r.totalW;
+    const double rf = r.regFileW / r.totalW;
+    EXPECT_GT(exe, 0.15);
+    EXPECT_LT(exe, 0.45);
+    EXPECT_GT(rf, 0.10);
+    EXPECT_LT(rf, 0.35);
+}
+
+TEST(EnergyModel, CodecPowerOnlyInCompressionModes)
+{
+    EventCounts e = syntheticRun();
+    ArchConfig cfg;
+    cfg.mode = ArchMode::Baseline;
+    EXPECT_EQ(computePower(e, cfg).codecW, 0.0);
+
+    e.compressorUses = 5'000'000;
+    e.decompressorUses = 20'000'000;
+    cfg.mode = ArchMode::GScalarFull;
+    EXPECT_GT(computePower(e, cfg).codecW, 0.0);
+}
+
+TEST(EnergyModel, ZeroCyclesYieldsEmptyReport)
+{
+    const PowerReport r = computePower(EventCounts{}, ArchConfig{});
+    EXPECT_EQ(r.totalW, 0.0);
+    EXPECT_EQ(r.ipcPerWatt(), 0.0);
+}
+
+TEST(EnergyModel, MoreEventsMorePower)
+{
+    EventCounts a = syntheticRun();
+    EventCounts b = a;
+    b.aluEnergyUnits *= 2;
+    b.rfArrayReads *= 2;
+    const ArchConfig cfg;
+    EXPECT_GT(computePower(b, cfg).totalW, computePower(a, cfg).totalW);
+}
+
+TEST(EnergyModel, RfBreakdownOrdering)
+{
+    // Over a scalar-rich stream: ours < scalar-only < baseline.
+    EventCounts e;
+    e.shadowBaseArrayReads = 8'000'000;
+    e.shadowBaseArrayWrites = 4'000'000;
+    e.shadowScalarArrayReads = 5'000'000;
+    e.shadowScalarArrayWrites = 2'500'000;
+    e.shadowScalarRfAccesses = 4'500'000;
+    e.shadowOursArrayReads = 3'000'000;
+    e.shadowOursArrayWrites = 1'500'000;
+    e.shadowOursBvrAccesses = 6'000'000;
+    e.bdiArrayReads = 4'000'000;
+    e.bdiArrayWrites = 2'000'000;
+    e.bdiMetaAccesses = 3'000'000;
+
+    const RfEnergyBreakdown b = computeRfEnergy(e);
+    EXPECT_LT(b.oursJ, b.scalarOnlyJ);
+    EXPECT_LT(b.oursJ, b.bdiJ);
+    EXPECT_LT(b.scalarOnlyJ, b.baselineJ);
+    EXPECT_LT(b.bdiJ, b.baselineJ);
+}
+
+TEST(EnergyModel, DescribeMentionsComponents)
+{
+    const PowerReport r = computePower(syntheticRun(), ArchConfig{});
+    const std::string s = r.describe();
+    EXPECT_NE(s.find("register file"), std::string::npos);
+    EXPECT_NE(s.find("IPC/W"), std::string::npos);
+}
+
+TEST(EnergyModel, BvrEnergyIsPaperFraction)
+{
+    // Section 5.1: a BVR/EBR access costs 5.2 % of a full 1024-bit
+    // register access (8 arrays).
+    const EnergyParams p;
+    EXPECT_NEAR(p.eBvrAccessPj / (8 * p.eArrayAccessPj), 0.052, 1e-9);
+}
+
+} // namespace
+} // namespace gs

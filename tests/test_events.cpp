@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "common/events.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(EventCounts, DefaultsZero)
+{
+    const EventCounts e;
+    EXPECT_EQ(e.cycles, 0u);
+    EXPECT_EQ(e.warpInsts, 0u);
+    EXPECT_EQ(e.ipc(), 0.0);
+    EXPECT_EQ(e.compressionRatio(), 1.0);
+    EXPECT_EQ(e.bdiCompressionRatio(), 1.0);
+}
+
+TEST(EventCounts, MergeSumsCountersAndMaxesCycles)
+{
+    EventCounts a, b;
+    a.cycles = 100;
+    b.cycles = 150; // lock-step SMs: wall time is the max
+    a.warpInsts = 10;
+    b.warpInsts = 20;
+    a.rfArrayReads = 5;
+    b.rfArrayReads = 7;
+    a.sfuEnergyUnits = 1.5;
+    b.sfuEnergyUnits = 2.5;
+    a.shadowOursBvrAccesses = 3;
+    b.shadowOursBvrAccesses = 4;
+    a.staticScalarInsts = 1;
+    b.staticScalarInsts = 2;
+
+    a += b;
+    EXPECT_EQ(a.cycles, 150u);
+    EXPECT_EQ(a.warpInsts, 30u);
+    EXPECT_EQ(a.rfArrayReads, 12u);
+    EXPECT_DOUBLE_EQ(a.sfuEnergyUnits, 4.0);
+    EXPECT_EQ(a.shadowOursBvrAccesses, 7u);
+    EXPECT_EQ(a.staticScalarInsts, 3u);
+}
+
+TEST(EventCounts, Ipc)
+{
+    EventCounts e;
+    e.cycles = 200;
+    e.warpInsts = 500;
+    EXPECT_DOUBLE_EQ(e.ipc(), 2.5);
+}
+
+TEST(EventCounts, CompressionRatios)
+{
+    EventCounts e;
+    e.compBytesUncompressed = 1280;
+    e.compBytesCompressed = 640;
+    e.bdiBytesUncompressed = 1280;
+    e.bdiBytesCompressed = 320;
+    EXPECT_DOUBLE_EQ(e.compressionRatio(), 2.0);
+    EXPECT_DOUBLE_EQ(e.bdiCompressionRatio(), 4.0);
+}
+
+TEST(EventCounts, MergeIsAssociativeOnCounters)
+{
+    EventCounts a, b, c;
+    a.l1Misses = 1;
+    b.l1Misses = 2;
+    c.l1Misses = 4;
+    EventCounts ab = a;
+    ab += b;
+    ab += c;
+    EventCounts bc = b;
+    bc += c;
+    EventCounts abc = a;
+    abc += bc;
+    EXPECT_EQ(ab.l1Misses, abc.l1Misses);
+}
+
+} // namespace
+} // namespace gs

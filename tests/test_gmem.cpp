@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "sim/gmem.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(GlobalMemory, ZeroInitialised)
+{
+    GlobalMemory m;
+    EXPECT_EQ(m.readWord(0), 0u);
+    EXPECT_EQ(m.readWord(0x123450), 0u);
+    EXPECT_EQ(m.pageCount(), 0u); // reads allocate nothing
+}
+
+TEST(GlobalMemory, ReadBack)
+{
+    GlobalMemory m;
+    m.writeWord(0x100, 0xdeadbeef);
+    EXPECT_EQ(m.readWord(0x100), 0xdeadbeefu);
+    EXPECT_EQ(m.readWord(0x104), 0u);
+}
+
+TEST(GlobalMemory, PageBoundary)
+{
+    GlobalMemory m;
+    m.writeWord(4092, 0x11);
+    m.writeWord(4096, 0x22);
+    EXPECT_EQ(m.readWord(4092), 0x11u);
+    EXPECT_EQ(m.readWord(4096), 0x22u);
+    EXPECT_EQ(m.pageCount(), 2u);
+}
+
+TEST(GlobalMemory, SparsePages)
+{
+    GlobalMemory m;
+    m.writeWord(0, 1);
+    m.writeWord(1ull << 30, 2);
+    EXPECT_EQ(m.pageCount(), 2u);
+    EXPECT_EQ(m.readWord(1ull << 30), 2u);
+}
+
+TEST(GlobalMemory, FillAndReadWords)
+{
+    GlobalMemory m;
+    m.fillWords(0x2000, {1, 2, 3, 4});
+    const auto v = m.readWords(0x2000, 4);
+    EXPECT_EQ(v, (std::vector<Word>{1, 2, 3, 4}));
+}
+
+TEST(GlobalMemoryDeath, UnalignedAccessPanics)
+{
+    GlobalMemory m;
+    EXPECT_DEATH(m.writeWord(3, 1), "unaligned");
+    EXPECT_DEATH(m.readWord(5), "unaligned");
+}
+
+} // namespace
+} // namespace gs

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "power/hardware_cost.hpp"
+
+namespace gs
+{
+namespace
+{
+
+/** Paper Table 3 reference values. */
+constexpr double kPaperDecompArea = 7332, kPaperDecompDelay = 0.35,
+                 kPaperDecompPower = 15.86;
+constexpr double kPaperCompArea = 11624, kPaperCompDelay = 0.67,
+                 kPaperCompPower = 16.22;
+
+void
+expectWithin(double value, double reference, double tolerance,
+             const char *what)
+{
+    EXPECT_NEAR(value, reference, reference * tolerance) << what;
+}
+
+TEST(HardwareCost, DecompressorMatchesTable3)
+{
+    const BlockCost c = decompressorCost();
+    expectWithin(c.areaUm2, kPaperDecompArea, 0.15, "area");
+    expectWithin(c.delayNs, kPaperDecompDelay, 0.15, "delay");
+    expectWithin(c.powerMw, kPaperDecompPower, 0.15, "power");
+}
+
+TEST(HardwareCost, CompressorMatchesTable3)
+{
+    const BlockCost c = compressorCost();
+    expectWithin(c.areaUm2, kPaperCompArea, 0.15, "area");
+    expectWithin(c.delayNs, kPaperCompDelay, 0.15, "delay");
+    expectWithin(c.powerMw, kPaperCompPower, 0.20, "power");
+}
+
+TEST(HardwareCost, CompressorBiggerAndSlowerThanDecompressor)
+{
+    const BlockCost comp = compressorCost();
+    const BlockCost decomp = decompressorCost();
+    EXPECT_GT(comp.areaUm2, decomp.areaUm2);
+    EXPECT_GT(comp.delayNs, decomp.delayNs);
+}
+
+TEST(HardwareCost, BothMeetCycleTimeAt1_4GHz)
+{
+    // Section 3: one cycle suffices for each stage at 1.4 GHz.
+    const double cycle_ns = 1.0 / 1.4;
+    EXPECT_LT(compressorCost().delayNs, cycle_ns);
+    EXPECT_LT(decompressorCost().delayNs, cycle_ns);
+}
+
+TEST(HardwareCost, OurCompressorCheaperThanBdi)
+{
+    // Section 5.3: our codec occupies ~52 % of the BDI implementation.
+    const double ratio =
+        compressorCost().areaUm2 / bdiCompressorCost().areaUm2;
+    EXPECT_GT(ratio, 0.40);
+    EXPECT_LT(ratio, 0.70);
+}
+
+TEST(HardwareCost, PerSmOverheadsMatchSection51)
+{
+    const SmOverheads o = smOverheads();
+    EXPECT_EQ(o.decompressorsPerSm, 16u); // one per operand collector
+    EXPECT_EQ(o.compressorsPerSm, 4u);    // one per execution pipeline
+    expectWithin(o.codecPowerPerSmW, 0.32, 0.25, "per-SM codec power");
+    expectWithin(o.codecAreaPerSmMm2, 0.16, 0.15, "per-SM codec area");
+    EXPECT_DOUBLE_EQ(o.rfAreaOverheadSingle, 0.03);
+    EXPECT_DOUBLE_EQ(o.rfAreaOverheadHalf, 0.07);
+}
+
+TEST(HardwareCost, ScalesWithGeometry)
+{
+    CodecGeometry wide;
+    wide.lanes = 64;
+    wide.pipelineBits = 2048;
+    EXPECT_GT(compressorCost(wide).areaUm2, compressorCost().areaUm2);
+    EXPECT_GT(decompressorCost(wide).powerMw,
+              decompressorCost().powerMw);
+}
+
+TEST(HardwareCost, FasterClockMorePower)
+{
+    TechParams t;
+    t.clockGhz = 2.8;
+    EXPECT_NEAR(compressorCost({}, t).powerMw,
+                2 * compressorCost().powerMw, 1e-6);
+}
+
+TEST(HardwareCost, DescribeShowsModelAndPaper)
+{
+    const std::string s = describeHardwareCost();
+    EXPECT_NE(s.find("Table 3"), std::string::npos);
+    EXPECT_NE(s.find("7332"), std::string::npos);
+    EXPECT_NE(s.find("decompressor"), std::string::npos);
+}
+
+} // namespace
+} // namespace gs

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(KernelBuilder, BuildAppendsExitAndValidates)
+{
+    KernelBuilder kb("k");
+    const Reg a = kb.reg();
+    kb.movi(a, 1);
+    const Kernel k = kb.build();
+    ASSERT_EQ(k.code.size(), 2u);
+    EXPECT_EQ(k.code.back().op, Opcode::EXIT);
+    EXPECT_EQ(k.numRegs, 1u);
+}
+
+TEST(KernelBuilder, RegisterAndPredAllocation)
+{
+    KernelBuilder kb("k");
+    EXPECT_EQ(kb.reg().idx, 0);
+    EXPECT_EQ(kb.reg().idx, 1);
+    EXPECT_EQ(kb.pred().idx, 0);
+    EXPECT_EQ(kb.pred().idx, 1);
+    EXPECT_EQ(kb.shared(8), 0u);
+    EXPECT_EQ(kb.shared(3), 8u);  // 4-byte aligned
+    EXPECT_EQ(kb.shared(4), 12u);
+}
+
+TEST(KernelBuilder, IfThenBranchShape)
+{
+    KernelBuilder kb("k");
+    const Reg a = kb.reg();
+    const Pred p = kb.pred();
+    kb.movi(a, 0);
+    kb.isetpi(p, CmpOp::EQ, a, 0);
+    kb.ifThen(p, [&] { kb.iaddi(a, a, 1); });
+    const Kernel k = kb.build();
+
+    const Instruction &bra = k.code[2];
+    ASSERT_EQ(bra.op, Opcode::BRA);
+    EXPECT_EQ(bra.guard, p.idx);
+    EXPECT_TRUE(bra.guardNeg); // !p lanes skip the body
+    EXPECT_EQ(bra.target, 4);  // past the single-instruction body
+    EXPECT_EQ(bra.reconv, 4);
+}
+
+TEST(KernelBuilder, IfElseBranchShape)
+{
+    KernelBuilder kb("k");
+    const Reg a = kb.reg();
+    const Pred p = kb.pred();
+    kb.isetpi(p, CmpOp::EQ, a, 0);
+    kb.ifElse(
+        p, [&] { kb.iaddi(a, a, 1); }, [&] { kb.iaddi(a, a, 2); });
+    const Kernel k = kb.build();
+
+    // 0: isetp, 1: bra, 2: then, 3: jmp, 4: else, 5: exit
+    const Instruction &bra = k.code[1];
+    ASSERT_EQ(bra.op, Opcode::BRA);
+    EXPECT_EQ(bra.target, 4); // else block
+    EXPECT_EQ(bra.reconv, 5); // after both
+    const Instruction &jmp = k.code[3];
+    ASSERT_EQ(jmp.op, Opcode::JMP);
+    EXPECT_EQ(jmp.target, 5);
+}
+
+TEST(KernelBuilder, ForRangeShape)
+{
+    KernelBuilder kb("k");
+    const Reg i = kb.reg();
+    const Reg a = kb.reg();
+    kb.forRangeI(i, 0, 4, [&] { kb.iaddi(a, a, 1); });
+    const Kernel k = kb.build();
+
+    // 0: movi i, 1: isetp, 2: bra exit, 3: body, 4: iaddi i, 5: jmp, 6: exit
+    EXPECT_EQ(k.code[0].op, Opcode::MOV);
+    EXPECT_EQ(k.code[1].op, Opcode::ISETP);
+    const Instruction &bra = k.code[2];
+    ASSERT_EQ(bra.op, Opcode::BRA);
+    EXPECT_EQ(bra.target, 6);
+    EXPECT_EQ(bra.reconv, 6);
+    const Instruction &jmp = k.code[5];
+    ASSERT_EQ(jmp.op, Opcode::JMP);
+    EXPECT_EQ(jmp.target, 1); // back to the condition
+}
+
+TEST(KernelBuilder, PredicatedRegionSetsGuards)
+{
+    KernelBuilder kb("k");
+    const Reg a = kb.reg();
+    const Pred p = kb.pred();
+    kb.movi(a, 0);
+    kb.predicated(p, /*neg=*/true, [&] {
+        kb.iaddi(a, a, 1);
+        kb.iaddi(a, a, 2);
+    });
+    kb.iaddi(a, a, 3);
+    const Kernel k = kb.build();
+
+    EXPECT_EQ(k.code[1].guard, p.idx);
+    EXPECT_TRUE(k.code[1].guardNeg);
+    EXPECT_EQ(k.code[2].guard, p.idx);
+    EXPECT_EQ(k.code[3].guard, kNoPred);
+}
+
+TEST(KernelBuilder, DisassembleContainsMnemonics)
+{
+    KernelBuilder kb("demo");
+    const Reg a = kb.reg();
+    const Reg b = kb.reg();
+    kb.movi(a, 7);
+    kb.ldg(b, a, 4);
+    kb.stg(a, b);
+    const Kernel k = kb.build();
+    const std::string d = k.disassemble();
+    EXPECT_NE(d.find("demo"), std::string::npos);
+    EXPECT_NE(d.find("mov"), std::string::npos);
+    EXPECT_NE(d.find("ldg"), std::string::npos);
+    EXPECT_NE(d.find("stg"), std::string::npos);
+    EXPECT_NE(d.find("exit"), std::string::npos);
+}
+
+TEST(KernelBuilderDeath, ValidateRejectsBadRegister)
+{
+    Kernel k;
+    k.name = "bad";
+    Instruction i;
+    i.op = Opcode::MOV;
+    i.dst = 5; // out of range: numRegs == 1
+    i.src[0] = 0;
+    k.code.push_back(i);
+    Instruction e;
+    e.op = Opcode::EXIT;
+    k.code.push_back(e);
+    k.numRegs = 1;
+    EXPECT_EXIT(k.validate(), ::testing::ExitedWithCode(1), "exceeds");
+}
+
+TEST(KernelBuilderDeath, ValidateRejectsMissingExit)
+{
+    Kernel k;
+    k.name = "bad";
+    Instruction i;
+    i.op = Opcode::BAR;
+    k.code.push_back(i);
+    EXPECT_EXIT(k.validate(), ::testing::ExitedWithCode(1),
+                "does not end with EXIT");
+}
+
+TEST(KernelBuilderDeath, ValidateRejectsWildBranch)
+{
+    Kernel k;
+    k.name = "bad";
+    Instruction b;
+    b.op = Opcode::JMP;
+    b.target = 99;
+    k.code.push_back(b);
+    Instruction e;
+    e.op = Opcode::EXIT;
+    k.code.push_back(e);
+    EXPECT_EXIT(k.validate(), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+} // namespace
+} // namespace gs

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Cross-module property tests: invariants that must hold for arbitrary
+ * register contents and masks, swept with parameterized randomness.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bit_utils.hpp"
+#include "common/rng.hpp"
+#include "compress/array_model.hpp"
+#include "compress/bdi_codec.hpp"
+#include "compress/byte_mask_codec.hpp"
+#include "compress/reg_meta.hpp"
+#include "scalar/eligibility.hpp"
+
+namespace gs
+{
+namespace
+{
+
+constexpr unsigned kWarp = 32;
+const LaneMask kFull = laneMaskLow(kWarp);
+const RfGeometry kGeo{32, 16};
+
+std::vector<Word>
+randomPattern(Rng &rng)
+{
+    std::vector<Word> v(kWarp);
+    // Mix of pattern families so all enc classes appear.
+    const auto family = rng.below(5);
+    const Word base = rng.next32();
+    for (unsigned i = 0; i < kWarp; ++i) {
+        switch (family) {
+          case 0: v[i] = base; break;
+          case 1: v[i] = base + Word(rng.below(256)); break;
+          case 2: v[i] = base + Word(rng.below(65536)); break;
+          case 3: v[i] = base + i * 4; break;
+          default: v[i] = rng.next32(); break;
+        }
+    }
+    return v;
+}
+
+LaneMask
+randomMask(Rng &rng)
+{
+    LaneMask m = rng.next32();
+    if (m == 0)
+        m = 1;
+    return m & kFull;
+}
+
+class RandomizedProperties : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    Rng rng{GetParam() * 0x9e3779b9ull + 12345};
+};
+
+TEST_P(RandomizedProperties, EncodingConsistentWithValues)
+{
+    for (int iter = 0; iter < 50; ++iter) {
+        const auto v = randomPattern(rng);
+        const LaneMask m = randomMask(rng);
+        const auto e = analyzeByteMask(v, m);
+
+        // Every active lane must share exactly the claimed MSB prefix.
+        const unsigned base_lane = firstLane(m);
+        for (unsigned lane = 0; lane < kWarp; ++lane) {
+            if (!(m & (LaneMask{1} << lane)))
+                continue;
+            for (unsigned b = 0; b < e.commonMsbs; ++b)
+                EXPECT_EQ(byteOf(v[lane], 3 - b),
+                          byteOf(v[base_lane], 3 - b));
+        }
+        // Maximality: if commonMsbs < 4, some active lane differs at
+        // the next byte.
+        if (e.commonMsbs < 4) {
+            bool differs = false;
+            for (unsigned lane = 0; lane < kWarp; ++lane)
+                if (m & (LaneMask{1} << lane))
+                    differs |= byteOf(v[lane], 3 - e.commonMsbs) !=
+                               byteOf(v[base_lane], 3 - e.commonMsbs);
+            EXPECT_TRUE(differs);
+        }
+    }
+}
+
+TEST_P(RandomizedProperties, MaskingNeverLowersEncoding)
+{
+    // Comparing fewer lanes can only find more common bytes.
+    for (int iter = 0; iter < 50; ++iter) {
+        const auto v = randomPattern(rng);
+        const LaneMask m = randomMask(rng);
+        const LaneMask sub = m & randomMask(rng);
+        if (sub == 0)
+            continue;
+        EXPECT_GE(analyzeByteMask(v, sub).commonMsbs,
+                  analyzeByteMask(v, m).commonMsbs);
+    }
+}
+
+TEST_P(RandomizedProperties, SoftwareCodecRoundtrips)
+{
+    for (int iter = 0; iter < 50; ++iter) {
+        const auto v = randomPattern(rng);
+        const auto enc = analyzeByteMask(v, kFull);
+        const auto stored = byteMaskCompress(v);
+        EXPECT_EQ(byteMaskDecompress(stored, enc.commonMsbs, kWarp), v);
+    }
+}
+
+TEST_P(RandomizedProperties, StoredSizesNeverExceedRaw)
+{
+    for (int iter = 0; iter < 50; ++iter) {
+        const auto v = randomPattern(rng);
+        const LaneMask m = randomMask(rng);
+        const RegMeta meta = analyzeWrite(v, m, kFull, 16);
+        EXPECT_LE(byteMaskRegStoredBytes(kGeo, meta, true),
+                  kGeo.regBytes());
+        EXPECT_LE(meta.bdiBytes, kGeo.regBytes());
+    }
+}
+
+TEST_P(RandomizedProperties, AccessCostsBounded)
+{
+    for (int iter = 0; iter < 50; ++iter) {
+        const auto v = randomPattern(rng);
+        const LaneMask wm = randomMask(rng);
+        const RegMeta meta = analyzeWrite(v, wm, kFull, 16);
+        const LaneMask rm = randomMask(rng);
+
+        for (const bool half : {false, true}) {
+            const auto rd = compressedRead(kGeo, meta, rm, half, false);
+            EXPECT_LE(rd.arrays, kGeo.byteArrays());
+            EXPECT_LE(rd.bytes, kGeo.regBytes());
+            const auto wr = compressedWrite(kGeo, meta, half, false);
+            EXPECT_LE(wr.arrays, kGeo.byteArrays());
+        }
+        const auto b = bdiRead(kGeo, meta, rm);
+        EXPECT_LE(b.arrays, kGeo.byteArrays());
+        // Baseline never beaten by a *larger* compressed activation.
+        EXPECT_LE(compressedRead(kGeo, meta, kFull, true, false).arrays,
+                  baselineRead(kGeo).arrays);
+    }
+}
+
+TEST_P(RandomizedProperties, ScalarEligibilityImpliesUniformValues)
+{
+    // If classifyScalar grants any full/divergent scalar tier, all
+    // active lanes of every source must hold identical words.
+    for (int iter = 0; iter < 50; ++iter) {
+        const auto v0 = randomPattern(rng);
+        const auto v1 = randomPattern(rng);
+        const LaneMask wm = randomMask(rng);
+        const LaneMask active = rng.chance(0.5) ? kFull : wm;
+
+        const RegMeta m0 = analyzeWrite(v0, wm, kFull, 16);
+        const RegMeta m1 = analyzeWrite(v1, kFull, kFull, 16);
+        const RegMeta srcs[] = {m0, m1};
+
+        Instruction add;
+        add.op = Opcode::IADD;
+        add.dst = 0;
+        add.src[0] = 1;
+        add.src[1] = 2;
+
+        EligibilityContext c;
+        c.active = active;
+        c.fullMask = kFull;
+        c.granularity = 16;
+        c.warpSize = kWarp;
+        const auto e = classifyScalar(add, srcs, c);
+
+        if (e.tier == ScalarTier::FullAlu ||
+            e.tier == ScalarTier::Divergent) {
+            const unsigned lane0 = firstLane(active);
+            for (unsigned lane = 0; lane < kWarp; ++lane) {
+                if (!(active & (LaneMask{1} << lane)))
+                    continue;
+                EXPECT_EQ(v0[lane], v0[lane0]) << "tier "
+                                               << tierName(e.tier);
+                EXPECT_EQ(v1[lane], v1[lane0]);
+            }
+        }
+    }
+}
+
+TEST_P(RandomizedProperties, BdiSizeValid)
+{
+    for (int iter = 0; iter < 50; ++iter) {
+        const auto v = randomPattern(rng);
+        const auto e = analyzeBdi(v, kFull);
+        EXPECT_EQ(e.storedBytes, bdiStoredBytes(e.mode, kWarp));
+        // Scalar values always compress to at most 4 bytes under BDI.
+        if (analyzeByteMask(v, kFull).isScalar()) {
+            EXPECT_LE(e.storedBytes, 4u);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedProperties,
+                         ::testing::Range(0u, 8u));
+
+} // namespace
+} // namespace gs

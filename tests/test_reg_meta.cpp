@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/reg_meta.hpp"
+
+namespace gs
+{
+namespace
+{
+
+constexpr unsigned kWarp = 32;
+constexpr unsigned kGran = 16;
+const LaneMask kFull = laneMaskLow(kWarp);
+
+std::vector<Word>
+scalarReg(Word v)
+{
+    return std::vector<Word>(kWarp, v);
+}
+
+TEST(RegMeta, NonDivergentScalarWrite)
+{
+    const auto v = scalarReg(0x1234);
+    const RegMeta m = analyzeWrite(v, kFull, kFull, kGran);
+    EXPECT_TRUE(m.valid);
+    EXPECT_FALSE(m.divergent);
+    EXPECT_EQ(m.fullEnc, 4);
+    EXPECT_EQ(m.fullBase, 0x1234u);
+    EXPECT_TRUE(m.fullScalar());
+    EXPECT_TRUE(m.groupScalar(0));
+    EXPECT_TRUE(m.groupScalar(1));
+}
+
+TEST(RegMeta, HalfScalarTwoDistinctValues)
+{
+    // First half holds A, second half holds B: each group scalar, FS
+    // would be 0 (Section 4.3).
+    std::vector<Word> v(kWarp, 0xAAAA0000);
+    for (unsigned i = 16; i < 32; ++i)
+        v[i] = 0xBBBB0000;
+    const RegMeta m = analyzeWrite(v, kFull, kFull, kGran);
+    EXPECT_TRUE(m.groupScalar(0));
+    EXPECT_TRUE(m.groupScalar(1));
+    EXPECT_FALSE(m.fullScalar());
+    EXPECT_EQ(m.groupBase[0], 0xAAAA0000u);
+    EXPECT_EQ(m.groupBase[1], 0xBBBB0000u);
+}
+
+TEST(RegMeta, DivergentWriteStoresMask)
+{
+    // Fig. 6: a divergent write with a uniform value over active lanes
+    // records enc = 1111 and keeps the active mask in the BVR.
+    std::vector<Word> v(kWarp, 0);
+    const LaneMask mask = 0b10101100;
+    for (unsigned i = 0; i < kWarp; ++i)
+        if (mask & (LaneMask{1} << i))
+            v[i] = 0xAA;
+    const RegMeta m = analyzeWrite(v, mask, kFull, kGran);
+    EXPECT_TRUE(m.divergent);
+    EXPECT_EQ(m.fullEnc, 4);
+    EXPECT_EQ(m.writeMask, mask);
+    EXPECT_FALSE(m.fullScalar()); // D=1 suppresses the FS view
+    EXPECT_FALSE(m.groupScalar(0));
+}
+
+TEST(RegMeta, DivergentWriteNonUniformValues)
+{
+    std::vector<Word> v(kWarp, 0);
+    v[0] = 0x11;
+    v[2] = 0x22334455;
+    const RegMeta m = analyzeWrite(v, 0b101, kFull, kGran);
+    EXPECT_TRUE(m.divergent);
+    EXPECT_LT(m.fullEnc, 4);
+}
+
+TEST(RegMeta, PartialWarpFullMaskIsNonDivergent)
+{
+    // A warp owning only 8 lanes writing all 8 is not divergent.
+    const LaneMask full8 = laneMaskLow(8);
+    std::vector<Word> v(8, 7);
+    const RegMeta m = analyzeWrite(v, full8, full8, 8);
+    EXPECT_FALSE(m.divergent);
+    EXPECT_TRUE(m.fullScalar());
+}
+
+TEST(RegMeta, ShadowBdiTracked)
+{
+    std::vector<Word> v;
+    for (Word i = 0; i < kWarp; ++i)
+        v.push_back(100 + i);
+    const RegMeta m = analyzeWrite(v, kFull, kFull, kGran);
+    EXPECT_EQ(m.bdiMode, BdiMode::BaseDelta1);
+    EXPECT_EQ(m.bdiBytes, 4u + kWarp);
+}
+
+TEST(RegMeta, GroupEncIndependentPerGroup)
+{
+    std::vector<Word> v;
+    for (unsigned i = 0; i < 16; ++i)
+        v.push_back(0xAB000000 + i); // 3-byte common in group 0
+    for (unsigned i = 0; i < 16; ++i)
+        v.push_back(0x11223344);     // scalar in group 1
+    const RegMeta m = analyzeWrite(v, kFull, kFull, kGran);
+    EXPECT_EQ(m.groupEnc[0], 3);
+    EXPECT_EQ(m.groupEnc[1], 4);
+    EXPECT_FALSE(m.groupScalar(0));
+    EXPECT_TRUE(m.groupScalar(1));
+}
+
+TEST(RegMeta, WarpSize64Groups)
+{
+    std::vector<Word> v(64);
+    for (unsigned g = 0; g < 4; ++g)
+        for (unsigned i = 0; i < 16; ++i)
+            v[g * 16 + i] = 0x1000 * (g + 1);
+    const RegMeta m =
+        analyzeWrite(v, laneMaskLow(64), laneMaskLow(64), 16);
+    for (unsigned g = 0; g < 4; ++g) {
+        EXPECT_TRUE(m.groupScalar(g)) << "group " << g;
+        EXPECT_EQ(m.groupBase[g], 0x1000u * (g + 1));
+    }
+    EXPECT_FALSE(m.fullScalar());
+}
+
+} // namespace
+} // namespace gs

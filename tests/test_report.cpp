@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "harness/report.hpp"
+
+namespace gs
+{
+namespace
+{
+
+RunResult
+sampleRun()
+{
+    setQuiet(true);
+    ArchConfig cfg;
+    cfg.numSms = 2;
+    cfg.mode = ArchMode::GScalarFull;
+    return runWorkload("HS", cfg);
+}
+
+TEST(Report, FieldEnumerationStableAndComplete)
+{
+    const auto f = eventFields(EventCounts{});
+    ASSERT_GT(f.size(), 40u);
+    // Spot-check presence and order stability of key fields.
+    EXPECT_EQ(f[0].first, "cycles");
+    bool has_ipc = false, has_smov = false, has_affine = false;
+    for (const auto &[name, v] : f) {
+        has_ipc |= name == "ipc";
+        has_smov |= name == "special_move_insts";
+        has_affine |= name == "affine_writes";
+    }
+    EXPECT_TRUE(has_ipc);
+    EXPECT_TRUE(has_smov);
+    EXPECT_TRUE(has_affine);
+}
+
+TEST(Report, CsvHeaderMatchesRowArity)
+{
+    const RunResult r = sampleRun();
+    const std::string header = csvHeader();
+    const std::string row = csvRow(r);
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(commas(header), commas(row));
+    EXPECT_EQ(header.substr(0, 13), "workload,mode");
+    EXPECT_EQ(row.substr(0, 2), "HS");
+}
+
+TEST(Report, ToCsvHasHeaderPlusRows)
+{
+    const RunResult r = sampleRun();
+    const std::string csv = toCsv({r, r});
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(Report, JsonIsWellFormedEnough)
+{
+    const RunResult r = sampleRun();
+    const std::string j = toJson(r);
+    EXPECT_EQ(j.front(), '{');
+    EXPECT_EQ(j[j.size() - 2], '}');
+    EXPECT_NE(j.find("\"workload\": \"HS\""), std::string::npos);
+    EXPECT_NE(j.find("\"mode\": \"gscalar\""), std::string::npos);
+    EXPECT_NE(j.find("\"cycles\": "), std::string::npos);
+    // Balanced quotes.
+    EXPECT_EQ(std::count(j.begin(), j.end(), '"') % 2, 0);
+}
+
+TEST(Report, PowerFieldsSumConsistent)
+{
+    const RunResult r = sampleRun();
+    const auto pf = powerFields(r.power);
+    double total = 0, reported = 0;
+    for (const auto &[name, v] : pf) {
+        if (name == "power_total_w")
+            reported = v;
+        else if (name != "ipc_per_watt" && name != "power_sfu_w")
+            total += v;
+    }
+    EXPECT_NEAR(total, reported, 1e-9);
+}
+
+} // namespace
+} // namespace gs

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "harness/runner.hpp"
+#include "isa/kernel_builder.hpp"
+#include "sim/gpu.hpp"
+#include "workloads/data_gen.hpp"
+
+namespace gs
+{
+namespace
+{
+
+Kernel
+incrementKernel(Word delta)
+{
+    KernelBuilder kb("inc");
+    const Reg tid = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    const Reg addr = kb.reg();
+    kb.shli(addr, tid, 2);
+    kb.iaddi(addr, addr, Word(layout::kArrayA));
+    const Reg v = kb.reg();
+    kb.ldg(v, addr);
+    kb.iaddi(v, v, delta);
+    kb.stg(addr, v);
+    return kb.build();
+}
+
+Workload
+twoLaunchWorkload()
+{
+    Workload w;
+    w.name = "2L";
+    w.fullName = "two-launch";
+    w.suite = "test";
+    w.setup = [](GlobalMemory &mem, std::uint64_t) {
+        mem.fillWords(layout::kArrayA, uniformWords(32, 100));
+    };
+    w.launches.push_back({incrementKernel(1), {1, 32}});
+    w.launches.push_back({incrementKernel(10), {1, 32}});
+    return w;
+}
+
+TEST(Runner, SequentialLaunchesAccumulate)
+{
+    setQuiet(true);
+    ArchConfig cfg;
+    cfg.numSms = 1;
+    const Workload two = twoLaunchWorkload();
+    const RunResult r2 = runWorkload(two, cfg);
+
+    Workload one = twoLaunchWorkload();
+    one.launches.pop_back();
+    const RunResult r1 = runWorkload(one, cfg);
+
+    // Cycles of sequential kernels add up; counters accumulate.
+    EXPECT_GT(r2.ev.cycles, r1.ev.cycles);
+    EXPECT_EQ(r2.ev.warpInsts, 2 * r1.ev.warpInsts);
+}
+
+TEST(Runner, SetupRunsOncePerRun)
+{
+    setQuiet(true);
+    ArchConfig cfg;
+    cfg.numSms = 1;
+    // Second launch sees the first launch's +1: values end at 111 —
+    // which would be wrong if setup re-ran between launches.
+    Gpu gpu(cfg);
+    const Workload w = twoLaunchWorkload();
+    w.setup(gpu.memory(), 1);
+    for (const auto &l : w.launches)
+        gpu.launch(l.kernel, l.dims);
+    EXPECT_EQ(gpu.memory().readWord(layout::kArrayA), 111u);
+}
+
+TEST(Runner, PowerReportAttached)
+{
+    setQuiet(true);
+    ArchConfig cfg;
+    cfg.numSms = 1;
+    const RunResult r = runWorkload(twoLaunchWorkload(), cfg);
+    EXPECT_GT(r.power.totalW, 0.0);
+    EXPECT_GT(r.power.seconds, 0.0);
+}
+
+} // namespace
+} // namespace gs

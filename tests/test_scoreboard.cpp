@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "sim/scoreboard.hpp"
+
+namespace gs
+{
+namespace
+{
+
+Instruction
+addInst(RegIdx d, RegIdx a, RegIdx b)
+{
+    Instruction i;
+    i.op = Opcode::IADD;
+    i.dst = d;
+    i.src[0] = a;
+    i.src[1] = b;
+    return i;
+}
+
+TEST(Scoreboard, RawHazard)
+{
+    Scoreboard sb;
+    sb.init(8, 2);
+    const Instruction producer = addInst(0, 1, 2);
+    const Instruction consumer = addInst(3, 0, 1);
+
+    EXPECT_TRUE(sb.ready(producer));
+    sb.reserve(producer);
+    EXPECT_FALSE(sb.ready(consumer)); // reads r0
+    sb.release(producer);
+    EXPECT_TRUE(sb.ready(consumer));
+}
+
+TEST(Scoreboard, WawHazard)
+{
+    Scoreboard sb;
+    sb.init(8, 2);
+    const Instruction a = addInst(0, 1, 2);
+    sb.reserve(a);
+    EXPECT_FALSE(sb.ready(addInst(0, 3, 4)));
+    sb.release(a);
+    EXPECT_TRUE(sb.ready(addInst(0, 3, 4)));
+}
+
+TEST(Scoreboard, IndependentInstructionsReady)
+{
+    Scoreboard sb;
+    sb.init(8, 2);
+    sb.reserve(addInst(0, 1, 2));
+    EXPECT_TRUE(sb.ready(addInst(3, 4, 5)));
+}
+
+TEST(Scoreboard, PredicateHazards)
+{
+    Scoreboard sb;
+    sb.init(8, 2);
+    Instruction setp;
+    setp.op = Opcode::ISETP;
+    setp.pdst = 0;
+    setp.src[0] = 1;
+    setp.src[1] = 2;
+    sb.reserve(setp);
+
+    Instruction bra;
+    bra.op = Opcode::BRA;
+    bra.guard = 0;
+    EXPECT_FALSE(sb.ready(bra));
+
+    Instruction sel;
+    sel.op = Opcode::SEL;
+    sel.dst = 3;
+    sel.src[0] = 4;
+    sel.src[1] = 5;
+    sel.psrc = 0;
+    EXPECT_FALSE(sb.ready(sel));
+
+    sb.release(setp);
+    EXPECT_TRUE(sb.ready(bra));
+    EXPECT_TRUE(sb.ready(sel));
+}
+
+TEST(Scoreboard, MultipleOutstandingSameRegister)
+{
+    Scoreboard sb;
+    sb.init(8, 2);
+    const Instruction a = addInst(0, 1, 2);
+    sb.reserve(a);
+    sb.reserve(a); // e.g. SMOV + real write both target r0
+    sb.release(a);
+    EXPECT_FALSE(sb.ready(addInst(3, 0, 1)));
+    sb.release(a);
+    EXPECT_TRUE(sb.ready(addInst(3, 0, 1)));
+}
+
+TEST(Scoreboard, AnyPending)
+{
+    Scoreboard sb;
+    sb.init(4, 1);
+    EXPECT_FALSE(sb.anyPending());
+    const Instruction a = addInst(0, 1, 2);
+    sb.reserve(a);
+    EXPECT_TRUE(sb.anyPending());
+    sb.release(a);
+    EXPECT_FALSE(sb.anyPending());
+}
+
+TEST(Scoreboard, InitClearsState)
+{
+    Scoreboard sb;
+    sb.init(4, 1);
+    sb.reserve(addInst(0, 1, 2));
+    sb.init(4, 1);
+    EXPECT_FALSE(sb.anyPending());
+}
+
+} // namespace
+} // namespace gs

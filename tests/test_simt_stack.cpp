@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "sim/simt_stack.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(SimtStack, LinearAdvance)
+{
+    SimtStack s;
+    s.reset(0, 0xff);
+    EXPECT_EQ(s.pc(), 0);
+    EXPECT_EQ(s.activeMask(), 0xffu);
+    s.advance(1);
+    EXPECT_EQ(s.pc(), 1);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, NonDivergentBranchAllTaken)
+{
+    SimtStack s;
+    s.reset(5, 0xff);
+    s.branch(/*taken=*/0xff, /*target=*/20, /*fallthrough=*/6,
+             /*reconv=*/30);
+    EXPECT_EQ(s.pc(), 20);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, NonDivergentBranchNoneTaken)
+{
+    SimtStack s;
+    s.reset(5, 0xff);
+    s.branch(0, 20, 6, 30);
+    EXPECT_EQ(s.pc(), 6);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, DivergentIfElseExecutesBothPathsThenReconverges)
+{
+    // if/else: taken lanes go to 20 (else block), fall-through at 6,
+    // reconvergence at 30.
+    SimtStack s;
+    s.reset(5, 0xff);
+    s.branch(0x0f, 20, 6, 30);
+
+    // Taken path first.
+    EXPECT_EQ(s.pc(), 20);
+    EXPECT_EQ(s.activeMask(), 0x0fu);
+    s.advance(21);
+    s.advance(30); // reaches reconvergence -> pop
+
+    // Fall-through path next.
+    EXPECT_EQ(s.pc(), 6);
+    EXPECT_EQ(s.activeMask(), 0xf0u);
+    s.advance(30); // pop
+
+    // Merged.
+    EXPECT_EQ(s.pc(), 30);
+    EXPECT_EQ(s.activeMask(), 0xffu);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, IfThenTakenEqualsReconv)
+{
+    // ifThen emits BRA whose target IS the reconvergence point: lanes
+    // skipping the body wait in the merged entry.
+    SimtStack s;
+    s.reset(5, 0xff);
+    s.branch(0xf0, /*target=*/10, /*fallthrough=*/6, /*reconv=*/10);
+    EXPECT_EQ(s.pc(), 6);         // body path runs first
+    EXPECT_EQ(s.activeMask(), 0x0fu);
+    s.advance(10);                // body done -> pop
+    EXPECT_EQ(s.pc(), 10);
+    EXPECT_EQ(s.activeMask(), 0xffu);
+}
+
+TEST(SimtStack, NestedDivergence)
+{
+    SimtStack s;
+    s.reset(0, 0xff);
+    s.branch(0x0f, 10, 1, 20);     // outer split
+    EXPECT_EQ(s.pc(), 10);
+    s.branch(0x03, 15, 11, 18);    // inner split on the taken path
+    EXPECT_EQ(s.pc(), 15);
+    EXPECT_EQ(s.activeMask(), 0x03u);
+    s.advance(18); // pop inner taken
+    EXPECT_EQ(s.pc(), 11);
+    EXPECT_EQ(s.activeMask(), 0x0cu);
+    s.advance(18); // pop inner fall-through
+    EXPECT_EQ(s.pc(), 18);
+    EXPECT_EQ(s.activeMask(), 0x0fu);
+    s.advance(20); // outer taken path reaches reconv
+    EXPECT_EQ(s.pc(), 1);
+    EXPECT_EQ(s.activeMask(), 0xf0u);
+    s.advance(20);
+    EXPECT_EQ(s.pc(), 20);
+    EXPECT_EQ(s.activeMask(), 0xffu);
+}
+
+TEST(SimtStack, LoopLanesExitIncrementally)
+{
+    // Loop with exit branch at pc 2 (reconv/exit at 6), body 3..4,
+    // back-jump at 5. Lanes exit one at a time.
+    SimtStack s;
+    s.reset(2, 0b111);
+
+    // Iteration 1: lane 0 exits.
+    s.branch(/*taken(exit)=*/0b001, /*target=*/6, /*fallthrough=*/3, 6);
+    EXPECT_EQ(s.pc(), 3);
+    EXPECT_EQ(s.activeMask(), 0b110u);
+    s.advance(4);
+    s.jump(2);
+
+    // Iteration 2: lane 1 exits.
+    s.branch(0b010, 6, 3, 6);
+    EXPECT_EQ(s.pc(), 3);
+    EXPECT_EQ(s.activeMask(), 0b100u);
+    s.advance(4);
+    s.jump(2);
+
+    // Iteration 3: last lane exits; everyone reconverges at 6.
+    s.branch(0b100, 6, 3, 6);
+    EXPECT_EQ(s.pc(), 6);
+    EXPECT_EQ(s.activeMask(), 0b111u);
+    EXPECT_EQ(s.depth(), 1u);
+}
+
+TEST(SimtStack, ExitClearsStack)
+{
+    SimtStack s;
+    s.reset(0, 0xff);
+    EXPECT_FALSE(s.empty());
+    s.exit();
+    EXPECT_TRUE(s.empty());
+}
+
+} // namespace
+} // namespace gs

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Integration tests driving small hand-built kernels through the full
+ * SM pipeline (via a single-SM GPU) and checking both functional
+ * results and micro-architectural event counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "isa/kernel_builder.hpp"
+#include "sim/gpu.hpp"
+
+namespace gs
+{
+namespace
+{
+
+ArchConfig
+oneSm(ArchMode mode = ArchMode::Baseline)
+{
+    ArchConfig cfg;
+    cfg.numSms = 1;
+    cfg.mode = mode;
+    return cfg;
+}
+
+/** out[tid] = tid * 3 + 1, via a counted loop. */
+Kernel
+loopKernel()
+{
+    KernelBuilder kb("loop");
+    const Reg tid = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    const Reg acc = kb.reg();
+    kb.movi(acc, 1);
+    const Reg i = kb.reg();
+    kb.forRangeI(i, 0, 3, [&] { kb.iadd(acc, acc, tid); });
+    const Reg addr = kb.reg();
+    kb.shli(addr, tid, 2);
+    kb.iaddi(addr, addr, 0x10000);
+    kb.stg(addr, acc);
+    return kb.build();
+}
+
+TEST(SmIntegration, LoopComputesCorrectValues)
+{
+    Gpu gpu(oneSm());
+    gpu.launch(loopKernel(), {1, 32});
+    for (unsigned t = 0; t < 32; ++t)
+        EXPECT_EQ(gpu.memory().readWord(0x10000 + 4 * t), 1 + 3 * t)
+            << "tid " << t;
+}
+
+TEST(SmIntegration, FunctionalResultIdenticalAcrossModes)
+{
+    // The architecture mode changes timing and energy, never values.
+    std::vector<Word> ref;
+    for (const ArchMode m :
+         {ArchMode::Baseline, ArchMode::AluScalar,
+          ArchMode::WarpedCompression, ArchMode::GScalarCompressOnly,
+          ArchMode::GScalarNoDiv, ArchMode::GScalarFull}) {
+        Gpu gpu(oneSm(m));
+        gpu.launch(loopKernel(), {2, 64});
+        const auto out = gpu.memory().readWords(0x10000, 64);
+        if (ref.empty())
+            ref = out;
+        else
+            EXPECT_EQ(out, ref) << archModeName(m);
+    }
+}
+
+/** Divergent kernel: odd lanes double, even lanes negate. */
+Kernel
+divergentKernel()
+{
+    KernelBuilder kb("div");
+    const Reg tid = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    const Reg v = kb.reg();
+    kb.mov(v, tid);
+    const Reg parity = kb.reg();
+    kb.andi(parity, tid, 1);
+    const Pred odd = kb.pred();
+    kb.isetpi(odd, CmpOp::NE, parity, 0);
+    kb.ifElse(
+        odd, [&] { kb.iadd(v, v, v); },
+        [&] { kb.emit2i(Opcode::ISUB, v, v, 0), kb.emit1(Opcode::NOT, v, v); });
+    const Reg addr = kb.reg();
+    kb.shli(addr, tid, 2);
+    kb.iaddi(addr, addr, 0x20000);
+    kb.stg(addr, v);
+    return kb.build();
+}
+
+TEST(SmIntegration, DivergentPathsBothExecute)
+{
+    Gpu gpu(oneSm());
+    const EventCounts ev = gpu.launch(divergentKernel(), {1, 32});
+    for (unsigned t = 0; t < 32; ++t) {
+        const Word got = gpu.memory().readWord(0x20000 + 4 * t);
+        if (t % 2)
+            EXPECT_EQ(got, 2 * t) << t;
+        else
+            EXPECT_EQ(got, Word(~t)) << t;
+    }
+    EXPECT_GT(ev.divergentWarpInsts, 0u);
+}
+
+TEST(SmIntegration, BarrierOrdersSharedMemory)
+{
+    // Thread t writes shared[t]; after the barrier, reads shared[t+1]
+    // (wrapping). Without a working barrier the values would be stale.
+    KernelBuilder kb("barrier");
+    kb.shared(64 * 4);
+    const Reg tid = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    const Reg saddr = kb.reg();
+    kb.shli(saddr, tid, 2);
+    kb.sts(saddr, tid);
+    kb.bar();
+    const Reg next = kb.reg();
+    kb.iaddi(next, tid, 1);
+    kb.andi(next, next, 63);
+    kb.shli(next, next, 2);
+    const Reg v = kb.reg();
+    kb.lds(v, next);
+    const Reg addr = kb.reg();
+    kb.shli(addr, tid, 2);
+    kb.iaddi(addr, addr, 0x30000);
+    kb.stg(addr, v);
+    const Kernel k = kb.build();
+
+    Gpu gpu(oneSm());
+    gpu.launch(k, {1, 64}); // two warps force real synchronisation
+    for (unsigned t = 0; t < 64; ++t)
+        EXPECT_EQ(gpu.memory().readWord(0x30000 + 4 * t), (t + 1) % 64)
+            << "tid " << t;
+}
+
+/** Kernel with a divergent write to a previously compressed register. */
+Kernel
+smovKernel()
+{
+    KernelBuilder kb("smov");
+    const Reg tid = kb.reg();
+    kb.s2r(tid, SReg::Tid);
+    const Reg v = kb.reg();
+    kb.movi(v, 7); // compressed scalar write
+    const Reg parity = kb.reg();
+    kb.andi(parity, tid, 1);
+    const Pred odd = kb.pred();
+    kb.isetpi(odd, CmpOp::NE, parity, 0);
+    kb.ifThen(odd, [&] { kb.iaddi(v, v, 1); }); // partial write to v
+    const Reg addr = kb.reg();
+    kb.shli(addr, tid, 2);
+    kb.iaddi(addr, addr, 0x40000);
+    kb.stg(addr, v);
+    return kb.build();
+}
+
+TEST(SmIntegration, SpecialMoveInsertedOnDivergentWriteToCompressed)
+{
+    Gpu gpu(oneSm(ArchMode::GScalarFull));
+    const EventCounts ev = gpu.launch(smovKernel(), {1, 32});
+    EXPECT_EQ(ev.specialMoveInsts, 1u);
+    // Functional result unaffected.
+    EXPECT_EQ(gpu.memory().readWord(0x40000), 7u);
+    EXPECT_EQ(gpu.memory().readWord(0x40004), 8u);
+}
+
+TEST(SmIntegration, NoSpecialMovesInBaseline)
+{
+    Gpu gpu(oneSm(ArchMode::Baseline));
+    const EventCounts ev = gpu.launch(smovKernel(), {1, 32});
+    EXPECT_EQ(ev.specialMoveInsts, 0u);
+}
+
+TEST(SmIntegration, SpecialMovesCanBeDisabled)
+{
+    ArchConfig cfg = oneSm(ArchMode::GScalarFull);
+    cfg.insertSpecialMoves = false;
+    Gpu gpu(cfg);
+    const EventCounts ev = gpu.launch(smovKernel(), {1, 32});
+    EXPECT_EQ(ev.specialMoveInsts, 0u);
+}
+
+/** All-scalar kernel: every ALU source is warp-uniform. */
+Kernel
+scalarKernel()
+{
+    KernelBuilder kb("scalar");
+    const Reg a = kb.reg();
+    const Reg b = kb.reg();
+    const Reg c = kb.reg();
+    kb.movi(a, 5);
+    kb.movi(b, 9);
+    for (int i = 0; i < 10; ++i)
+        kb.iadd(c, a, b);
+    const Reg addr = kb.reg();
+    kb.movi(addr, 0x50000);
+    kb.stg(addr, c);
+    return kb.build();
+}
+
+TEST(SmIntegration, ScalarExecutionCountsAndRfSavings)
+{
+    Gpu base_gpu(oneSm(ArchMode::Baseline));
+    const EventCounts base = base_gpu.launch(scalarKernel(), {1, 32});
+    EXPECT_GE(base.scalarAluEligible, 12u);
+    EXPECT_EQ(base.scalarExecuted, 0u);
+
+    Gpu gs_gpu(oneSm(ArchMode::GScalarFull));
+    const EventCounts ev = gs_gpu.launch(scalarKernel(), {1, 32});
+    EXPECT_GE(ev.scalarExecuted, 12u);
+    EXPECT_GT(ev.bvrAccesses, 0u);
+    // Scalar traffic moves off the big arrays.
+    EXPECT_LT(ev.rfArrayReads, base.rfArrayReads / 4);
+    // And exec lanes are clock-gated: 1 lane vs 32.
+    EXPECT_LT(ev.aluLaneOps, base.aluLaneOps / 4);
+}
+
+TEST(SmIntegration, AluScalarUsesScalarRf)
+{
+    Gpu gpu(oneSm(ArchMode::AluScalar));
+    const EventCounts ev = gpu.launch(scalarKernel(), {1, 32});
+    EXPECT_GT(ev.scalarRfAccesses, 0u);
+    EXPECT_GT(ev.scalarExecuted, 0u);
+    EXPECT_EQ(ev.bvrAccesses, 0u);
+}
+
+TEST(SmIntegration, CompressionLatencyCostsCycles)
+{
+    Gpu base_gpu(oneSm(ArchMode::Baseline));
+    const EventCounts base = base_gpu.launch(loopKernel(), {1, 32});
+    Gpu c_gpu(oneSm(ArchMode::GScalarCompressOnly));
+    const EventCounts comp = c_gpu.launch(loopKernel(), {1, 32});
+    EXPECT_GT(comp.cycles, base.cycles); // +3 pipeline depth, one warp
+}
+
+TEST(SmIntegration, PartialLastWarp)
+{
+    Gpu gpu(oneSm());
+    gpu.launch(loopKernel(), {1, 40}); // warp 1 holds only 8 threads
+    for (unsigned t = 0; t < 40; ++t)
+        EXPECT_EQ(gpu.memory().readWord(0x10000 + 4 * t), 1 + 3 * t);
+}
+
+} // namespace
+} // namespace gs

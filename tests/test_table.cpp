@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    Table t;
+    t.row({"name", "value"});
+    t.row({"x", "12345"});
+    const std::string s = t.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos); // header rule
+    // Both rows align: "value" column starts at the same offset.
+    const auto l1 = s.find("value");
+    const auto l2 = s.find("12345");
+    const auto nl1 = s.rfind('\n', l1);
+    const auto nl2 = s.rfind('\n', l2);
+    EXPECT_EQ(l1 - nl1, l2 - nl2);
+}
+
+TEST(Table, TitleRendered)
+{
+    Table t("My Title");
+    t.row({"a"});
+    EXPECT_NE(t.str().find("== My Title =="), std::string::npos);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.256), "25.6%");
+    EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, RaggedRowsSupported)
+{
+    Table t;
+    t.row({"a", "b", "c"});
+    t.row({"x"});
+    t.row({"1", "2"});
+    EXPECT_FALSE(t.str().empty());
+}
+
+TEST(Table, EmptyTable)
+{
+    Table t("empty");
+    EXPECT_NE(t.str().find("empty"), std::string::npos);
+}
+
+} // namespace
+} // namespace gs

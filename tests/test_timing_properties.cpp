@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Timing-model invariants: issue-width and pipeline-occupancy bounds,
+ * dependence-chain latencies, and the exact +3-cycle cost of the
+ * compression pipeline stages (§5.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel_builder.hpp"
+#include "sim/gpu.hpp"
+
+namespace gs
+{
+namespace
+{
+
+ArchConfig
+oneSm(ArchMode mode = ArchMode::Baseline)
+{
+    ArchConfig cfg;
+    cfg.numSms = 1;
+    cfg.mode = mode;
+    return cfg;
+}
+
+/** Serial dependence chain of @p n IADDs in one warp. */
+Kernel
+chainKernel(unsigned n)
+{
+    KernelBuilder kb("chain");
+    const Reg t = kb.reg();
+    kb.s2r(t, SReg::Tid);
+    for (unsigned i = 0; i < n; ++i)
+        kb.iaddi(t, t, 1);
+    const Reg addr = kb.reg();
+    kb.movi(addr, 0x1000);
+    kb.stg(addr, t);
+    return kb.build();
+}
+
+/** Wide independent ALU work across many warps. */
+Kernel
+wideKernel(unsigned per_thread)
+{
+    KernelBuilder kb("wide");
+    const Reg t = kb.reg();
+    kb.s2r(t, SReg::Tid);
+    const Reg a = kb.reg();
+    const Reg b = kb.reg();
+    kb.mov(a, t);
+    kb.mov(b, t);
+    for (unsigned i = 0; i < per_thread; i += 2) {
+        kb.iaddi(a, a, 1); // two independent chains interleave
+        kb.iaddi(b, b, 1);
+    }
+    const Reg addr = kb.reg();
+    kb.shli(addr, t, 2);
+    kb.iadd(a, a, b);
+    kb.stg(addr, a);
+    return kb.build();
+}
+
+TEST(TimingProperties, IssueWidthBoundsIpc)
+{
+    // 2 schedulers x 1 instruction: at most 2 warp instructions per
+    // cycle per SM.
+    Gpu gpu(oneSm());
+    const EventCounts ev = gpu.launch(wideKernel(64), {8, 256});
+    EXPECT_LE(ev.ipc(), 2.0 + 1e-9);
+    EXPECT_GT(ev.ipc(), 0.5);
+}
+
+TEST(TimingProperties, AluOccupancyBound)
+{
+    // Two 16-lane ALU pipes, 2 cycles per warp: at most one ALU warp
+    // instruction per cycle in steady state.
+    Gpu gpu(oneSm());
+    const EventCounts ev = gpu.launch(wideKernel(64), {8, 256});
+    EXPECT_LE(double(ev.aluWarpInsts), double(ev.cycles) * 1.05);
+}
+
+TEST(TimingProperties, DependenceChainLatency)
+{
+    // A serial chain of N adds in a single warp costs ~latency per
+    // link (no bypassing, §5.4).
+    ArchConfig cfg = oneSm();
+    Gpu g1(cfg), g2(cfg);
+    const Cycle c200 = g1.launch(chainKernel(200), {1, 32}).cycles;
+    const Cycle c100 = g2.launch(chainKernel(100), {1, 32}).cycles;
+    const double per_link = double(c200 - c100) / 100.0;
+    EXPECT_GT(per_link, cfg.aluLatency * 0.8);
+    EXPECT_LT(per_link, cfg.aluLatency * 1.6);
+}
+
+TEST(TimingProperties, CompressionAddsThreeCyclesPerLink)
+{
+    // §5.1: +1 EBR read, +1 decompress, +1 compress on the dependence
+    // path. Measured as the slope difference of the serial chain.
+    Gpu b1(oneSm(ArchMode::Baseline)), b2(oneSm(ArchMode::Baseline));
+    Gpu c1(oneSm(ArchMode::GScalarCompressOnly)),
+        c2(oneSm(ArchMode::GScalarCompressOnly));
+    const double base_slope =
+        double(b1.launch(chainKernel(200), {1, 32}).cycles -
+               b2.launch(chainKernel(100), {1, 32}).cycles) /
+        100.0;
+    const double comp_slope =
+        double(c1.launch(chainKernel(200), {1, 32}).cycles -
+               c2.launch(chainKernel(100), {1, 32}).cycles) /
+        100.0;
+    EXPECT_NEAR(comp_slope - base_slope, 3.0, 0.25);
+}
+
+TEST(TimingProperties, MoreWarpsHideLatency)
+{
+    // The same per-thread chain across many warps approaches the issue
+    // bound instead of the latency bound.
+    Gpu few(oneSm()), many(oneSm());
+    const EventCounts e1 = few.launch(chainKernel(100), {1, 32});
+    const EventCounts e2 = many.launch(chainKernel(100), {8, 256});
+    EXPECT_GT(e2.ipc(), 8 * e1.ipc());
+}
+
+TEST(TimingProperties, SfuDispatchIsEightCycles)
+{
+    // A stream of independent SFU instructions from many warps is
+    // bounded by the 4-lane pipe: one 32-thread warp per 8 cycles.
+    KernelBuilder kb("sfu");
+    const Reg t = kb.reg();
+    kb.s2r(t, SReg::Tid);
+    const Reg x = kb.reg();
+    const Reg y = kb.reg();
+    kb.emit1(Opcode::I2F, x, t);
+    for (int i = 0; i < 16; ++i)
+        kb.emit1(Opcode::RCP, y, x); // independent of each other
+    const Reg addr = kb.reg();
+    kb.shli(addr, t, 2);
+    kb.stg(addr, y);
+    const Kernel k = kb.build();
+
+    Gpu gpu(oneSm());
+    const EventCounts ev = gpu.launch(k, {8, 256});
+    // 64 warps x 16 SFU ops x 8 cycles each on one pipe.
+    EXPECT_GE(ev.cycles, Cycle(64 * 16 * 8));
+}
+
+TEST(TimingProperties, MemoryLatencyOrdering)
+{
+    // Serial dependent loads: L1-resident << DRAM-bound.
+    auto loadChain = [](Addr stride) {
+        KernelBuilder kb("loads");
+        const Reg addr = kb.reg();
+        kb.movi(addr, 0x100000);
+        const Reg v = kb.reg();
+        for (int i = 0; i < 20; ++i) {
+            kb.ldg(v, addr);
+            kb.iaddi(addr, addr, Word(stride)); // dependent on load? no:
+            kb.iadd(addr, addr, v);             // make it dependent
+        }
+        const Reg out = kb.reg();
+        kb.movi(out, 0x900000);
+        kb.stg(out, v);
+        return kb.build();
+    };
+    // Same line every time (v == 0): hits after the first access.
+    Gpu hot(oneSm());
+    const Cycle c_hot = hot.launch(loadChain(0), {1, 32}).cycles;
+
+    // Distinct far lines: every access goes to DRAM.
+    auto farChain = [] {
+        KernelBuilder kb("far");
+        const Reg addr = kb.reg();
+        kb.movi(addr, 0x100000);
+        const Reg v = kb.reg();
+        for (int i = 0; i < 20; ++i) {
+            kb.ldg(v, addr);
+            kb.iaddi(addr, addr, 128 * 1024);
+            kb.iadd(addr, addr, v); // dependent
+        }
+        const Reg out = kb.reg();
+        kb.movi(out, 0x900000);
+        kb.stg(out, v);
+        return kb.build();
+    };
+    Gpu cold(oneSm());
+    const Cycle c_cold = cold.launch(farChain(), {1, 32}).cycles;
+    EXPECT_GT(c_cold, c_hot + 20 * 100); // ~dram latency per link
+}
+
+TEST(TimingProperties, ScalarOccupancyKnob)
+{
+    // All-scalar SFU stream: with the occupancy knob the SFU pipe
+    // frees after 1 cycle instead of 8.
+    KernelBuilder kb("sfu_scalar");
+    const Reg c = kb.reg();
+    kb.movf(c, 1.5f);
+    const Reg y = kb.reg();
+    for (int i = 0; i < 16; ++i)
+        kb.emit1(Opcode::RCP, y, c);
+    const Reg addr = kb.reg();
+    kb.movi(addr, 0x1000);
+    kb.stg(addr, y);
+    const Kernel k = kb.build();
+
+    ArchConfig slow = oneSm(ArchMode::GScalarFull);
+    ArchConfig fast = slow;
+    fast.scalarShortensOccupancy = true;
+    Gpu g1(slow), g2(fast);
+    const Cycle c_slow = g1.launch(k, {8, 256}).cycles;
+    const Cycle c_fast = g2.launch(k, {8, 256}).cycles;
+    EXPECT_GT(c_slow, 2 * c_fast);
+}
+
+} // namespace
+} // namespace gs

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Warp-size independence: our kernels use no warp-level intrinsics, so
+ * functional results must be identical at warp sizes 32 and 64 (Fig. 10
+ * runs the whole suite at 64); only timing and classification change.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "harness/runner.hpp"
+#include "sim/gpu.hpp"
+
+namespace gs
+{
+namespace
+{
+
+/** Run one benchmark and return a slice of its output array. */
+std::vector<Word>
+outputSlice(const std::string &bench, unsigned warp_size)
+{
+    setQuiet(true);
+    ArchConfig cfg;
+    cfg.numSms = 4;
+    cfg.warpSize = warp_size;
+
+    const Workload w = makeWorkload(bench);
+    Gpu gpu(cfg);
+    if (w.setup)
+        w.setup(gpu.memory(), cfg.seed);
+    for (const WorkloadLaunch &l : w.launches)
+        gpu.launch(l.kernel, l.dims);
+    // 0xa00000 is the shared output base (layout::kOutput).
+    return gpu.memory().readWords(0xa00000, 2048);
+}
+
+class Warp64Equivalence : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(Warp64Equivalence, FunctionalResultsMatch)
+{
+    const std::string bench = GetParam();
+    EXPECT_EQ(outputSlice(bench, 32), outputSlice(bench, 64)) << bench;
+}
+
+INSTANTIATE_TEST_SUITE_P(SelectedBenchmarks, Warp64Equivalence,
+                         ::testing::Values("BP", "HS", "MM", "SAD",
+                                           "ACF", "MQ"));
+
+TEST(Warp64, ClassificationShiftsToQuarterScalar)
+{
+    setQuiet(true);
+    ArchConfig c32;
+    c32.numSms = 4;
+    ArchConfig c64 = c32;
+    c64.warpSize = 64;
+
+    const RunResult r32 = runWorkload("MM", c32);
+    const RunResult r64 = runWorkload("MM", c64);
+
+    // MM's per-32-thread row operands are full-warp scalar at 32 and
+    // quarter-scalar at 64 (Fig. 10's mechanism).
+    EXPECT_EQ(r32.ev.halfScalarEligible, 0u);
+    EXPECT_GT(r64.ev.halfScalarEligible, 0u);
+    EXPECT_LT(double(r64.ev.scalarAluEligible) / double(r64.ev.warpInsts),
+              double(r32.ev.scalarAluEligible) /
+                  double(r32.ev.warpInsts));
+}
+
+TEST(Warp64, HalfTheWarpInstructions)
+{
+    setQuiet(true);
+    ArchConfig c32;
+    c32.numSms = 4;
+    ArchConfig c64 = c32;
+    c64.warpSize = 64;
+    const RunResult r32 = runWorkload("ST", c32);
+    const RunResult r64 = runWorkload("ST", c64);
+    // Same threads grouped into half as many warps.
+    EXPECT_NEAR(double(r64.ev.warpInsts),
+                double(r32.ev.warpInsts) / 2.0,
+                double(r32.ev.warpInsts) * 0.02);
+    EXPECT_EQ(r64.ev.threadInsts, r32.ev.threadInsts);
+}
+
+} // namespace
+} // namespace gs

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "sim/warp_state.hpp"
+
+namespace gs
+{
+namespace
+{
+
+TEST(WarpState, InitialState)
+{
+    WarpState w;
+    w.init(4, 2, 32, 32);
+    EXPECT_EQ(w.fullMask(), laneMaskLow(32));
+    EXPECT_EQ(w.warpSize(), 32u);
+    EXPECT_FALSE(w.done());
+    EXPECT_EQ(w.stack().pc(), 0);
+    for (unsigned lane = 0; lane < 32; ++lane)
+        EXPECT_EQ(w.regValues(0)[lane], 0u);
+    EXPECT_FALSE(w.meta(0).valid);
+    EXPECT_EQ(w.pred(0), 0u);
+}
+
+TEST(WarpState, PartialWarp)
+{
+    WarpState w;
+    w.init(2, 1, 32, 8);
+    EXPECT_EQ(w.fullMask(), 0xffu);
+}
+
+TEST(WarpState, RegValueSpansAreDistinct)
+{
+    WarpState w;
+    w.init(3, 1, 32, 32);
+    w.regValues(0)[5] = 7;
+    w.regValues(2)[5] = 9;
+    EXPECT_EQ(w.regValues(0)[5], 7u);
+    EXPECT_EQ(w.regValues(1)[5], 0u);
+    EXPECT_EQ(w.regValues(2)[5], 9u);
+}
+
+TEST(WarpState, PredicateMaskedUpdate)
+{
+    WarpState w;
+    w.init(1, 2, 32, 32);
+    w.setPred(0, 0b1111, 0b1111);
+    w.setPred(0, 0b0000, 0b0011); // rewrite lanes 0-1 to false
+    EXPECT_EQ(w.pred(0), 0b1100u);
+    w.setPred(1, ~LaneMask{0}, laneMaskLow(32));
+    EXPECT_EQ(w.pred(1), laneMaskLow(32));
+}
+
+TEST(WarpState, ReinitResets)
+{
+    WarpState w;
+    w.init(2, 1, 32, 32);
+    w.regValues(1)[0] = 5;
+    w.setPred(0, 1, 1);
+    w.stack().advance(3);
+    w.atBarrier = true;
+
+    w.init(2, 1, 32, 32);
+    EXPECT_EQ(w.regValues(1)[0], 0u);
+    EXPECT_EQ(w.pred(0), 0u);
+    EXPECT_EQ(w.stack().pc(), 0);
+    EXPECT_FALSE(w.atBarrier);
+}
+
+TEST(WarpState, WarpSize64)
+{
+    WarpState w;
+    w.init(1, 1, 64, 64);
+    EXPECT_EQ(w.fullMask(), ~LaneMask{0});
+    EXPECT_EQ(w.regValues(0).size(), 64u);
+}
+
+TEST(WarpStateDeath, OutOfRangeRegisterPanics)
+{
+    WarpState w;
+    w.init(2, 1, 32, 32);
+    EXPECT_DEATH(w.regValues(2), "out of range");
+    EXPECT_DEATH(w.pred(1), "out of range");
+}
+
+} // namespace
+} // namespace gs

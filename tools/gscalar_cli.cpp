@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Command-line driver for the G-Scalar simulator.
+ *
+ *   gscalar run <BENCH> [--mode M] [--warp N] [--sms N] [--seed S]
+ *                        [--csv] [--json] [--power]
+ *   gscalar suite [--mode M] [--csv]
+ *   gscalar disasm <BENCH>
+ *   gscalar experiment <fig1|fig8|fig9|fig10|fig11|fig12|table3|
+ *                       ratio|smov|banks|compiler|occupancy|half|affine>
+ *   gscalar config
+ *   gscalar list
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <sstream>
+
+#include "common/log.hpp"
+#include "harness/experiments.hpp"
+#include "harness/report.hpp"
+#include "harness/runner.hpp"
+#include "power/energy_model.hpp"
+#include "sim/gpu.hpp"
+#include "sim/trace.hpp"
+
+using namespace gs;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr <<
+        "usage:\n"
+        "  gscalar run <BENCH> [--mode M] [--warp N] [--sms N]\n"
+        "              [--seed S] [--csv] [--json] [--power]\n"
+        "  gscalar suite [--mode M] [--csv]\n"
+        "  gscalar disasm <BENCH>\n"
+        "  gscalar trace <BENCH> [--mode M] [--lines N]\n"
+        "  gscalar experiment <name>\n"
+        "  gscalar config\n"
+        "  gscalar list\n"
+        "\n"
+        "modes: baseline alu-scalar warped-compression gscalar-compress\n"
+        "       gscalar-nodiv gscalar\n"
+        "experiments: fig1 fig8 fig9 fig10 fig11 fig12 table3 ratio\n"
+        "             smov banks compiler occupancy half affine\n"
+        "             bankcount warpwidth\n";
+    return 2;
+}
+
+ArchMode
+parseMode(const std::string &s)
+{
+    for (const ArchMode m :
+         {ArchMode::Baseline, ArchMode::AluScalar,
+          ArchMode::WarpedCompression, ArchMode::GScalarCompressOnly,
+          ArchMode::GScalarNoDiv, ArchMode::GScalarFull}) {
+        if (s == archModeName(m))
+            return m;
+    }
+    GS_FATAL("unknown mode '", s, "'");
+}
+
+struct Options
+{
+    ArchConfig cfg;
+    bool csv = false;
+    bool json = false;
+    bool power = false;
+};
+
+/** Parse trailing --flag [value] options into @p opt. */
+void
+parseFlags(int argc, char **argv, int first, Options &opt)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                GS_FATAL(what, " needs a value");
+            return argv[++i];
+        };
+        if (a == "--mode")
+            opt.cfg.mode = parseMode(need("--mode"));
+        else if (a == "--warp")
+            opt.cfg.warpSize = unsigned(std::stoul(need("--warp")));
+        else if (a == "--sms")
+            opt.cfg.numSms = unsigned(std::stoul(need("--sms")));
+        else if (a == "--seed")
+            opt.cfg.seed = std::stoull(need("--seed"));
+        else if (a == "--csv")
+            opt.csv = true;
+        else if (a == "--json")
+            opt.json = true;
+        else if (a == "--power")
+            opt.power = true;
+        else
+            GS_FATAL("unknown option '", a, "'");
+    }
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    Options opt;
+    parseFlags(argc, argv, 3, opt);
+
+    const RunResult r = runWorkload(argv[2], opt.cfg);
+    if (opt.csv) {
+        std::cout << csvHeader() << "\n" << csvRow(r) << "\n";
+    } else if (opt.json) {
+        std::cout << toJson(r);
+    } else {
+        std::cout << r.workload << " @ " << archModeName(r.mode)
+                  << ": cycles=" << r.ev.cycles
+                  << " IPC=" << r.ev.ipc()
+                  << " IPC/W=" << r.power.ipcPerWatt() << "\n";
+    }
+    if (opt.power)
+        std::cout << r.power.describe();
+    return 0;
+}
+
+int
+cmdSuite(int argc, char **argv)
+{
+    Options opt;
+    parseFlags(argc, argv, 2, opt);
+
+    std::vector<RunResult> results;
+    for (const Workload &w : makeSuite())
+        results.push_back(runWorkload(w, opt.cfg));
+
+    if (opt.csv) {
+        std::cout << toCsv(results);
+    } else {
+        for (const RunResult &r : results)
+            std::cout << r.workload << ": cycles=" << r.ev.cycles
+                      << " IPC=" << r.ev.ipc()
+                      << " IPC/W=" << r.power.ipcPerWatt() << "\n";
+    }
+    return 0;
+}
+
+int
+cmdDisasm(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const Workload w = makeWorkload(argv[2]);
+    for (const WorkloadLaunch &l : w.launches) {
+        std::cout << l.kernel.disassemble() << "launch <<<" << l.dims.ctas
+                  << ", " << l.dims.threadsPerCta << ">>>\n";
+    }
+    return 0;
+}
+
+int
+cmdTrace(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    ArchConfig cfg;
+    cfg.numSms = 1; // single SM keeps the interleaving readable
+    unsigned lines = 120;
+    for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--mode" && i + 1 < argc)
+            cfg.mode = parseMode(argv[++i]);
+        else if (a == "--lines" && i + 1 < argc)
+            lines = unsigned(std::stoul(argv[++i]));
+        else
+            GS_FATAL("unknown option '", a, "'");
+    }
+
+    const Workload w = makeWorkload(argv[2]);
+    Gpu gpu(cfg);
+    if (w.setup)
+        w.setup(gpu.memory(), cfg.seed);
+
+    std::ostringstream os;
+    TextTracer tracer(os);
+    gpu.setTracer(&tracer);
+    gpu.launch(w.launches.front().kernel, w.launches.front().dims);
+
+    // Print the first N lines of the trace.
+    std::istringstream in(os.str());
+    std::string line;
+    for (unsigned n = 0; n < lines && std::getline(in, line); ++n)
+        std::cout << line << "\n";
+    return 0;
+}
+
+int
+cmdExperiment(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string name = argv[2];
+    const ArchConfig cfg = experimentConfig();
+    const std::map<std::string, std::string (*)(const ArchConfig &)>
+        table = {
+            {"fig1", runFig1},
+            {"fig8", runFig8},
+            {"fig9", runFig9},
+            {"fig10", runFig10},
+            {"fig11", runFig11},
+            {"fig12", runFig12},
+            {"ratio", runCompressionRatio},
+            {"smov", runSpecialMoveOverhead},
+            {"banks", runScalarBankAblation},
+            {"compiler", runCompilerScalarComparison},
+            {"occupancy", runOccupancyAblation},
+            {"half", runHalfRegisterAblation},
+            {"affine", runAffineOpportunity},
+            {"bankcount", runBankCountAblation},
+            {"warpwidth", runWarpWidthAblation},
+        };
+    if (name == "table3") {
+        std::cout << runTable3() << std::endl;
+        return 0;
+    }
+    const auto it = table.find(name);
+    if (it == table.end())
+        return usage();
+    std::cout << it->second(cfg) << std::endl;
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "run")
+        return cmdRun(argc, argv);
+    if (cmd == "suite")
+        return cmdSuite(argc, argv);
+    if (cmd == "disasm")
+        return cmdDisasm(argc, argv);
+    if (cmd == "trace")
+        return cmdTrace(argc, argv);
+    if (cmd == "experiment")
+        return cmdExperiment(argc, argv);
+    if (cmd == "config") {
+        std::cout << experimentConfig().describe();
+        return 0;
+    }
+    if (cmd == "list") {
+        for (const auto &n : workloadNames())
+            std::cout << n << "\n";
+        return 0;
+    }
+    return usage();
+}
