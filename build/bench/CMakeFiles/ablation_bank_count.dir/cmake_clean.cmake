@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bank_count.dir/ablation_bank_count.cpp.o"
+  "CMakeFiles/ablation_bank_count.dir/ablation_bank_count.cpp.o.d"
+  "ablation_bank_count"
+  "ablation_bank_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bank_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_half_register.dir/ablation_half_register.cpp.o"
+  "CMakeFiles/ablation_half_register.dir/ablation_half_register.cpp.o.d"
+  "ablation_half_register"
+  "ablation_half_register.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_half_register.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scalar_banks.dir/ablation_scalar_banks.cpp.o"
+  "CMakeFiles/ablation_scalar_banks.dir/ablation_scalar_banks.cpp.o.d"
+  "ablation_scalar_banks"
+  "ablation_scalar_banks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scalar_banks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scalar_occupancy.dir/ablation_scalar_occupancy.cpp.o"
+  "CMakeFiles/ablation_scalar_occupancy.dir/ablation_scalar_occupancy.cpp.o.d"
+  "ablation_scalar_occupancy"
+  "ablation_scalar_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scalar_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smov_compiler.dir/ablation_smov_compiler.cpp.o"
+  "CMakeFiles/ablation_smov_compiler.dir/ablation_smov_compiler.cpp.o.d"
+  "ablation_smov_compiler"
+  "ablation_smov_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smov_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

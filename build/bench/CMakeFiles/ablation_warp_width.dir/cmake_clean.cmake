@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_warp_width.dir/ablation_warp_width.cpp.o"
+  "CMakeFiles/ablation_warp_width.dir/ablation_warp_width.cpp.o.d"
+  "ablation_warp_width"
+  "ablation_warp_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_warp_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

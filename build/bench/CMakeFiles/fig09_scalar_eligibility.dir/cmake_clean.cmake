@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scalar_eligibility.dir/fig09_scalar_eligibility.cpp.o"
+  "CMakeFiles/fig09_scalar_eligibility.dir/fig09_scalar_eligibility.cpp.o.d"
+  "fig09_scalar_eligibility"
+  "fig09_scalar_eligibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scalar_eligibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_warp_size.dir/fig10_warp_size.cpp.o"
+  "CMakeFiles/fig10_warp_size.dir/fig10_warp_size.cpp.o.d"
+  "fig10_warp_size"
+  "fig10_warp_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_warp_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_power_efficiency.dir/fig11_power_efficiency.cpp.o"
+  "CMakeFiles/fig11_power_efficiency.dir/fig11_power_efficiency.cpp.o.d"
+  "fig11_power_efficiency"
+  "fig11_power_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_power_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

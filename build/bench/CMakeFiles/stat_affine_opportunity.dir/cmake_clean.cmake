@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_affine_opportunity.dir/stat_affine_opportunity.cpp.o"
+  "CMakeFiles/stat_affine_opportunity.dir/stat_affine_opportunity.cpp.o.d"
+  "stat_affine_opportunity"
+  "stat_affine_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_affine_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

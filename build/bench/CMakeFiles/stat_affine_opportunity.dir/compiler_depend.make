@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for stat_affine_opportunity.
+# This may be replaced when dependencies are built.

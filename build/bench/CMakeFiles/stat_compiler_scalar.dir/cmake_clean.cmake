@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_compiler_scalar.dir/stat_compiler_scalar.cpp.o"
+  "CMakeFiles/stat_compiler_scalar.dir/stat_compiler_scalar.cpp.o.d"
+  "stat_compiler_scalar"
+  "stat_compiler_scalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_compiler_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

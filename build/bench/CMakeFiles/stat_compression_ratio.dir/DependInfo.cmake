@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/stat_compression_ratio.cpp" "bench/CMakeFiles/stat_compression_ratio.dir/stat_compression_ratio.cpp.o" "gcc" "bench/CMakeFiles/stat_compression_ratio.dir/stat_compression_ratio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gscalar_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gscalar_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gscalar_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gscalar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalar/CMakeFiles/gscalar_scalar.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gscalar_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gscalar_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gscalar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

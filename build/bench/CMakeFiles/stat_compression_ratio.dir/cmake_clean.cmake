@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_compression_ratio.dir/stat_compression_ratio.cpp.o"
+  "CMakeFiles/stat_compression_ratio.dir/stat_compression_ratio.cpp.o.d"
+  "stat_compression_ratio"
+  "stat_compression_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stat_special_move_overhead.dir/stat_special_move_overhead.cpp.o"
+  "CMakeFiles/stat_special_move_overhead.dir/stat_special_move_overhead.cpp.o.d"
+  "stat_special_move_overhead"
+  "stat_special_move_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stat_special_move_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

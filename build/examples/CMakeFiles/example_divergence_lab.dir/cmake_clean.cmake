@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_divergence_lab.dir/divergence_lab.cpp.o"
+  "CMakeFiles/example_divergence_lab.dir/divergence_lab.cpp.o.d"
+  "example_divergence_lab"
+  "example_divergence_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_divergence_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

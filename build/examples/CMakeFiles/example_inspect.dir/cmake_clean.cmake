@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_inspect.dir/inspect.cpp.o"
+  "CMakeFiles/example_inspect.dir/inspect.cpp.o.d"
+  "example_inspect"
+  "example_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

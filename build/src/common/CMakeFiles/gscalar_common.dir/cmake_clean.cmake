@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gscalar_common.dir/config.cpp.o"
+  "CMakeFiles/gscalar_common.dir/config.cpp.o.d"
+  "CMakeFiles/gscalar_common.dir/events.cpp.o"
+  "CMakeFiles/gscalar_common.dir/events.cpp.o.d"
+  "CMakeFiles/gscalar_common.dir/log.cpp.o"
+  "CMakeFiles/gscalar_common.dir/log.cpp.o.d"
+  "CMakeFiles/gscalar_common.dir/table.cpp.o"
+  "CMakeFiles/gscalar_common.dir/table.cpp.o.d"
+  "libgscalar_common.a"
+  "libgscalar_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gscalar_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

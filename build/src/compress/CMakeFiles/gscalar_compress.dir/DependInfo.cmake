@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/affine.cpp" "src/compress/CMakeFiles/gscalar_compress.dir/affine.cpp.o" "gcc" "src/compress/CMakeFiles/gscalar_compress.dir/affine.cpp.o.d"
+  "/root/repo/src/compress/array_model.cpp" "src/compress/CMakeFiles/gscalar_compress.dir/array_model.cpp.o" "gcc" "src/compress/CMakeFiles/gscalar_compress.dir/array_model.cpp.o.d"
+  "/root/repo/src/compress/bdi_codec.cpp" "src/compress/CMakeFiles/gscalar_compress.dir/bdi_codec.cpp.o" "gcc" "src/compress/CMakeFiles/gscalar_compress.dir/bdi_codec.cpp.o.d"
+  "/root/repo/src/compress/byte_mask_codec.cpp" "src/compress/CMakeFiles/gscalar_compress.dir/byte_mask_codec.cpp.o" "gcc" "src/compress/CMakeFiles/gscalar_compress.dir/byte_mask_codec.cpp.o.d"
+  "/root/repo/src/compress/reg_meta.cpp" "src/compress/CMakeFiles/gscalar_compress.dir/reg_meta.cpp.o" "gcc" "src/compress/CMakeFiles/gscalar_compress.dir/reg_meta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gscalar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gscalar_compress.dir/affine.cpp.o"
+  "CMakeFiles/gscalar_compress.dir/affine.cpp.o.d"
+  "CMakeFiles/gscalar_compress.dir/array_model.cpp.o"
+  "CMakeFiles/gscalar_compress.dir/array_model.cpp.o.d"
+  "CMakeFiles/gscalar_compress.dir/bdi_codec.cpp.o"
+  "CMakeFiles/gscalar_compress.dir/bdi_codec.cpp.o.d"
+  "CMakeFiles/gscalar_compress.dir/byte_mask_codec.cpp.o"
+  "CMakeFiles/gscalar_compress.dir/byte_mask_codec.cpp.o.d"
+  "CMakeFiles/gscalar_compress.dir/reg_meta.cpp.o"
+  "CMakeFiles/gscalar_compress.dir/reg_meta.cpp.o.d"
+  "libgscalar_compress.a"
+  "libgscalar_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gscalar_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gscalar_harness.dir/experiments.cpp.o"
+  "CMakeFiles/gscalar_harness.dir/experiments.cpp.o.d"
+  "CMakeFiles/gscalar_harness.dir/report.cpp.o"
+  "CMakeFiles/gscalar_harness.dir/report.cpp.o.d"
+  "CMakeFiles/gscalar_harness.dir/runner.cpp.o"
+  "CMakeFiles/gscalar_harness.dir/runner.cpp.o.d"
+  "libgscalar_harness.a"
+  "libgscalar_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gscalar_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/analysis.cpp" "src/isa/CMakeFiles/gscalar_isa.dir/analysis.cpp.o" "gcc" "src/isa/CMakeFiles/gscalar_isa.dir/analysis.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/isa/CMakeFiles/gscalar_isa.dir/disasm.cpp.o" "gcc" "src/isa/CMakeFiles/gscalar_isa.dir/disasm.cpp.o.d"
+  "/root/repo/src/isa/kernel.cpp" "src/isa/CMakeFiles/gscalar_isa.dir/kernel.cpp.o" "gcc" "src/isa/CMakeFiles/gscalar_isa.dir/kernel.cpp.o.d"
+  "/root/repo/src/isa/kernel_builder.cpp" "src/isa/CMakeFiles/gscalar_isa.dir/kernel_builder.cpp.o" "gcc" "src/isa/CMakeFiles/gscalar_isa.dir/kernel_builder.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/isa/CMakeFiles/gscalar_isa.dir/opcode.cpp.o" "gcc" "src/isa/CMakeFiles/gscalar_isa.dir/opcode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gscalar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

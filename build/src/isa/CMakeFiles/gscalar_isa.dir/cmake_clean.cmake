@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gscalar_isa.dir/analysis.cpp.o"
+  "CMakeFiles/gscalar_isa.dir/analysis.cpp.o.d"
+  "CMakeFiles/gscalar_isa.dir/disasm.cpp.o"
+  "CMakeFiles/gscalar_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/gscalar_isa.dir/kernel.cpp.o"
+  "CMakeFiles/gscalar_isa.dir/kernel.cpp.o.d"
+  "CMakeFiles/gscalar_isa.dir/kernel_builder.cpp.o"
+  "CMakeFiles/gscalar_isa.dir/kernel_builder.cpp.o.d"
+  "CMakeFiles/gscalar_isa.dir/opcode.cpp.o"
+  "CMakeFiles/gscalar_isa.dir/opcode.cpp.o.d"
+  "libgscalar_isa.a"
+  "libgscalar_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gscalar_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gscalar_power.dir/energy_model.cpp.o"
+  "CMakeFiles/gscalar_power.dir/energy_model.cpp.o.d"
+  "CMakeFiles/gscalar_power.dir/hardware_cost.cpp.o"
+  "CMakeFiles/gscalar_power.dir/hardware_cost.cpp.o.d"
+  "libgscalar_power.a"
+  "libgscalar_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gscalar_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

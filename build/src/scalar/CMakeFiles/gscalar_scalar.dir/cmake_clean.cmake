@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gscalar_scalar.dir/eligibility.cpp.o"
+  "CMakeFiles/gscalar_scalar.dir/eligibility.cpp.o.d"
+  "libgscalar_scalar.a"
+  "libgscalar_scalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gscalar_scalar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

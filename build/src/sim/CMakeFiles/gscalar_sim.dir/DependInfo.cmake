@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/functional.cpp" "src/sim/CMakeFiles/gscalar_sim.dir/functional.cpp.o" "gcc" "src/sim/CMakeFiles/gscalar_sim.dir/functional.cpp.o.d"
+  "/root/repo/src/sim/gmem.cpp" "src/sim/CMakeFiles/gscalar_sim.dir/gmem.cpp.o" "gcc" "src/sim/CMakeFiles/gscalar_sim.dir/gmem.cpp.o.d"
+  "/root/repo/src/sim/gpu.cpp" "src/sim/CMakeFiles/gscalar_sim.dir/gpu.cpp.o" "gcc" "src/sim/CMakeFiles/gscalar_sim.dir/gpu.cpp.o.d"
+  "/root/repo/src/sim/memory/cache.cpp" "src/sim/CMakeFiles/gscalar_sim.dir/memory/cache.cpp.o" "gcc" "src/sim/CMakeFiles/gscalar_sim.dir/memory/cache.cpp.o.d"
+  "/root/repo/src/sim/memory/memory_system.cpp" "src/sim/CMakeFiles/gscalar_sim.dir/memory/memory_system.cpp.o" "gcc" "src/sim/CMakeFiles/gscalar_sim.dir/memory/memory_system.cpp.o.d"
+  "/root/repo/src/sim/reference.cpp" "src/sim/CMakeFiles/gscalar_sim.dir/reference.cpp.o" "gcc" "src/sim/CMakeFiles/gscalar_sim.dir/reference.cpp.o.d"
+  "/root/repo/src/sim/simt_stack.cpp" "src/sim/CMakeFiles/gscalar_sim.dir/simt_stack.cpp.o" "gcc" "src/sim/CMakeFiles/gscalar_sim.dir/simt_stack.cpp.o.d"
+  "/root/repo/src/sim/sm.cpp" "src/sim/CMakeFiles/gscalar_sim.dir/sm.cpp.o" "gcc" "src/sim/CMakeFiles/gscalar_sim.dir/sm.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/gscalar_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/gscalar_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/warp_state.cpp" "src/sim/CMakeFiles/gscalar_sim.dir/warp_state.cpp.o" "gcc" "src/sim/CMakeFiles/gscalar_sim.dir/warp_state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gscalar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gscalar_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gscalar_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalar/CMakeFiles/gscalar_scalar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gscalar_sim.dir/functional.cpp.o"
+  "CMakeFiles/gscalar_sim.dir/functional.cpp.o.d"
+  "CMakeFiles/gscalar_sim.dir/gmem.cpp.o"
+  "CMakeFiles/gscalar_sim.dir/gmem.cpp.o.d"
+  "CMakeFiles/gscalar_sim.dir/gpu.cpp.o"
+  "CMakeFiles/gscalar_sim.dir/gpu.cpp.o.d"
+  "CMakeFiles/gscalar_sim.dir/memory/cache.cpp.o"
+  "CMakeFiles/gscalar_sim.dir/memory/cache.cpp.o.d"
+  "CMakeFiles/gscalar_sim.dir/memory/memory_system.cpp.o"
+  "CMakeFiles/gscalar_sim.dir/memory/memory_system.cpp.o.d"
+  "CMakeFiles/gscalar_sim.dir/reference.cpp.o"
+  "CMakeFiles/gscalar_sim.dir/reference.cpp.o.d"
+  "CMakeFiles/gscalar_sim.dir/simt_stack.cpp.o"
+  "CMakeFiles/gscalar_sim.dir/simt_stack.cpp.o.d"
+  "CMakeFiles/gscalar_sim.dir/sm.cpp.o"
+  "CMakeFiles/gscalar_sim.dir/sm.cpp.o.d"
+  "CMakeFiles/gscalar_sim.dir/trace.cpp.o"
+  "CMakeFiles/gscalar_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/gscalar_sim.dir/warp_state.cpp.o"
+  "CMakeFiles/gscalar_sim.dir/warp_state.cpp.o.d"
+  "libgscalar_sim.a"
+  "libgscalar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gscalar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/data_gen.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/data_gen.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/data_gen.cpp.o.d"
+  "/root/repo/src/workloads/kernels/acf.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/acf.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/acf.cpp.o.d"
+  "/root/repo/src/workloads/kernels/bp.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/bp.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/bp.cpp.o.d"
+  "/root/repo/src/workloads/kernels/bt.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/bt.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/bt.cpp.o.d"
+  "/root/repo/src/workloads/kernels/cc.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/cc.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/cc.cpp.o.d"
+  "/root/repo/src/workloads/kernels/hs.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/hs.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/hs.cpp.o.d"
+  "/root/repo/src/workloads/kernels/hw.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/hw.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/hw.cpp.o.d"
+  "/root/repo/src/workloads/kernels/lbm.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/lbm.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/lbm.cpp.o.d"
+  "/root/repo/src/workloads/kernels/lc.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/lc.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/lc.cpp.o.d"
+  "/root/repo/src/workloads/kernels/mg.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/mg.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/mg.cpp.o.d"
+  "/root/repo/src/workloads/kernels/mm.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/mm.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/mm.cpp.o.d"
+  "/root/repo/src/workloads/kernels/mq.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/mq.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/mq.cpp.o.d"
+  "/root/repo/src/workloads/kernels/mv.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/mv.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/mv.cpp.o.d"
+  "/root/repo/src/workloads/kernels/pf.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/pf.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/pf.cpp.o.d"
+  "/root/repo/src/workloads/kernels/sad.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/sad.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/sad.cpp.o.d"
+  "/root/repo/src/workloads/kernels/sr1.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/sr1.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/sr1.cpp.o.d"
+  "/root/repo/src/workloads/kernels/sr2.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/sr2.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/sr2.cpp.o.d"
+  "/root/repo/src/workloads/kernels/st.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/st.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/kernels/st.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/gscalar_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/gscalar_workloads.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gscalar_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gscalar_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gscalar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalar/CMakeFiles/gscalar_scalar.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gscalar_compress.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgscalar_workloads.a"
+)

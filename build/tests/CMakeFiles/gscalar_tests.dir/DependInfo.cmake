@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_affine.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_affine.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_affine.cpp.o.d"
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_array_model.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_array_model.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_array_model.cpp.o.d"
+  "/root/repo/tests/test_bdi_codec.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_bdi_codec.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_bdi_codec.cpp.o.d"
+  "/root/repo/tests/test_bit_utils.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_bit_utils.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_bit_utils.cpp.o.d"
+  "/root/repo/tests/test_byte_mask_codec.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_byte_mask_codec.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_byte_mask_codec.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_differential.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_differential.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_differential.cpp.o.d"
+  "/root/repo/tests/test_eligibility.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_eligibility.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_eligibility.cpp.o.d"
+  "/root/repo/tests/test_energy_model.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_energy_model.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_energy_model.cpp.o.d"
+  "/root/repo/tests/test_events.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_events.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_events.cpp.o.d"
+  "/root/repo/tests/test_functional.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_functional.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_functional.cpp.o.d"
+  "/root/repo/tests/test_gmem.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_gmem.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_gmem.cpp.o.d"
+  "/root/repo/tests/test_gpu_integration.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_gpu_integration.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_gpu_integration.cpp.o.d"
+  "/root/repo/tests/test_hardware_cost.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_hardware_cost.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_hardware_cost.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_kernel_builder.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_kernel_builder.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_kernel_builder.cpp.o.d"
+  "/root/repo/tests/test_memory_features.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_memory_features.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_memory_features.cpp.o.d"
+  "/root/repo/tests/test_memory_system.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_memory_system.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_memory_system.cpp.o.d"
+  "/root/repo/tests/test_opcode.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_opcode.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_opcode.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_reg_meta.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_reg_meta.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_reg_meta.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_runner.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_runner.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_runner.cpp.o.d"
+  "/root/repo/tests/test_scoreboard.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_scoreboard.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_scoreboard.cpp.o.d"
+  "/root/repo/tests/test_simt_stack.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_simt_stack.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_simt_stack.cpp.o.d"
+  "/root/repo/tests/test_sm_integration.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_sm_integration.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_sm_integration.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_timing_properties.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_timing_properties.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_timing_properties.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_warp64.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_warp64.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_warp64.cpp.o.d"
+  "/root/repo/tests/test_warp_state.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_warp_state.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_warp_state.cpp.o.d"
+  "/root/repo/tests/test_workload_structure.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_workload_structure.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_workload_structure.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/gscalar_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/gscalar_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gscalar_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/gscalar_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gscalar_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gscalar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalar/CMakeFiles/gscalar_scalar.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/gscalar_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/gscalar_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gscalar_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

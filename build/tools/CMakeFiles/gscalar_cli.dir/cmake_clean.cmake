@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gscalar_cli.dir/gscalar_cli.cpp.o"
+  "CMakeFiles/gscalar_cli.dir/gscalar_cli.cpp.o.d"
+  "gscalar"
+  "gscalar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gscalar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
