@@ -6,12 +6,14 @@
 #include <iostream>
 
 #include "common/log.hpp"
+#include "harness/engine.hpp"
 #include "harness/experiments.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    gs::setQuiet(true);
+    gs::initHarness(argc, argv);
     std::cout << gs::runBankCountAblation(gs::experimentConfig()) << std::endl;
+    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
     return 0;
 }

@@ -6,13 +6,15 @@
 #include <iostream>
 
 #include "common/log.hpp"
+#include "harness/engine.hpp"
 #include "harness/experiments.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    gs::setQuiet(true);
+    gs::initHarness(argc, argv);
     std::cout << gs::runHalfRegisterAblation(gs::experimentConfig())
               << std::endl;
+    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
     return 0;
 }

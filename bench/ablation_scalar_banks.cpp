@@ -7,12 +7,14 @@
 #include <iostream>
 
 #include "common/log.hpp"
+#include "harness/engine.hpp"
 #include "harness/experiments.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    gs::setQuiet(true);
+    gs::initHarness(argc, argv);
     std::cout << gs::runScalarBankAblation(gs::experimentConfig()) << std::endl;
+    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
     return 0;
 }

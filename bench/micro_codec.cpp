@@ -47,6 +47,22 @@ BM_AnalyzeByteMask(benchmark::State &state)
 }
 BENCHMARK(BM_AnalyzeByteMask)->DenseRange(0, 3);
 
+/**
+ * Divergent-warp variant: half the lanes inactive, which routes
+ * analyzeByteMask through its masked (non-SWAR) comparison path.
+ */
+void
+BM_AnalyzeByteMaskPartial(benchmark::State &state)
+{
+    const auto v = pattern(unsigned(state.range(0)));
+    const LaneMask odd = 0xAAAAAAAAull; // lanes 1,3,5,...
+    for (auto _ : state) {
+        auto e = analyzeByteMask(v, odd);
+        benchmark::DoNotOptimize(e);
+    }
+}
+BENCHMARK(BM_AnalyzeByteMaskPartial)->DenseRange(0, 3);
+
 void
 BM_AnalyzeBdi(benchmark::State &state)
 {

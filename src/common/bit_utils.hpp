@@ -9,6 +9,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <cstring>
 
 #include "types.hpp"
 
@@ -63,6 +64,46 @@ constexpr bool
 isPow2(std::uint64_t v)
 {
     return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Load two adjacent 32-bit words as one 64-bit SWAR lane pair. Each
+ * aligned 4-byte half of the result equals one input word exactly
+ * (memcpy keeps native endianness), so word-positional operations like
+ * XOR against a replicated base work on both halves at once.
+ */
+inline std::uint64_t
+loadWordPair(const Word *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/** Replicate a 32-bit word into both halves of a 64-bit SWAR value. */
+constexpr std::uint64_t
+broadcastWord(Word w)
+{
+    return std::uint64_t{w} * 0x1'0000'0001ull;
+}
+
+/** OR the two 32-bit halves of a SWAR accumulator together. */
+constexpr std::uint32_t
+foldWordPair(std::uint64_t v)
+{
+    return static_cast<std::uint32_t>(v) |
+           static_cast<std::uint32_t>(v >> 32);
+}
+
+/**
+ * Number of most-significant bytes that are zero in an accumulated
+ * lane difference (OR of per-lane XORs against the base): exactly the
+ * byte-mask codec's common-prefix count, 4 for a scalar value.
+ */
+inline unsigned
+commonMsbBytes(std::uint32_t diff)
+{
+    return static_cast<unsigned>(std::countl_zero(diff)) / 8;
 }
 
 /** log2 of a power of two. */

@@ -40,6 +40,72 @@ ArchConfig::validate() const
         GS_FATAL("threads per SM must be a whole number of warps");
 }
 
+namespace
+{
+
+/** FNV-1a over the raw bytes of a trivially-copyable value. */
+template <typename T>
+void
+mixField(std::uint64_t &h, const T &v)
+{
+    unsigned char bytes[sizeof(T)];
+    __builtin_memcpy(bytes, &v, sizeof(T));
+    for (unsigned i = 0; i < sizeof(T); ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ull;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+ArchConfig::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+
+    mixField(h, static_cast<std::uint32_t>(mode));
+    mixField(h, numSms);
+    mixField(h, warpSize);
+    mixField(h, simtWidth);
+    mixField(h, sfuWidth);
+    mixField(h, numAluPipes);
+    mixField(h, maxThreadsPerSm);
+    mixField(h, maxCtasPerSm);
+    mixField(h, numVregsPerSm);
+    mixField(h, numBanks);
+    mixField(h, arraysPerBank);
+    mixField(h, numCollectors);
+    mixField(h, numSchedulers);
+    mixField(h, static_cast<std::uint32_t>(schedPolicy));
+    mixField(h, checkGranularity);
+    mixField(h, halfRegisterCompression);
+    mixField(h, scalarRfBanks);
+    mixField(h, insertSpecialMoves);
+    mixField(h, compilerAssistedSmov);
+    mixField(h, scalarShortensOccupancy);
+    mixField(h, aluLatency);
+    mixField(h, mulLatency);
+    mixField(h, divLatency);
+    mixField(h, sfuLatency);
+    mixField(h, lineBytes);
+    mixField(h, l1Bytes);
+    mixField(h, l1Assoc);
+    mixField(h, l1Latency);
+    mixField(h, l1MshrEntries);
+    mixField(h, l2Bytes);
+    mixField(h, l2Assoc);
+    mixField(h, l2Latency);
+    mixField(h, dramLatency);
+    mixField(h, memChannels);
+    mixField(h, dramRequestsPerCycle);
+    mixField(h, sharedLatency);
+    mixField(h, sharedBanks);
+    mixField(h, coreClockGhz);
+    mixField(h, maxCycles);
+    mixField(h, seed);
+    return h;
+}
+
 std::string
 ArchConfig::describe() const
 {

@@ -135,6 +135,15 @@ struct ArchConfig
 
     /** Render Table 1 as an ASCII table. */
     std::string describe() const;
+
+    /**
+     * Stable content hash over every configuration field. Two configs
+     * with the same fingerprint produce bit-identical simulations, so
+     * the harness run cache keys on (workload, fingerprint()). The
+     * value is stable within a build of the simulator but is not a
+     * serialisation format — do not persist it across versions.
+     */
+    std::uint64_t fingerprint() const;
 };
 
 } // namespace gs

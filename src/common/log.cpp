@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace gs
 {
@@ -9,6 +10,10 @@ namespace gs
 namespace
 {
 std::atomic<bool> g_quiet{false};
+
+/** Serialises stream output so concurrent harness workers never
+ *  interleave message fragments. */
+std::mutex g_log_mutex;
 } // namespace
 
 void
@@ -29,31 +34,41 @@ namespace detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        std::cerr << "panic: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << " @ " << file << ":" << line
-              << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
+        std::cerr << "fatal: " << msg << " @ " << file << ":" << line
+                  << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!quiet())
+    if (!quiet()) {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
         std::cerr << "warn: " << msg << std::endl;
+    }
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quiet())
+    if (!quiet()) {
+        std::lock_guard<std::mutex> lock(g_log_mutex);
         std::cout << "info: " << msg << std::endl;
+    }
 }
 
 } // namespace detail

@@ -32,22 +32,41 @@ analyzeByteMask(std::span<const Word> values, LaneMask active)
 
     // Hardware compares neighbours with inactive lanes overridden by a
     // broadcast of an active lane's value (Fig. 7 (a)). Comparing every
-    // active lane against the first active lane is equivalent.
-    unsigned common = 4;
-    for (unsigned lane = 0; lane < values.size() && common > 0; ++lane) {
-        if (!(active & (LaneMask{1} << lane)))
-            continue;
-        const Word v = values[lane];
-        // Count matching most-significant bytes against the base.
-        unsigned match = 0;
-        while (match < 4 && byteOf(v, 3 - match) == byteOf(base, 3 - match))
-            ++match;
-        if (match < common)
-            common = match;
+    // active lane against the first active lane is equivalent, and the
+    // common-MSB count across lanes equals the leading-zero-byte count
+    // of the OR of all per-lane XORs against the base — which lets the
+    // software model reduce two lanes per 64-bit word instead of
+    // looping over bytes.
+    const unsigned lanes = unsigned(values.size());
+    std::uint32_t diff = 0;
+    if ((active & laneMaskLow(lanes)) == laneMaskLow(lanes)) {
+        // All lanes active: SWAR sweep, two lanes per iteration. Once
+        // either half's most-significant byte differs no byte can be
+        // common, so stop early (incompressible values are the hot
+        // case in divergent workloads).
+        constexpr std::uint64_t kMsbBytes = 0xFF00'0000'FF00'0000ull;
+        std::uint64_t acc = 0;
+        const std::uint64_t base2 = broadcastWord(base);
+        unsigned lane = 0;
+        for (; lane + 2 <= lanes; lane += 2) {
+            acc |= loadWordPair(&values[lane]) ^ base2;
+            if (acc & kMsbBytes)
+                break;
+        }
+        diff = foldWordPair(acc);
+        if (lane + 1 == lanes) // odd tail lane
+            diff |= values[lane] ^ base;
+    } else {
+        for (unsigned lane = 0; lane < lanes; ++lane) {
+            if (active & (LaneMask{1} << lane))
+                diff |= values[lane] ^ base;
+            if (diff & 0xFF00'0000u)
+                break; // common count is already 0
+        }
     }
 
     ByteMaskEncoding e;
-    e.commonMsbs = common;
+    e.commonMsbs = commonMsbBytes(diff);
     e.base = base;
     return e;
 }

@@ -1,0 +1,244 @@
+#include "engine.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+
+namespace gs
+{
+
+// ---------------------------------------------------------------- WorkerPool
+
+WorkerPool::WorkerPool(unsigned jobs)
+{
+    if (jobs == 0)
+        jobs = defaultJobs();
+    threads_.reserve(jobs);
+    for (unsigned i = 0; i < jobs; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+WorkerPool::submit(std::function<void()> fn)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        GS_ASSERT(!stop_, "submit() on a stopped worker pool");
+        queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+}
+
+void
+WorkerPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+unsigned
+WorkerPool::defaultJobs()
+{
+    if (const char *env = std::getenv("GS_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return unsigned(v);
+        GS_WARN("ignoring GS_JOBS='", env, "' (want a positive integer)");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+// ---------------------------------------------------------- ExperimentEngine
+
+namespace
+{
+
+std::string
+cacheKey(const std::string &abbr, const ArchConfig &cfg)
+{
+    std::ostringstream os;
+    os << abbr << '#' << std::hex << cfg.fingerprint();
+    return os.str();
+}
+
+} // namespace
+
+ExperimentEngine::ExperimentEngine(unsigned jobs) : pool_(jobs) {}
+
+std::shared_future<RunResult>
+ExperimentEngine::submit(const Workload &w, const ArchConfig &cfg)
+{
+    const std::string key = cacheKey(w.name, cfg);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++stats_.hits;
+        return it->second;
+    }
+    ++stats_.misses;
+
+    auto promise = std::make_shared<std::promise<RunResult>>();
+    std::shared_future<RunResult> future = promise->get_future().share();
+    cache_.emplace(key, future);
+
+    pool_.submit([this, promise, w, cfg] {
+        try {
+            RunResult r = runWorkload(w, cfg);
+            {
+                std::lock_guard<std::mutex> statsLock(mutex_);
+                wallSumSeconds_ += r.wallSeconds;
+                simCycles_ += r.ev.cycles;
+                warpInsts_ += r.ev.warpInsts;
+            }
+            promise->set_value(std::move(r));
+        } catch (...) {
+            promise->set_exception(std::current_exception());
+        }
+    });
+    return future;
+}
+
+std::shared_future<RunResult>
+ExperimentEngine::submit(const std::string &abbr, const ArchConfig &cfg)
+{
+    return submit(makeWorkload(abbr), cfg);
+}
+
+RunResult
+ExperimentEngine::run(const Workload &w, const ArchConfig &cfg)
+{
+    return submit(w, cfg).get();
+}
+
+RunResult
+ExperimentEngine::run(const std::string &abbr, const ArchConfig &cfg)
+{
+    return submit(abbr, cfg).get();
+}
+
+std::vector<std::shared_future<RunResult>>
+ExperimentEngine::submitSuite(const ArchConfig &cfg)
+{
+    std::vector<std::shared_future<RunResult>> futures;
+    for (const Workload &w : makeSuite())
+        futures.push_back(submit(w, cfg));
+    return futures;
+}
+
+std::vector<RunResult>
+ExperimentEngine::runSuite(const ArchConfig &cfg)
+{
+    std::vector<RunResult> out;
+    for (auto &f : submitSuite(cfg))
+        out.push_back(f.get());
+    return out;
+}
+
+CacheStats
+ExperimentEngine::cacheStats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+ExperimentEngine::clearCache()
+{
+    // Wait for in-flight runs so nobody holds a future we forget about.
+    std::vector<std::shared_future<RunResult>> pending;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &[key, future] : cache_)
+            pending.push_back(future);
+    }
+    for (auto &f : pending)
+        f.wait();
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+std::string
+ExperimentEngine::statsSummary() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os << "engine: " << stats_.misses << " simulations (+" << stats_.hits
+       << " cache hits) on " << pool_.jobs() << " worker(s)";
+    if (wallSumSeconds_ > 0) {
+        os << "; " << simCycles_ << " sim-cycles, " << warpInsts_
+           << " warp-insts in " << Table::num(wallSumSeconds_, 2)
+           << "s CPU (" << Table::num(double(simCycles_) / wallSumSeconds_ /
+                                          1e6, 1)
+           << "M sim-cycles/s, "
+           << Table::num(double(warpInsts_) / wallSumSeconds_ / 1e6, 2)
+           << "M warp-insts/s)";
+    }
+    return os.str();
+}
+
+// -------------------------------------------------------------- global state
+
+namespace
+{
+std::atomic<unsigned> g_default_jobs{0};
+} // namespace
+
+ExperimentEngine &
+defaultEngine()
+{
+    static ExperimentEngine engine(g_default_jobs.load());
+    return engine;
+}
+
+void
+setDefaultJobs(unsigned jobs)
+{
+    g_default_jobs.store(jobs);
+}
+
+void
+initHarness(int argc, char **argv)
+{
+    setQuiet(true);
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--jobs" || a == "-j") {
+            if (i + 1 >= argc)
+                GS_FATAL(a, " needs a value");
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v <= 0)
+                GS_FATAL(a, " wants a positive integer, got '", argv[i],
+                         "'");
+            setDefaultJobs(unsigned(v));
+        }
+    }
+}
+
+} // namespace gs

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Parallel experiment engine: a fixed-size worker pool fanning out
+ * (workload x ArchConfig) simulations, plus a memoizing run cache so
+ * drivers sharing a configuration (Figs. 1/8/9/10 all consume the one
+ * baseline classification run) simulate each benchmark once per
+ * process. Results are returned in deterministic suite order
+ * regardless of completion order: every simulation owns a private
+ * `Gpu`, so a run's counters depend only on (workload, config), never
+ * on scheduling.
+ */
+
+#ifndef GSCALAR_HARNESS_ENGINE_HPP
+#define GSCALAR_HARNESS_ENGINE_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "runner.hpp"
+
+namespace gs
+{
+
+/**
+ * Fixed-size worker pool: a task queue drained by `jobs` std::threads.
+ * Tasks are plain closures; ordering across tasks is unspecified, so
+ * anything submitted must be independent (each simulation is).
+ */
+class WorkerPool
+{
+  public:
+    /** @param jobs worker threads; 0 selects defaultJobs(). */
+    explicit WorkerPool(unsigned jobs = 0);
+
+    /** Drains the queue, then joins every worker. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue @p fn for execution on some worker. */
+    void submit(std::function<void()> fn);
+
+    /** Number of worker threads. */
+    unsigned jobs() const { return unsigned(threads_.size()); }
+
+    /**
+     * Pool size used when none is requested: the GS_JOBS environment
+     * variable if set to a positive integer, else
+     * std::thread::hardware_concurrency() (min 1).
+     */
+    static unsigned defaultJobs();
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/** Hit/miss counters of the memoizing run cache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0; ///< i.e. simulations actually scheduled
+};
+
+/**
+ * Worker pool + memoizing run cache. Simulations are keyed by
+ * (workload abbreviation, ArchConfig::fingerprint()); a second request
+ * for the same key joins the first run's future instead of
+ * re-simulating — including while the first is still in flight.
+ *
+ * The cache assumes default EnergyParams (every experiment driver uses
+ * them); runs needing custom energy parameters should call
+ * runWorkload() directly.
+ */
+class ExperimentEngine
+{
+  public:
+    /** @param jobs worker threads; 0 selects WorkerPool::defaultJobs(). */
+    explicit ExperimentEngine(unsigned jobs = 0);
+
+    /** Schedule one run (or join the cached one); non-blocking. */
+    std::shared_future<RunResult> submit(const Workload &w,
+                                         const ArchConfig &cfg);
+
+    /** Schedule by Table 2 abbreviation. */
+    std::shared_future<RunResult> submit(const std::string &abbr,
+                                         const ArchConfig &cfg);
+
+    /** Blocking convenience: submit and wait. */
+    RunResult run(const Workload &w, const ArchConfig &cfg);
+
+    /** Blocking convenience by abbreviation. */
+    RunResult run(const std::string &abbr, const ArchConfig &cfg);
+
+    /** Fan out every suite workload under @p cfg; non-blocking. */
+    std::vector<std::shared_future<RunResult>>
+    submitSuite(const ArchConfig &cfg);
+
+    /**
+     * Run the whole suite under @p cfg and return results in Table 2
+     * suite order (deterministic regardless of completion order).
+     */
+    std::vector<RunResult> runSuite(const ArchConfig &cfg);
+
+    /** Cache hit/miss counters so far. */
+    CacheStats cacheStats() const;
+
+    /** Drop every cached result (tests use this). */
+    void clearCache();
+
+    /** Worker thread count. */
+    unsigned jobs() const { return pool_.jobs(); }
+
+    /**
+     * One-line observability report: simulations run, cache hits,
+     * aggregate simulated cycles and warp instructions, and the
+     * throughput achieved (sim-cycles/sec and warp-insts/sec of CPU
+     * time spent simulating). Harness binaries print this to stderr so
+     * stdout tables stay byte-identical across -j levels.
+     */
+    std::string statsSummary() const;
+
+  private:
+    WorkerPool pool_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_future<RunResult>> cache_;
+    CacheStats stats_;
+    double wallSumSeconds_ = 0; ///< summed per-run wall clock
+    std::uint64_t simCycles_ = 0;
+    std::uint64_t warpInsts_ = 0;
+};
+
+/**
+ * Process-wide engine shared by every experiment driver, so separate
+ * figures reuse each other's runs (e.g. Figs. 1/8/9/10 share the one
+ * baseline classification sweep).
+ */
+ExperimentEngine &defaultEngine();
+
+/**
+ * Set the worker count used when defaultEngine() is first constructed.
+ * Call before any driver runs (harness mains do this while parsing
+ * --jobs/-j); ignored once the engine exists.
+ */
+void setDefaultJobs(unsigned jobs);
+
+/**
+ * Standard harness-binary prologue: silence warn()/inform() and honour
+ * a trailing `--jobs N` / `-j N` flag (GS_JOBS is read by
+ * WorkerPool::defaultJobs() when no flag is given).
+ */
+void initHarness(int argc, char **argv);
+
+} // namespace gs
+
+#endif // GSCALAR_HARNESS_ENGINE_HPP

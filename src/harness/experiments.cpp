@@ -1,9 +1,12 @@
 #include "experiments.hpp"
 
+#include <array>
+#include <future>
 #include <map>
 #include <sstream>
 
 #include "common/table.hpp"
+#include "engine.hpp"
 #include "power/hardware_cost.hpp"
 #include "runner.hpp"
 
@@ -20,14 +23,15 @@ experimentConfig()
 namespace
 {
 
-/** Run every suite workload under @p cfg. */
+/**
+ * Run every suite workload under @p cfg through the process-wide
+ * engine: fans out over the worker pool and joins any run another
+ * driver already scheduled for the same (workload, fingerprint).
+ */
 std::vector<RunResult>
 runSuite(const ArchConfig &cfg)
 {
-    std::vector<RunResult> out;
-    for (const Workload &w : makeSuite())
-        out.push_back(runWorkload(w, cfg));
-    return out;
+    return defaultEngine().runSuite(cfg);
 }
 
 double
@@ -144,8 +148,14 @@ runFig10(const ArchConfig &base)
     ArchConfig cfg64 = cfg32;
     cfg64.warpSize = 64;
 
-    const auto r32 = runSuite(cfg32);
-    const auto r64 = runSuite(cfg64);
+    // Fan both warp sizes out together before joining either.
+    auto f32 = defaultEngine().submitSuite(cfg32);
+    auto f64 = defaultEngine().submitSuite(cfg64);
+    std::vector<RunResult> r32, r64;
+    for (auto &f : f32)
+        r32.push_back(f.get());
+    for (auto &f : f64)
+        r64.push_back(f.get());
     double s32 = 0, s64 = 0;
     for (std::size_t i = 0; i < r32.size(); ++i) {
         const double h32 = pctDiv(double(r32[i].ev.halfScalarEligible),
@@ -172,12 +182,17 @@ runFig11(const ArchConfig &base)
     const ArchMode modes[] = {ArchMode::Baseline, ArchMode::AluScalar,
                               ArchMode::GScalarNoDiv,
                               ArchMode::GScalarFull};
-    std::map<ArchMode, std::vector<RunResult>> results;
+    // Fan all four modes out (17 benchmarks x 4 configs) before joining.
+    std::map<ArchMode, std::vector<std::shared_future<RunResult>>> futures;
     for (const ArchMode m : modes) {
         ArchConfig cfg = base;
         cfg.mode = m;
-        results[m] = runSuite(cfg);
+        futures[m] = defaultEngine().submitSuite(cfg);
     }
+    std::map<ArchMode, std::vector<RunResult>> results;
+    for (const ArchMode m : modes)
+        for (auto &f : futures[m])
+            results[m].push_back(f.get());
 
     double sums[4] = {};
     const std::size_t n = results[ArchMode::Baseline].size();
@@ -326,16 +341,19 @@ runSmovCompilerAblation(const ArchConfig &base)
             "(Sec 3.3)");
     t.row({"bench", "hardware", "compiler-assisted", "eliminated"});
 
+    ArchConfig hw = base;
+    hw.mode = ArchMode::GScalarFull;
+    ArchConfig ca = hw;
+    ca.compilerAssistedSmov = true;
+
+    auto fh = defaultEngine().submitSuite(hw);
+    auto fc = defaultEngine().submitSuite(ca);
+
     double sh = 0, sc = 0;
     unsigned n = 0;
-    for (const Workload &w : makeSuite()) {
-        ArchConfig hw = base;
-        hw.mode = ArchMode::GScalarFull;
-        const RunResult rh = runWorkload(w, hw);
-
-        ArchConfig ca = hw;
-        ca.compilerAssistedSmov = true;
-        const RunResult rc = runWorkload(w, ca);
+    for (std::size_t i = 0; i < fh.size(); ++i) {
+        const RunResult rh = fh[i].get();
+        const RunResult rc = fc[i].get();
 
         const double oh = pctDiv(double(rh.ev.specialMoveInsts),
                                  double(rh.ev.warpInsts));
@@ -344,7 +362,7 @@ runSmovCompilerAblation(const ArchConfig &base)
         sh += oh;
         sc += oc;
         ++n;
-        t.row({w.name, Table::pct(oh, 2), Table::pct(oc, 2),
+        t.row({rh.workload, Table::pct(oh, 2), Table::pct(oc, 2),
                oh > 0 ? Table::pct(1.0 - oc / oh, 0) : "-"});
     }
     t.row({"AVG", Table::pct(sh / n, 2), Table::pct(sc / n, 2), ""});
@@ -360,21 +378,24 @@ runOccupancyAblation(const ArchConfig &base)
     t.row({"bench", "G-Scalar IPC", "+1-cycle scalar dispatch IPC",
            "speedup"});
 
+    ArchConfig plain = base;
+    plain.mode = ArchMode::GScalarFull;
+    ArchConfig fast = plain;
+    fast.scalarShortensOccupancy = true;
+
+    auto fa = defaultEngine().submitSuite(plain);
+    auto fb = defaultEngine().submitSuite(fast);
+
     double s = 0;
     unsigned n = 0;
-    for (const Workload &w : makeSuite()) {
-        ArchConfig plain = base;
-        plain.mode = ArchMode::GScalarFull;
-        const RunResult a = runWorkload(w, plain);
-
-        ArchConfig fast = plain;
-        fast.scalarShortensOccupancy = true;
-        const RunResult b = runWorkload(w, fast);
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+        const RunResult a = fa[i].get();
+        const RunResult b = fb[i].get();
 
         const double speedup = b.power.ipc / a.power.ipc;
         s += speedup;
         ++n;
-        t.row({w.name, Table::num(a.power.ipc, 2),
+        t.row({a.workload, Table::num(a.power.ipc, 2),
                Table::num(b.power.ipc, 2), Table::num(speedup, 3)});
     }
     t.row({"AVG", "", "", Table::num(s / n, 3)});
@@ -415,17 +436,33 @@ runBankCountAblation(const ArchConfig &base)
            "G-Scalar IPC/W vs baseline"});
 
     const std::vector<std::string> benches = {"MM", "MQ", "ST"};
-    for (const unsigned banks : {8u, 16u, 32u}) {
-        double ipc_base = 0, ipc_alu = 0, ipc_gs = 0, eff = 0;
+    const std::vector<unsigned> bankCounts = {8u, 16u, 32u};
+
+    // Fan out every (banks x bench x mode) simulation, then join in
+    // table order.
+    std::map<std::pair<unsigned, std::string>,
+             std::array<std::shared_future<RunResult>, 3>>
+        futures;
+    for (const unsigned banks : bankCounts) {
         for (const auto &name : benches) {
             ArchConfig b = base;
             b.numBanks = banks;
             b.mode = ArchMode::Baseline;
-            const RunResult rb = runWorkload(name, b);
+            auto fb = defaultEngine().submit(name, b);
             b.mode = ArchMode::AluScalar;
-            const RunResult ra = runWorkload(name, b);
+            auto fa = defaultEngine().submit(name, b);
             b.mode = ArchMode::GScalarFull;
-            const RunResult rg = runWorkload(name, b);
+            auto fg = defaultEngine().submit(name, b);
+            futures[{banks, name}] = {fb, fa, fg};
+        }
+    }
+    for (const unsigned banks : bankCounts) {
+        double ipc_base = 0, ipc_alu = 0, ipc_gs = 0, eff = 0;
+        for (const auto &name : benches) {
+            auto &[fb, fa, fg] = futures[{banks, name}];
+            const RunResult rb = fb.get();
+            const RunResult ra = fa.get();
+            const RunResult rg = fg.get();
             ipc_base += rb.power.ipc;
             ipc_alu += ra.power.ipc;
             ipc_gs += rg.power.ipc;
@@ -451,15 +488,20 @@ runWarpWidthAblation(const ArchConfig &base)
             ArchConfig b = base;
             b.warpSize = warp;
             b.mode = ArchMode::Baseline;
+            ArchConfig g = b;
+            g.mode = ArchMode::GScalarFull;
+            g.halfRegisterCompression = half;
+
+            // The same-width baseline suite is a cache hit on the
+            // second (half) iteration.
+            auto fb = defaultEngine().submitSuite(b);
+            auto fg = defaultEngine().submitSuite(g);
 
             double full_e = 0, half_e = 0, eff = 0;
             unsigned n = 0;
-            for (const Workload &w : makeSuite()) {
-                const RunResult rb = runWorkload(w, b);
-                ArchConfig g = b;
-                g.mode = ArchMode::GScalarFull;
-                g.halfRegisterCompression = half;
-                const RunResult rg = runWorkload(w, g);
+            for (std::size_t i = 0; i < fb.size(); ++i) {
+                const RunResult rb = fb[i].get();
+                const RunResult rg = fg[i].get();
                 full_e += pctDiv(
                     double(rg.ev.scalarAluEligible +
                            rg.ev.scalarSfuEligible +
@@ -488,17 +530,20 @@ runHalfRegisterAblation(const ArchConfig &base)
     t.row({"bench", "RF energy (half)", "RF energy (whole)",
            "half-scalar exec (half)", "(whole)"});
 
+    ArchConfig half = base;
+    half.mode = ArchMode::GScalarFull;
+    half.halfRegisterCompression = true;
+    ArchConfig whole = half;
+    whole.halfRegisterCompression = false;
+
+    auto fh = defaultEngine().submitSuite(half);
+    auto fw = defaultEngine().submitSuite(whole);
+
     double s_half = 0, s_whole = 0;
     unsigned n = 0;
-    for (const Workload &w : makeSuite()) {
-        ArchConfig half = base;
-        half.mode = ArchMode::GScalarFull;
-        half.halfRegisterCompression = true;
-        const RunResult rh = runWorkload(w, half);
-
-        ArchConfig whole = half;
-        whole.halfRegisterCompression = false;
-        const RunResult rw = runWorkload(w, whole);
+    for (std::size_t i = 0; i < fh.size(); ++i) {
+        const RunResult rh = fh[i].get();
+        const RunResult rw = fw[i].get();
 
         const RfEnergyBreakdown bh = computeRfEnergy(rh.ev);
         // The baseline shadow is identical across the two runs; use it
@@ -515,7 +560,7 @@ runHalfRegisterAblation(const ArchConfig &base)
         s_half += eh;
         s_whole += ew;
         ++n;
-        t.row({w.name, Table::num(eh, 3), Table::num(ew, 3),
+        t.row({rh.workload, Table::num(eh, 3), Table::num(ew, 3),
                std::to_string(rh.ev.halfScalarExecuted),
                std::to_string(rw.ev.halfScalarExecuted)});
     }
@@ -533,23 +578,38 @@ runScalarBankAblation(const ArchConfig &base)
            "1-bank stall cyc/kinst"});
 
     const std::vector<std::string> benches = {"MM", "MQ", "SR2", "ST"};
+
+    // Fan out all (bench x bank-count) runs plus the G-Scalar
+    // reference runs before joining anything.
+    std::map<std::string, std::vector<std::shared_future<RunResult>>>
+        bankFutures;
+    std::map<std::string, std::shared_future<RunResult>> gsFutures;
     for (const auto &name : benches) {
-        std::vector<double> ipc;
-        double stalls_per_kinst = 0;
         for (const unsigned banks : {1u, 2u, 4u}) {
             ArchConfig cfg = base;
             cfg.mode = ArchMode::AluScalar;
             cfg.scalarRfBanks = banks;
-            const RunResult r = runWorkload(name, cfg);
-            ipc.push_back(r.power.ipc);
-            if (banks == 1)
-                stalls_per_kinst = 1000.0 *
-                                   double(r.ev.scalarBankStalls) /
-                                   double(r.ev.warpInsts);
+            bankFutures[name].push_back(defaultEngine().submit(name, cfg));
         }
         ArchConfig gcfg = base;
         gcfg.mode = ArchMode::GScalarFull;
-        const RunResult g = runWorkload(name, gcfg);
+        gsFutures[name] = defaultEngine().submit(name, gcfg);
+    }
+    for (const auto &name : benches) {
+        std::vector<double> ipc;
+        double stalls_per_kinst = 0;
+        bool first_bank = true;
+        for (auto &f : bankFutures[name]) {
+            const RunResult r = f.get();
+            ipc.push_back(r.power.ipc);
+            if (first_bank) {
+                stalls_per_kinst = 1000.0 *
+                                   double(r.ev.scalarBankStalls) /
+                                   double(r.ev.warpInsts);
+                first_bank = false;
+            }
+        }
+        const RunResult g = gsFutures[name].get();
         t.row({name, Table::num(ipc[0], 3), Table::num(ipc[1], 3),
                Table::num(ipc[2], 3), Table::num(g.power.ipc, 3),
                Table::num(stalls_per_kinst, 1)});

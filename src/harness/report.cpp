@@ -130,6 +130,28 @@ toCsv(const std::vector<RunResult> &results)
 }
 
 std::string
+throughputSummary(const std::vector<RunResult> &results)
+{
+    double wall = 0;
+    double cycles = 0;
+    double insts = 0;
+    for (const RunResult &r : results) {
+        wall += r.wallSeconds;
+        cycles += double(r.ev.cycles);
+        insts += double(r.ev.warpInsts);
+    }
+    std::ostringstream os;
+    os << "throughput: " << results.size() << " run(s) in ";
+    os.precision(3);
+    os << std::fixed << wall << "s CPU";
+    if (wall > 0) {
+        os << " (" << cycles / wall / 1e6 << "M sim-cycles/s, "
+           << insts / wall / 1e6 << "M warp-insts/s)";
+    }
+    return os.str();
+}
+
+std::string
 toJson(const RunResult &r)
 {
     std::ostringstream os;
@@ -139,6 +161,9 @@ toJson(const RunResult &r)
         os << ",\n  \"" << name << "\": " << value;
     for (const auto &[name, value] : powerFields(r.power))
         os << ",\n  \"" << name << "\": " << value;
+    os << ",\n  \"wall_seconds\": " << r.wallSeconds;
+    os << ",\n  \"sim_cycles_per_sec\": " << r.simCyclesPerSec();
+    os << ",\n  \"warp_insts_per_sec\": " << r.warpInstsPerSec();
     os << "\n}\n";
     return os.str();
 }

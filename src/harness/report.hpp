@@ -37,6 +37,14 @@ std::string toCsv(const std::vector<RunResult> &results);
 /** One run as a flat JSON object. */
 std::string toJson(const RunResult &r);
 
+/**
+ * One-line simulator-throughput report over a result set: summed
+ * wall-clock, sim-cycles/sec and warp-insts/sec. Reports print this on
+ * stderr (wall-clock varies run to run, so it must never land in the
+ * deterministic stdout tables).
+ */
+std::string throughputSummary(const std::vector<RunResult> &results);
+
 } // namespace gs
 
 #endif // GSCALAR_HARNESS_REPORT_HPP

@@ -1,5 +1,7 @@
 #include "runner.hpp"
 
+#include <chrono>
+
 #include "common/log.hpp"
 #include "sim/gpu.hpp"
 
@@ -14,6 +16,7 @@ runWorkload(const Workload &w, const ArchConfig &cfg,
     r.workload = w.name;
     r.mode = cfg.mode;
 
+    const auto t0 = std::chrono::steady_clock::now();
     Gpu gpu(cfg);
     if (w.setup)
         w.setup(gpu.memory(), cfg.seed);
@@ -35,6 +38,9 @@ runWorkload(const Workload &w, const ArchConfig &cfg,
         GS_FATAL("workload '", w.name, "' has no launches");
 
     r.power = computePower(r.ev, cfg, ep);
+    r.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
     return r;
 }
 

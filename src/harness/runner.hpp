@@ -24,6 +24,21 @@ struct RunResult
     ArchMode mode = ArchMode::Baseline;
     EventCounts ev;
     PowerReport power;
+
+    /** Host wall-clock seconds spent simulating (setup + launches). */
+    double wallSeconds = 0;
+
+    /** Simulator throughput: simulated cycles per host second. */
+    double simCyclesPerSec() const
+    {
+        return wallSeconds > 0 ? double(ev.cycles) / wallSeconds : 0;
+    }
+
+    /** Simulator throughput: warp instructions per host second. */
+    double warpInstsPerSec() const
+    {
+        return wallSeconds > 0 ? double(ev.warpInsts) / wallSeconds : 0;
+    }
 };
 
 /** Run @p w under @p cfg (input setup + every launch, sequentially). */

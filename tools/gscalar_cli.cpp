@@ -21,6 +21,7 @@
 #include <sstream>
 
 #include "common/log.hpp"
+#include "harness/engine.hpp"
 #include "harness/experiments.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
@@ -40,13 +41,15 @@ usage()
         "usage:\n"
         "  gscalar run <BENCH> [--mode M] [--warp N] [--sms N]\n"
         "              [--seed S] [--csv] [--json] [--power]\n"
-        "  gscalar suite [--mode M] [--csv]\n"
+        "  gscalar suite [--mode M] [--csv] [--jobs N]\n"
         "  gscalar disasm <BENCH>\n"
         "  gscalar trace <BENCH> [--mode M] [--lines N]\n"
-        "  gscalar experiment <name>\n"
+        "  gscalar experiment <name>... [--jobs N]   (or 'all')\n"
         "  gscalar config\n"
         "  gscalar list\n"
         "\n"
+        "  --jobs/-j N (or GS_JOBS=N) sets the simulation worker pool\n"
+        "  size; default is the host's hardware concurrency.\n"
         "modes: baseline alu-scalar warped-compression gscalar-compress\n"
         "       gscalar-nodiv gscalar\n"
         "experiments: fig1 fig8 fig9 fig10 fig11 fig12 table3 ratio\n"
@@ -101,6 +104,8 @@ parseFlags(int argc, char **argv, int first, Options &opt)
             opt.json = true;
         else if (a == "--power")
             opt.power = true;
+        else if (a == "--jobs" || a == "-j")
+            setDefaultJobs(unsigned(std::stoul(need("--jobs"))));
         else
             GS_FATAL("unknown option '", a, "'");
     }
@@ -127,6 +132,7 @@ cmdRun(int argc, char **argv)
     }
     if (opt.power)
         std::cout << r.power.describe();
+    std::cerr << throughputSummary({r}) << "\n";
     return 0;
 }
 
@@ -136,9 +142,8 @@ cmdSuite(int argc, char **argv)
     Options opt;
     parseFlags(argc, argv, 2, opt);
 
-    std::vector<RunResult> results;
-    for (const Workload &w : makeSuite())
-        results.push_back(runWorkload(w, opt.cfg));
+    const std::vector<RunResult> results =
+        defaultEngine().runSuite(opt.cfg);
 
     if (opt.csv) {
         std::cout << toCsv(results);
@@ -148,6 +153,8 @@ cmdSuite(int argc, char **argv)
                       << " IPC=" << r.ev.ipc()
                       << " IPC/W=" << r.power.ipcPerWatt() << "\n";
     }
+    std::cerr << throughputSummary(results) << "\n"
+              << defaultEngine().statsSummary() << "\n";
     return 0;
 }
 
@@ -205,7 +212,7 @@ cmdExperiment(int argc, char **argv)
 {
     if (argc < 3)
         return usage();
-    const std::string name = argv[2];
+    initHarness(argc, argv); // --jobs/-j for the experiment engine
     const ArchConfig cfg = experimentConfig();
     const std::map<std::string, std::string (*)(const ArchConfig &)>
         table = {
@@ -225,14 +232,37 @@ cmdExperiment(int argc, char **argv)
             {"bankcount", runBankCountAblation},
             {"warpwidth", runWarpWidthAblation},
         };
-    if (name == "table3") {
-        std::cout << runTable3() << std::endl;
-        return 0;
+    // One process may run several experiments ("fig1 fig8 fig9 ..."
+    // or "all"): the shared run cache then simulates each (workload,
+    // config) once across all of them.
+    std::vector<std::string> names;
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--jobs" || a == "-j") {
+            ++i; // value consumed by initHarness
+            continue;
+        }
+        if (a == "all") {
+            for (const auto &[n, fn] : table)
+                names.push_back(n);
+            names.push_back("table3");
+        } else {
+            names.push_back(a);
+        }
     }
-    const auto it = table.find(name);
-    if (it == table.end())
+    if (names.empty())
         return usage();
-    std::cout << it->second(cfg) << std::endl;
+    for (const std::string &name : names) {
+        if (name == "table3") {
+            std::cout << runTable3() << std::endl;
+            continue;
+        }
+        const auto it = table.find(name);
+        if (it == table.end())
+            return usage();
+        std::cout << it->second(cfg) << std::endl;
+    }
+    std::cerr << defaultEngine().statsSummary() << "\n";
     return 0;
 }
 
