@@ -7,37 +7,60 @@
 namespace gs
 {
 
+std::string
+ArchConfig::check() const
+{
+    using detail::formatMsg;
+
+    if (warpSize == 0 || warpSize > kMaxWarpSize)
+        return formatMsg("warp size ", warpSize, " out of range [1, ",
+                         kMaxWarpSize, "]");
+    if (!isPow2(warpSize))
+        return formatMsg("warp size must be a power of two, got ",
+                         warpSize);
+    if (simtWidth == 0 || simtWidth > warpSize)
+        return formatMsg("SIMT width ", simtWidth,
+                         " must be in [1, warp size]");
+    if (checkGranularity == 0 || warpSize % checkGranularity != 0)
+        return formatMsg("check granularity ", checkGranularity,
+                         " must divide warp size ", warpSize);
+    if (numBanks == 0 || numCollectors == 0 || numSchedulers == 0)
+        return formatMsg("banks, collectors and schedulers must be "
+                         "nonzero");
+    if (numVregsPerSm % numBanks != 0)
+        return formatMsg("vector registers (", numVregsPerSm,
+                         ") must divide evenly over ", numBanks,
+                         " banks");
+    if (!isPow2(lineBytes) || lineBytes < kBytesPerWord)
+        return formatMsg("cache line size must be a power-of-two >= 4");
+    if (l1Assoc == 0 || l1Bytes % (lineBytes * l1Assoc) != 0)
+        return formatMsg("L1 geometry does not divide into sets");
+    if (l2Assoc == 0 || l2Bytes % (lineBytes * l2Assoc) != 0)
+        return formatMsg("L2 geometry does not divide into sets");
+    if (scalarRfBanks == 0)
+        return formatMsg("scalar RF needs at least one bank");
+    if (sharedBanks == 0 || sharedBanks > kMaxWarpSize)
+        return formatMsg("shared memory banks must be in [1, ",
+                         kMaxWarpSize, "]");
+    if (maxThreadsPerSm % warpSize != 0)
+        return formatMsg("threads per SM must be a whole number of "
+                         "warps");
+    if (numSms == 0 || numAluPipes == 0 || sfuWidth == 0)
+        return formatMsg("SMs, ALU pipes and SFU width must be nonzero");
+    if (maxCycles == 0)
+        return formatMsg("maxCycles watchdog must be nonzero");
+    if (!(dramRequestsPerCycle > 0) || !(coreClockGhz > 0))
+        return formatMsg("DRAM requests/cycle and core clock must be "
+                         "positive");
+    return {};
+}
+
 void
 ArchConfig::validate() const
 {
-    if (warpSize == 0 || warpSize > kMaxWarpSize)
-        GS_FATAL("warp size ", warpSize, " out of range [1, ",
-                 kMaxWarpSize, "]");
-    if (!isPow2(warpSize))
-        GS_FATAL("warp size must be a power of two, got ", warpSize);
-    if (simtWidth == 0 || simtWidth > warpSize)
-        GS_FATAL("SIMT width ", simtWidth, " must be in [1, warp size]");
-    if (checkGranularity == 0 || warpSize % checkGranularity != 0)
-        GS_FATAL("check granularity ", checkGranularity,
-                 " must divide warp size ", warpSize);
-    if (numBanks == 0 || numCollectors == 0 || numSchedulers == 0)
-        GS_FATAL("banks, collectors and schedulers must be nonzero");
-    if (numVregsPerSm % numBanks != 0)
-        GS_FATAL("vector registers (", numVregsPerSm,
-                 ") must divide evenly over ", numBanks, " banks");
-    if (!isPow2(lineBytes) || lineBytes < kBytesPerWord)
-        GS_FATAL("cache line size must be a power-of-two >= 4");
-    if (l1Bytes % (lineBytes * l1Assoc) != 0)
-        GS_FATAL("L1 geometry does not divide into sets");
-    if (l2Bytes % (lineBytes * l2Assoc) != 0)
-        GS_FATAL("L2 geometry does not divide into sets");
-    if (scalarRfBanks == 0)
-        GS_FATAL("scalar RF needs at least one bank");
-    if (sharedBanks == 0 || sharedBanks > kMaxWarpSize)
-        GS_FATAL("shared memory banks must be in [1, ", kMaxWarpSize,
-                 "]");
-    if (maxThreadsPerSm % warpSize != 0)
-        GS_FATAL("threads per SM must be a whole number of warps");
+    const std::string err = check();
+    if (!err.empty())
+        GS_FATAL(err);
 }
 
 namespace

@@ -130,6 +130,13 @@ struct ArchConfig
         return (warpSize + width - 1) / width;
     }
 
+    /**
+     * First internal-consistency error, or an empty string when the
+     * configuration is valid. Non-fatal form of validate() for callers
+     * (gscalard, deserializers) that must survive bad inputs.
+     */
+    std::string check() const;
+
     /** Validate internal consistency; calls GS_FATAL on bad configs. */
     void validate() const;
 

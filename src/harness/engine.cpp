@@ -110,7 +110,24 @@ ExperimentEngine::submit(const Workload &w, const ArchConfig &cfg)
 
     pool_.submit([this, promise, w, cfg] {
         try {
+            // The persistent cache is consulted on the worker, off the
+            // submit path; a hit skips the simulation entirely and
+            // returns the stored counters bit-for-bit.
+            if (disk_) {
+                if (std::optional<RunResult> r = disk_->load(w.name, cfg)) {
+                    {
+                        std::lock_guard<std::mutex> statsLock(mutex_);
+                        ++stats_.diskHits;
+                    }
+                    promise->set_value(std::move(*r));
+                    return;
+                }
+            }
             RunResult r = runWorkload(w, cfg);
+            if (disk_ && disk_->store(w.name, cfg, r)) {
+                std::lock_guard<std::mutex> statsLock(mutex_);
+                ++stats_.diskStores;
+            }
             {
                 std::lock_guard<std::mutex> statsLock(mutex_);
                 wallSumSeconds_ += r.wallSeconds;
@@ -184,13 +201,23 @@ ExperimentEngine::clearCache()
     cache_.clear();
 }
 
+void
+ExperimentEngine::setDiskCache(std::unique_ptr<DiskRunCache> cache)
+{
+    disk_ = std::move(cache);
+}
+
 std::string
 ExperimentEngine::statsSummary() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     std::ostringstream os;
-    os << "engine: " << stats_.misses << " simulations (+" << stats_.hits
-       << " cache hits) on " << pool_.jobs() << " worker(s)";
+    os << "engine: " << (stats_.misses - stats_.diskHits)
+       << " simulations (+" << stats_.hits << " cache hits) on "
+       << pool_.jobs() << " worker(s)";
+    if (disk_)
+        os << "; disk cache: " << stats_.diskHits << " hits, "
+           << stats_.diskStores << " stores (" << disk_->dir() << ")";
     if (wallSumSeconds_ > 0) {
         os << "; " << simCycles_ << " sim-cycles, " << warpInsts_
            << " warp-insts in " << Table::num(wallSumSeconds_, 2)
@@ -208,12 +235,19 @@ ExperimentEngine::statsSummary() const
 namespace
 {
 std::atomic<unsigned> g_default_jobs{0};
+std::atomic<bool> g_default_cache{false};
 } // namespace
 
 ExperimentEngine &
 defaultEngine()
 {
-    static ExperimentEngine engine(g_default_jobs.load());
+    static ExperimentEngine &engine = []() -> ExperimentEngine & {
+        static ExperimentEngine e(g_default_jobs.load());
+        // Persistent caching is opt-in: GS_CACHE_DIR in the
+        // environment, or the --cache flag (default directory).
+        e.setDiskCache(DiskRunCache::fromEnv(g_default_cache.load()));
+        return e;
+    }();
     return engine;
 }
 
@@ -224,19 +258,49 @@ setDefaultJobs(unsigned jobs)
 }
 
 void
+setDefaultCacheEnabled(bool enabled)
+{
+    g_default_cache.store(enabled);
+}
+
+std::optional<unsigned>
+parseJobsValue(const std::string &s)
+{
+    if (s.empty() || s.size() > 4)
+        return std::nullopt;
+    unsigned v = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        v = v * 10 + unsigned(c - '0');
+    }
+    if (v == 0 || v > 4096)
+        return std::nullopt;
+    return v;
+}
+
+void
 initHarness(int argc, char **argv)
 {
     setQuiet(true);
+    if (const char *env = std::getenv("GS_JOBS")) {
+        if (!parseJobsValue(env))
+            GS_FATAL("GS_JOBS='", env,
+                     "' is not a valid worker count (want an integer in "
+                     "[1, 4096])");
+    }
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--jobs" || a == "-j") {
             if (i + 1 >= argc)
                 GS_FATAL(a, " needs a value");
-            const long v = std::strtol(argv[++i], nullptr, 10);
-            if (v <= 0)
-                GS_FATAL(a, " wants a positive integer, got '", argv[i],
-                         "'");
-            setDefaultJobs(unsigned(v));
+            const std::optional<unsigned> v = parseJobsValue(argv[++i]);
+            if (!v)
+                GS_FATAL(a, " wants an integer in [1, 4096], got '",
+                         argv[i], "'");
+            setDefaultJobs(*v);
+        } else if (a == "--cache") {
+            setDefaultCacheEnabled(true);
         }
     }
 }

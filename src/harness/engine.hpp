@@ -18,7 +18,9 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -26,6 +28,7 @@
 
 #include "common/config.hpp"
 #include "runner.hpp"
+#include "store/run_cache.hpp"
 
 namespace gs
 {
@@ -74,7 +77,11 @@ class WorkerPool
 struct CacheStats
 {
     std::uint64_t hits = 0;
-    std::uint64_t misses = 0; ///< i.e. simulations actually scheduled
+    std::uint64_t misses = 0; ///< i.e. tasks actually scheduled
+    /** Of the misses, how many were answered by the persistent disk
+     *  cache instead of a simulation. */
+    std::uint64_t diskHits = 0;
+    std::uint64_t diskStores = 0; ///< fresh results persisted to disk
 };
 
 /**
@@ -120,8 +127,21 @@ class ExperimentEngine
     /** Cache hit/miss counters so far. */
     CacheStats cacheStats() const;
 
-    /** Drop every cached result (tests use this). */
+    /** Drop every in-memory cached result (tests use this); the
+     *  persistent disk cache, when attached, is left untouched. */
     void clearCache();
+
+    /**
+     * Attach a persistent disk cache (store/run_cache.hpp): misses then
+     * try the cache before simulating, and fresh results are written
+     * back, so runs survive across processes. Pass nullptr to detach.
+     * Call before submitting work — the engine does not lock around
+     * the pointer swap itself.
+     */
+    void setDiskCache(std::unique_ptr<DiskRunCache> cache);
+
+    /** Attached disk cache, or nullptr. */
+    DiskRunCache *diskCache() const { return disk_.get(); }
 
     /** Worker thread count. */
     unsigned jobs() const { return pool_.jobs(); }
@@ -137,6 +157,7 @@ class ExperimentEngine
 
   private:
     WorkerPool pool_;
+    std::unique_ptr<DiskRunCache> disk_;
 
     mutable std::mutex mutex_;
     std::unordered_map<std::string, std::shared_future<RunResult>> cache_;
@@ -161,9 +182,26 @@ ExperimentEngine &defaultEngine();
 void setDefaultJobs(unsigned jobs);
 
 /**
- * Standard harness-binary prologue: silence warn()/inform() and honour
- * a trailing `--jobs N` / `-j N` flag (GS_JOBS is read by
- * WorkerPool::defaultJobs() when no flag is given).
+ * Make defaultEngine() attach a persistent disk cache at its default
+ * directory even when GS_CACHE_DIR is unset (the --cache flag).
+ * Ignored once the engine exists.
+ */
+void setDefaultCacheEnabled(bool enabled);
+
+/**
+ * Strict positive-integer parse for --jobs/-j/GS_JOBS values: the whole
+ * string must be digits and the value in [1, 4096]. Empty optional on
+ * anything else — callers reject with a clear error instead of
+ * silently falling back to a default.
+ */
+std::optional<unsigned> parseJobsValue(const std::string &s);
+
+/**
+ * Standard harness-binary prologue: silence warn()/inform(), validate
+ * GS_JOBS, and honour trailing `--jobs N` / `-j N` (worker-pool size)
+ * and `--cache` (persistent run cache at $GS_CACHE_DIR or the default
+ * cache directory) flags. Malformed values are fatal with a clear
+ * message, never silently defaulted.
  */
 void initHarness(int argc, char **argv);
 

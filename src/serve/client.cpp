@@ -1,0 +1,123 @@
+#include "client.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace gs
+{
+
+GscalarClient::GscalarClient(std::string socketPath)
+    : path_(socketPath.empty() ? defaultSocketPath()
+                               : std::move(socketPath))
+{
+}
+
+GscalarClient::~GscalarClient()
+{
+    close();
+}
+
+void
+GscalarClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool
+GscalarClient::connect(std::string *error)
+{
+    close();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path_.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + path_;
+        return false;
+    }
+    std::strncpy(addr.sun_path, path_.c_str(), sizeof(addr.sun_path) - 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = "cannot reach gscalard at " + path_ + ": " +
+                     std::strerror(errno) +
+                     " (start one with `gscalar serve`)";
+        close();
+        return false;
+    }
+    return true;
+}
+
+bool
+GscalarClient::ping(std::string *error)
+{
+    if (fd_ < 0 && !connect(error))
+        return false;
+    if (!writeFrame(fd_, serializePing())) {
+        if (error)
+            *error = "cannot send ping";
+        return false;
+    }
+    std::vector<std::uint8_t> payload;
+    if (readFrame(fd_, payload, error) != 1)
+        return false;
+    if (peekKind(payload.data(), payload.size()) != BlobKind::Pong) {
+        if (error)
+            *error = "unexpected reply to ping";
+        return false;
+    }
+    return true;
+}
+
+std::optional<RunResponse>
+GscalarClient::exchange(const RunRequest &req, std::string *error)
+{
+    if (fd_ < 0 && !connect(error))
+        return std::nullopt;
+    if (!writeFrame(fd_, serializeRequest(req))) {
+        if (error)
+            *error = "cannot send request (daemon gone?)";
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> payload;
+    const int rc = readFrame(fd_, payload, error);
+    if (rc != 1) {
+        if (rc == 0 && error)
+            *error = "daemon closed the connection before responding";
+        return std::nullopt;
+    }
+    return deserializeResponse(payload.data(), payload.size(), error);
+}
+
+std::optional<RunResult>
+GscalarClient::run(const std::string &workload, const ArchConfig &cfg,
+                   std::string *error)
+{
+    const std::optional<RunResponse> resp =
+        exchange(RunRequest{workload, cfg}, error);
+    if (!resp)
+        return std::nullopt;
+    if (resp->status != ResponseStatus::Ok) {
+        if (error)
+            *error = std::string(responseStatusName(resp->status)) +
+                     ": " + resp->error;
+        return std::nullopt;
+    }
+    return resp->result;
+}
+
+} // namespace gs

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Client side of the gscalard protocol: connect to a daemon's unix
+ * socket and submit experiment requests. Used by `gscalar submit` and
+ * by sweep scripts that want machine-wide run sharing without linking
+ * the whole simulator.
+ */
+
+#ifndef GSCALAR_SERVE_CLIENT_HPP
+#define GSCALAR_SERVE_CLIENT_HPP
+
+#include <optional>
+#include <string>
+
+#include "protocol.hpp"
+
+namespace gs
+{
+
+class GscalarClient
+{
+  public:
+    /** @param socketPath empty selects defaultSocketPath(). */
+    explicit GscalarClient(std::string socketPath = {});
+
+    ~GscalarClient();
+
+    GscalarClient(const GscalarClient &) = delete;
+    GscalarClient &operator=(const GscalarClient &) = delete;
+
+    /** Connect to the daemon; false (with reason) when none answers. */
+    bool connect(std::string *error = nullptr);
+
+    /** Liveness probe: Ping and wait for Pong. */
+    bool ping(std::string *error = nullptr);
+
+    /**
+     * Submit one run and block for the response. Empty optional on
+     * transport failure or non-Ok status (reason in *error).
+     */
+    std::optional<RunResult> run(const std::string &workload,
+                                 const ArchConfig &cfg,
+                                 std::string *error = nullptr);
+
+    /** Raw request/response exchange (tests use this for bad inputs). */
+    std::optional<RunResponse> exchange(const RunRequest &req,
+                                        std::string *error = nullptr);
+
+    bool connected() const { return fd_ >= 0; }
+    const std::string &socketPath() const { return path_; }
+
+    void close();
+
+  private:
+    std::string path_;
+    int fd_ = -1;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_SERVE_CLIENT_HPP

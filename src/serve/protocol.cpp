@@ -1,0 +1,243 @@
+#include "protocol.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gs
+{
+
+namespace
+{
+
+// Request field tags.
+constexpr std::uint16_t kReqWorkload = 1;
+constexpr std::uint16_t kReqConfig = 2;
+
+// Response field tags.
+constexpr std::uint16_t kRespStatus = 1;
+constexpr std::uint16_t kRespError = 2;
+constexpr std::uint16_t kRespResult = 3;
+
+} // namespace
+
+std::string
+defaultSocketPath()
+{
+    if (const char *env = std::getenv("GS_SOCKET"); env && *env)
+        return env;
+    if (const char *run = std::getenv("XDG_RUNTIME_DIR"); run && *run)
+        return std::string(run) + "/gscalard.sock";
+    return "/tmp/gscalard-" + std::to_string(::getuid()) + ".sock";
+}
+
+std::string_view
+responseStatusName(ResponseStatus s)
+{
+    switch (s) {
+      case ResponseStatus::Ok: return "ok";
+      case ResponseStatus::BadRequest: return "bad-request";
+      case ResponseStatus::Timeout: return "timeout";
+      case ResponseStatus::ShuttingDown: return "shutting-down";
+      case ResponseStatus::InternalError: return "internal-error";
+    }
+    return "unknown";
+}
+
+std::vector<std::uint8_t>
+serializeRequest(const RunRequest &req)
+{
+    ByteWriter w(BlobKind::Request);
+    w.field(kReqWorkload, req.workload);
+    w.fieldBlob(kReqConfig, serializeConfig(req.cfg));
+    return w.finish();
+}
+
+std::optional<RunRequest>
+deserializeRequest(const std::uint8_t *data, std::size_t size,
+                   std::string *error)
+{
+    ByteReader r(data, size, BlobKind::Request);
+    RunRequest req;
+    r.get(kReqWorkload, req.workload);
+
+    const std::uint8_t *p = nullptr;
+    std::size_t n = 0;
+    if (r.getBlob(kReqConfig, p, n)) {
+        std::optional<ArchConfig> cfg = deserializeConfig(p, n, error);
+        if (!cfg)
+            return std::nullopt;
+        req.cfg = *cfg;
+    } else {
+        r.fail("request carries no configuration");
+    }
+    if (!r.ok()) {
+        if (error)
+            *error = r.error();
+        return std::nullopt;
+    }
+    if (req.workload.empty()) {
+        if (error)
+            *error = "request carries no workload name";
+        return std::nullopt;
+    }
+    return req;
+}
+
+std::vector<std::uint8_t>
+serializeResponse(const RunResponse &resp)
+{
+    ByteWriter w(BlobKind::Response);
+    w.field(kRespStatus, static_cast<std::uint32_t>(resp.status));
+    w.field(kRespError, resp.error);
+    if (resp.status == ResponseStatus::Ok)
+        w.fieldBlob(kRespResult, serializeResult(resp.result));
+    return w.finish();
+}
+
+std::optional<RunResponse>
+deserializeResponse(const std::uint8_t *data, std::size_t size,
+                    std::string *error)
+{
+    ByteReader r(data, size, BlobKind::Response);
+    RunResponse resp;
+    std::uint32_t status = 0;
+    r.get(kRespStatus, status);
+    r.get(kRespError, resp.error);
+    if (status > static_cast<std::uint32_t>(ResponseStatus::InternalError)) {
+        if (error)
+            *error = "response status " + std::to_string(status) +
+                     " out of range";
+        return std::nullopt;
+    }
+    resp.status = static_cast<ResponseStatus>(status);
+
+    if (resp.status == ResponseStatus::Ok) {
+        const std::uint8_t *p = nullptr;
+        std::size_t n = 0;
+        if (!r.getBlob(kRespResult, p, n)) {
+            if (error)
+                *error = "ok response carries no result";
+            return std::nullopt;
+        }
+        std::optional<RunResult> res = deserializeResult(p, n, error);
+        if (!res)
+            return std::nullopt;
+        resp.result = *res;
+    }
+    if (!r.ok()) {
+        if (error)
+            *error = r.error();
+        return std::nullopt;
+    }
+    return resp;
+}
+
+std::vector<std::uint8_t>
+serializePing()
+{
+    return ByteWriter(BlobKind::Ping).finish();
+}
+
+std::vector<std::uint8_t>
+serializePong()
+{
+    return ByteWriter(BlobKind::Pong).finish();
+}
+
+std::optional<BlobKind>
+peekKind(const std::uint8_t *data, std::size_t size)
+{
+    if (data == nullptr || size < 8)
+        return std::nullopt;
+    std::uint32_t magic;
+    std::memcpy(&magic, data, 4); // little-endian host assumed repo-wide
+    if (magic != kSerialMagic)
+        return std::nullopt;
+    return static_cast<BlobKind>(data[6]);
+}
+
+bool
+writeFrame(int fd, const std::vector<std::uint8_t> &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    const std::uint32_t len = std::uint32_t(payload.size());
+    std::uint8_t header[4] = {
+        std::uint8_t(len), std::uint8_t(len >> 8),
+        std::uint8_t(len >> 16), std::uint8_t(len >> 24)};
+
+    auto writeAll = [fd](const std::uint8_t *p, std::size_t n) {
+        while (n > 0) {
+            // MSG_NOSIGNAL: a vanished peer must error out, not raise
+            // SIGPIPE and kill the daemon.
+            const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            p += w;
+            n -= std::size_t(w);
+        }
+        return true;
+    };
+    return writeAll(header, sizeof(header)) &&
+           writeAll(payload.data(), payload.size());
+}
+
+int
+readFrame(int fd, std::vector<std::uint8_t> &payload, std::string *error)
+{
+    auto readAll = [fd](std::uint8_t *p, std::size_t n,
+                        bool *sawAnyByte) {
+        std::size_t got = 0;
+        while (got < n) {
+            const ssize_t r = ::recv(fd, p + got, n - got, 0);
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            if (r == 0)
+                return false; // EOF
+            got += std::size_t(r);
+            if (sawAnyByte)
+                *sawAnyByte = true;
+        }
+        return true;
+    };
+
+    std::uint8_t header[4];
+    bool sawByte = false;
+    if (!readAll(header, sizeof(header), &sawByte)) {
+        if (!sawByte)
+            return 0; // clean EOF between frames
+        if (error)
+            *error = "connection dropped inside a frame header";
+        return -1;
+    }
+    const std::uint32_t len = std::uint32_t(header[0]) |
+                              (std::uint32_t(header[1]) << 8) |
+                              (std::uint32_t(header[2]) << 16) |
+                              (std::uint32_t(header[3]) << 24);
+    if (len > kMaxFrameBytes) {
+        if (error)
+            *error = "frame of " + std::to_string(len) +
+                     " bytes exceeds the " +
+                     std::to_string(kMaxFrameBytes) + " byte limit";
+        return -1;
+    }
+    payload.resize(len);
+    if (len > 0 && !readAll(payload.data(), len, nullptr)) {
+        if (error)
+            *error = "connection dropped inside a frame payload";
+        return -1;
+    }
+    return 1;
+}
+
+} // namespace gs

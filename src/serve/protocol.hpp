@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Wire protocol between gscalard and its clients: length-prefixed
+ * frames over a unix-domain stream socket. Each frame is a u32
+ * little-endian payload length followed by one store/serial.hpp blob
+ * (magic + version + kind header, tagged fields, FNV trailer), so
+ * framing errors and payload corruption are caught independently.
+ *
+ * Message kinds:
+ *   Ping / Pong      liveness probe, empty payload
+ *   Request          run request: workload abbreviation + ArchConfig
+ *   Response         status + error string + RunResult on success
+ *
+ * The protocol is strictly request/response per connection; a client
+ * may pipeline multiple requests sequentially on one socket.
+ */
+
+#ifndef GSCALAR_SERVE_PROTOCOL_HPP
+#define GSCALAR_SERVE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/serial.hpp"
+
+namespace gs
+{
+
+/** Largest accepted frame payload; bigger frames drop the connection. */
+inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+/**
+ * Socket path used when none is given: $GS_SOCKET, else
+ * $XDG_RUNTIME_DIR/gscalard.sock, else /tmp/gscalard-<uid>.sock.
+ */
+std::string defaultSocketPath();
+
+/** One experiment request. */
+struct RunRequest
+{
+    std::string workload; ///< Table 2 abbreviation (e.g. "BP")
+    ArchConfig cfg;
+};
+
+/** Result status of a RunResponse. */
+enum class ResponseStatus : std::uint32_t
+{
+    Ok = 0,
+    BadRequest = 1,    ///< malformed blob, unknown workload, bad config
+    Timeout = 2,       ///< simulation exceeded the per-request budget
+    ShuttingDown = 3,  ///< server is draining; retry elsewhere/later
+    InternalError = 4, ///< simulation failed server-side
+};
+
+/** Human-readable name of a status (for logs and CLI errors). */
+std::string_view responseStatusName(ResponseStatus s);
+
+struct RunResponse
+{
+    ResponseStatus status = ResponseStatus::InternalError;
+    std::string error;  ///< empty when status == Ok
+    RunResult result;   ///< valid only when status == Ok
+};
+
+// ---- message serialization ----------------------------------------------
+
+std::vector<std::uint8_t> serializeRequest(const RunRequest &req);
+std::optional<RunRequest> deserializeRequest(const std::uint8_t *data,
+                                             std::size_t size,
+                                             std::string *error = nullptr);
+
+std::vector<std::uint8_t> serializeResponse(const RunResponse &resp);
+std::optional<RunResponse> deserializeResponse(const std::uint8_t *data,
+                                               std::size_t size,
+                                               std::string *error = nullptr);
+
+std::vector<std::uint8_t> serializePing();
+std::vector<std::uint8_t> serializePong();
+
+/** Kind byte of a blob whose envelope looks sane; nullopt otherwise. */
+std::optional<BlobKind> peekKind(const std::uint8_t *data,
+                                 std::size_t size);
+
+// ---- framing over a connected socket ------------------------------------
+
+/** Write one length-prefixed frame; false on any I/O error. */
+bool writeFrame(int fd, const std::vector<std::uint8_t> &payload);
+
+/**
+ * Read one frame into @p payload.
+ * @return 1 on success, 0 on clean EOF before any byte of a frame,
+ *         -1 on I/O error, oversized frame, or mid-frame EOF.
+ */
+int readFrame(int fd, std::vector<std::uint8_t> &payload,
+              std::string *error = nullptr);
+
+} // namespace gs
+
+#endif // GSCALAR_SERVE_PROTOCOL_HPP

@@ -1,0 +1,375 @@
+#include "server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "workloads/workload.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+/** The instance SIGINT/SIGTERM route to (one daemon per process). */
+std::atomic<GscalarServer *> g_signal_server{nullptr};
+
+extern "C" void
+gscalardSignalHandler(int)
+{
+    if (GscalarServer *s = g_signal_server.load())
+        s->requestStop();
+}
+
+bool
+bindUnixSocket(int fd, const std::string &path, std::string *error)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        if (error)
+            *error = "socket path too long: " + path;
+        return false;
+    }
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) == 0)
+        return true;
+    if (errno != EADDRINUSE) {
+        if (error)
+            *error = "bind(" + path + "): " + std::strerror(errno);
+        return false;
+    }
+
+    // A socket file exists. If nobody answers it is a stale leftover of
+    // a dead server: remove and retry. If a server answers, refuse.
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+        const bool alive = ::connect(probe,
+                                     reinterpret_cast<sockaddr *>(&addr),
+                                     sizeof(addr)) == 0;
+        ::close(probe);
+        if (alive) {
+            if (error)
+                *error = "a gscalard is already listening on " + path;
+            return false;
+        }
+    }
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) ==
+        0)
+        return true;
+    if (error)
+        *error = "bind(" + path + "): " + std::strerror(errno);
+    return false;
+}
+
+} // namespace
+
+GscalarServer::GscalarServer(ExperimentEngine &engine, Options opts)
+    : engine_(engine), opts_(std::move(opts))
+{
+    path_ = opts_.socketPath.empty() ? defaultSocketPath()
+                                     : opts_.socketPath;
+}
+
+GscalarServer::~GscalarServer()
+{
+    stop();
+    if (handlersInstalled_) {
+        ::sigaction(SIGINT, &oldInt_, nullptr);
+        ::sigaction(SIGTERM, &oldTerm_, nullptr);
+        g_signal_server.store(nullptr);
+    }
+}
+
+bool
+GscalarServer::start(std::string *error)
+{
+    GS_ASSERT(!running_.load(), "start() on a running server");
+    stopping_.store(false);
+
+    if (::pipe(wakeFds_) != 0) {
+        if (error)
+            *error = std::string("pipe: ") + std::strerror(errno);
+        return false;
+    }
+
+    auto failCleanup = [this] {
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        for (int &fd : wakeFds_) {
+            if (fd >= 0) {
+                ::close(fd);
+                fd = -1;
+            }
+        }
+    };
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        failCleanup();
+        return false;
+    }
+    if (!bindUnixSocket(listenFd_, path_, error)) {
+        failCleanup();
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        if (error)
+            *error = std::string("listen: ") + std::strerror(errno);
+        failCleanup();
+        ::unlink(path_.c_str());
+        return false;
+    }
+
+    running_.store(true);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+GscalarServer::requestStop() noexcept
+{
+    stopping_.store(true);
+    if (wakeFds_[1] >= 0) {
+        const char byte = 1;
+        // Best effort; the pipe being full still wakes the poller.
+        [[maybe_unused]] ssize_t w = ::write(wakeFds_[1], &byte, 1);
+    }
+}
+
+void
+GscalarServer::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0}, {wakeFds_[0], POLLIN, 0}};
+        const int rc = ::poll(fds, 2, -1);
+        if (stopping_.load())
+            break;
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            GS_WARN("gscalard: poll failed: ", std::strerror(errno));
+            break;
+        }
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            GS_WARN("gscalard: accept failed: ", std::strerror(errno));
+            break;
+        }
+        reapFinishedConns();
+        auto conn = std::make_unique<Conn>();
+        conn->fd = fd;
+        Conn &ref = *conn;
+        {
+            std::lock_guard<std::mutex> lock(connMutex_);
+            conns_.push_back(std::move(conn));
+        }
+        ref.thread = std::thread([this, &ref] { connectionLoop(ref); });
+    }
+
+    // Drain phase: no new connections; existing ones are half-closed
+    // for reads so their threads finish the request in hand, write the
+    // response, see EOF and exit.
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (const auto &c : conns_)
+        if (c->fd >= 0)
+            ::shutdown(c->fd, SHUT_RD);
+}
+
+void
+GscalarServer::reapFinishedConns()
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        if ((*it)->done.load()) {
+            if ((*it)->thread.joinable())
+                (*it)->thread.join();
+            if ((*it)->fd >= 0)
+                ::close((*it)->fd);
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+RunResponse
+GscalarServer::handleRequest(const std::uint8_t *data, std::size_t size)
+{
+    RunResponse resp;
+
+    std::string err;
+    const std::optional<RunRequest> req =
+        deserializeRequest(data, size, &err);
+    if (!req) {
+        resp.status = ResponseStatus::BadRequest;
+        resp.error = "malformed request: " + err;
+        return resp;
+    }
+    const auto &names = workloadNames();
+    if (std::find(names.begin(), names.end(), req->workload) ==
+        names.end()) {
+        resp.status = ResponseStatus::BadRequest;
+        resp.error = "unknown workload '" + req->workload + "'";
+        return resp;
+    }
+    if (std::string bad = req->cfg.check(); !bad.empty()) {
+        resp.status = ResponseStatus::BadRequest;
+        resp.error = "invalid configuration: " + bad;
+        return resp;
+    }
+    if (stopping_.load()) {
+        resp.status = ResponseStatus::ShuttingDown;
+        resp.error = "server is draining";
+        return resp;
+    }
+
+    std::shared_future<RunResult> future =
+        engine_.submit(req->workload, req->cfg);
+    const auto budget = std::chrono::duration<double>(
+        opts_.requestTimeoutSec > 0 ? opts_.requestTimeoutSec : 1e9);
+    if (future.wait_for(budget) != std::future_status::ready) {
+        resp.status = ResponseStatus::Timeout;
+        resp.error = "simulation exceeded the request budget";
+        return resp;
+    }
+    try {
+        resp.result = future.get();
+        resp.status = ResponseStatus::Ok;
+        served_.fetch_add(1);
+    } catch (const std::exception &e) {
+        resp.status = ResponseStatus::InternalError;
+        resp.error = e.what();
+    }
+    return resp;
+}
+
+void
+GscalarServer::connectionLoop(Conn &conn)
+{
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+        const int rc = readFrame(conn.fd, payload);
+        if (rc <= 0)
+            break; // EOF or framing error: drop the connection
+
+        const std::optional<BlobKind> kind =
+            peekKind(payload.data(), payload.size());
+        bool sent = false;
+        if (kind == BlobKind::Ping) {
+            sent = writeFrame(conn.fd, serializePong());
+        } else if (kind == BlobKind::Request) {
+            const RunResponse resp =
+                handleRequest(payload.data(), payload.size());
+            sent = writeFrame(conn.fd, serializeResponse(resp));
+        } else {
+            RunResponse resp;
+            resp.status = ResponseStatus::BadRequest;
+            resp.error = "unexpected message kind";
+            sent = writeFrame(conn.fd, serializeResponse(resp));
+        }
+        if (!sent)
+            break;
+    }
+    // The fd is closed by the reaper (reapFinishedConns/wait) after the
+    // join: closing here would race the drain path's shutdown(SHUT_RD)
+    // against kernel fd reuse.
+    conn.done.store(true);
+}
+
+std::uint64_t
+GscalarServer::activeConnections() const
+{
+    std::lock_guard<std::mutex> lock(connMutex_);
+    std::uint64_t n = 0;
+    for (const auto &c : conns_)
+        if (!c->done.load())
+            ++n;
+    return n;
+}
+
+void
+GscalarServer::wait()
+{
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+
+    // The accept loop has half-closed every connection; join them all.
+    std::vector<std::unique_ptr<Conn>> conns;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns.swap(conns_);
+    }
+    for (const auto &c : conns) {
+        if (c->thread.joinable())
+            c->thread.join();
+        if (c->fd >= 0)
+            ::close(c->fd);
+    }
+
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        ::unlink(path_.c_str());
+    }
+    for (int &fd : wakeFds_) {
+        if (fd >= 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    running_.store(false);
+}
+
+void
+GscalarServer::stop()
+{
+    if (!running_.load())
+        return;
+    requestStop();
+    wait();
+}
+
+bool
+GscalarServer::installSignalHandlers(std::string *error)
+{
+    GscalarServer *expected = nullptr;
+    if (!g_signal_server.compare_exchange_strong(expected, this)) {
+        if (error)
+            *error = "another server already owns the signal handlers";
+        return false;
+    }
+    struct sigaction sa = {};
+    sa.sa_handler = gscalardSignalHandler;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: let blocking calls see EINTR
+    if (::sigaction(SIGINT, &sa, &oldInt_) != 0 ||
+        ::sigaction(SIGTERM, &sa, &oldTerm_) != 0) {
+        if (error)
+            *error = std::string("sigaction: ") + std::strerror(errno);
+        g_signal_server.store(nullptr);
+        return false;
+    }
+    handlersInstalled_ = true;
+    return true;
+}
+
+} // namespace gs

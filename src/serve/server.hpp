@@ -1,0 +1,133 @@
+/**
+ * @file
+ * gscalard: a simulation service over a unix-domain socket. One shared
+ * ExperimentEngine (worker pool + in-memory run cache + optional
+ * persistent disk cache) answers run requests from any number of
+ * concurrent clients, so a fleet of sweep scripts simulates each
+ * (workload x config) point exactly once machine-wide.
+ *
+ * Concurrency model: an accept thread poll()s the listening socket and
+ * a self-wake pipe; each connection gets a reader thread that parses
+ * frames and blocks on the engine future (with a per-request timeout).
+ * Shutdown — stop(), or SIGINT/SIGTERM once installSignalHandlers() is
+ * on — closes the listener, half-closes every connection for reads
+ * (SHUT_RD), and then joins the connection threads, so requests already
+ * in flight still get their response before wait() returns: a drain,
+ * not an abort.
+ */
+
+#ifndef GSCALAR_SERVE_SERVER_HPP
+#define GSCALAR_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/engine.hpp"
+#include "protocol.hpp"
+
+namespace gs
+{
+
+class GscalarServer
+{
+  public:
+    struct Options
+    {
+        /** Unix socket path; empty selects defaultSocketPath(). */
+        std::string socketPath;
+        /** Per-request budget waiting on the engine (seconds). The
+         *  simulation itself is not cancelled on timeout; the slot is
+         *  simply answered with ResponseStatus::Timeout. */
+        double requestTimeoutSec = 600.0;
+    };
+
+    explicit GscalarServer(ExperimentEngine &engine)
+        : GscalarServer(engine, Options{})
+    {
+    }
+    GscalarServer(ExperimentEngine &engine, Options opts);
+
+    /** Stops and drains if still running. */
+    ~GscalarServer();
+
+    GscalarServer(const GscalarServer &) = delete;
+    GscalarServer &operator=(const GscalarServer &) = delete;
+
+    /**
+     * Bind, listen and spawn the accept thread. A stale socket file
+     * left by a dead server is detected (connect() refused) and
+     * replaced; a live one makes start() fail.
+     */
+    bool start(std::string *error = nullptr);
+
+    /**
+     * Block until the server has stopped and every connection thread —
+     * including ones still writing a response — has been joined.
+     */
+    void wait();
+
+    /**
+     * Initiate shutdown without blocking. Async-signal-safe: only
+     * atomics and a write() to the self-wake pipe.
+     */
+    void requestStop() noexcept;
+
+    /** requestStop() + wait(). */
+    void stop();
+
+    /**
+     * Route SIGINT and SIGTERM to requestStop() for this instance.
+     * Previous handlers are restored when the server is destroyed.
+     */
+    bool installSignalHandlers(std::string *error = nullptr);
+
+    bool running() const { return running_.load(); }
+    const std::string &socketPath() const { return path_; }
+
+    /** Requests answered with status Ok since start(). */
+    std::uint64_t requestsServed() const { return served_.load(); }
+
+    /** Currently open client connections. */
+    std::uint64_t activeConnections() const;
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        std::thread thread;
+        std::atomic<bool> done{false};
+    };
+
+    void acceptLoop();
+    void connectionLoop(Conn &conn);
+    RunResponse handleRequest(const std::uint8_t *data, std::size_t size);
+    void reapFinishedConns(); ///< join threads whose loop has exited
+
+    ExperimentEngine &engine_;
+    Options opts_;
+    std::string path_;
+
+    int listenFd_ = -1;
+    int wakeFds_[2] = {-1, -1}; ///< self-pipe: [0] polled, [1] written
+
+    std::thread acceptThread_;
+    mutable std::mutex connMutex_;
+    std::vector<std::unique_ptr<Conn>> conns_;
+
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> served_{0};
+
+    bool handlersInstalled_ = false;
+    struct sigaction oldInt_ = {}, oldTerm_ = {};
+};
+
+} // namespace gs
+
+#endif // GSCALAR_SERVE_SERVER_HPP

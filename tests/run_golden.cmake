@@ -1,0 +1,74 @@
+# Golden-output regression: run every deterministic bench driver in
+# alphabetical order and byte-compare the concatenated stdout against
+# docs/bench_reference_output.txt. stderr (throughput, engine stats) is
+# ignored — only the figure/table content is pinned. All drivers share a
+# persistent run cache under WORK_DIR, which both speeds the sweep up
+# (the drivers overlap heavily in (workload, config) points) and
+# exercises the disk cache across processes.
+#
+# Usage:
+#   cmake -DBENCH_DIR=<dir-with-driver-binaries>
+#         -DREFERENCE=<docs/bench_reference_output.txt>
+#         -DWORK_DIR=<scratch-dir>
+#         -P run_golden.cmake
+
+foreach(var BENCH_DIR REFERENCE WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "run_golden.cmake: ${var} not set")
+    endif()
+endforeach()
+
+# micro_codec is google-benchmark timing output and thus nondeterministic;
+# every other driver is pinned.
+set(drivers
+    ablation_bank_count
+    ablation_half_register
+    ablation_scalar_banks
+    ablation_scalar_occupancy
+    ablation_smov_compiler
+    ablation_warp_width
+    fig01_divergence_mix
+    fig08_rf_distribution
+    fig09_scalar_eligibility
+    fig10_warp_size
+    fig11_power_efficiency
+    fig12_rf_power
+    stat_affine_opportunity
+    stat_compiler_scalar
+    stat_compression_ratio
+    stat_special_move_overhead
+    table3_codec_cost)
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(ENV{GS_CACHE_DIR} "${WORK_DIR}/cache")
+set(actual "${WORK_DIR}/golden_actual.txt")
+file(WRITE "${actual}" "")
+
+foreach(d ${drivers})
+    execute_process(
+        COMMAND "${BENCH_DIR}/${d}"
+        OUTPUT_FILE "${WORK_DIR}/${d}.out"
+        ERROR_VARIABLE driver_err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "${d} exited with ${rc}:\n${driver_err}")
+    endif()
+    file(READ "${WORK_DIR}/${d}.out" chunk)
+    file(APPEND "${actual}" "${chunk}")
+endforeach()
+
+execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${actual}" "${REFERENCE}"
+    RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+    # Show a readable diff before failing (diff(1) exists everywhere
+    # this POSIX-only project builds).
+    execute_process(
+        COMMAND diff -u "${REFERENCE}" "${actual}"
+        OUTPUT_VARIABLE delta
+        RESULT_VARIABLE ignored)
+    message(FATAL_ERROR
+        "bench output drifted from ${REFERENCE}:\n${delta}\n"
+        "If the change is intended, regenerate the reference by "
+        "running the drivers above in order and saving stdout.")
+endif()

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Disassembly coverage: every opcode of the mini ISA renders stable,
+ * expected text, both for directly constructed instructions (pinning
+ * each operand-format family, including hardware-inserted SMOV) and for
+ * a KernelBuilder-authored kernel round-tripped through
+ * Kernel::disassemble(). These strings are part of the debugging
+ * surface (gscalar disasm / trace); changes here should be deliberate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "isa/instruction.hpp"
+#include "isa/kernel_builder.hpp"
+
+using namespace gs;
+
+namespace
+{
+
+Instruction
+alu2(Opcode op)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = 1;
+    i.src = {2, 3, kNoReg};
+    return i;
+}
+
+Instruction
+alu1(Opcode op)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = 1;
+    i.src = {2, kNoReg, kNoReg};
+    return i;
+}
+
+Instruction
+alu3(Opcode op)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = 1;
+    i.src = {2, 3, 4};
+    return i;
+}
+
+} // namespace
+
+TEST(Disasm, EveryOpcodeHasStableText)
+{
+    std::map<Opcode, std::pair<Instruction, std::string>> cases;
+    auto add = [&](Instruction i, const std::string &text) {
+        cases[i.op] = {i, text};
+    };
+
+    // Two-source ALU ops.
+    add(alu2(Opcode::IADD), "iadd r1, r2, r3");
+    add(alu2(Opcode::ISUB), "isub r1, r2, r3");
+    add(alu2(Opcode::IMUL), "imul r1, r2, r3");
+    add(alu2(Opcode::IDIV), "idiv r1, r2, r3");
+    add(alu2(Opcode::IREM), "irem r1, r2, r3");
+    add(alu2(Opcode::IMIN), "imin r1, r2, r3");
+    add(alu2(Opcode::IMAX), "imax r1, r2, r3");
+    add(alu2(Opcode::AND), "and r1, r2, r3");
+    add(alu2(Opcode::OR), "or r1, r2, r3");
+    add(alu2(Opcode::XOR), "xor r1, r2, r3");
+    add(alu2(Opcode::SHL), "shl r1, r2, r3");
+    add(alu2(Opcode::SHR), "shr r1, r2, r3");
+    add(alu2(Opcode::FADD), "fadd r1, r2, r3");
+    add(alu2(Opcode::FSUB), "fsub r1, r2, r3");
+    add(alu2(Opcode::FMUL), "fmul r1, r2, r3");
+    add(alu2(Opcode::FMIN), "fmin r1, r2, r3");
+    add(alu2(Opcode::FMAX), "fmax r1, r2, r3");
+
+    // One-source ALU / conversion / SFU ops.
+    add(alu1(Opcode::IABS), "iabs r1, r2");
+    add(alu1(Opcode::NOT), "not r1, r2");
+    add(alu1(Opcode::FABS), "fabs r1, r2");
+    add(alu1(Opcode::FNEG), "fneg r1, r2");
+    add(alu1(Opcode::MOV), "mov r1, r2");
+    add(alu1(Opcode::I2F), "i2f r1, r2");
+    add(alu1(Opcode::F2I), "f2i r1, r2");
+    add(alu1(Opcode::SIN), "sin r1, r2");
+    add(alu1(Opcode::COS), "cos r1, r2");
+    add(alu1(Opcode::EX2), "ex2 r1, r2");
+    add(alu1(Opcode::LG2), "lg2 r1, r2");
+    add(alu1(Opcode::RCP), "rcp r1, r2");
+    add(alu1(Opcode::RSQ), "rsq r1, r2");
+    add(alu1(Opcode::SQRT), "sqrt r1, r2");
+
+    // Three-source ops.
+    add(alu3(Opcode::IMAD), "imad r1, r2, r3, r4");
+    add(alu3(Opcode::FFMA), "ffma r1, r2, r3, r4");
+
+    // SEL: dst, condition predicate, then/else sources.
+    {
+        Instruction i = alu2(Opcode::SEL);
+        i.psrc = 0;
+        add(i, "sel r1, p0, r2, r3");
+    }
+
+    // Compares.
+    {
+        Instruction i;
+        i.op = Opcode::ISETP;
+        i.pdst = 1;
+        i.src = {2, 3, kNoReg};
+        i.cmp = CmpOp::LT;
+        add(i, "isetp.lt p1, r2, r3");
+    }
+    {
+        Instruction i;
+        i.op = Opcode::FSETP;
+        i.pdst = 0;
+        i.src = {4, 5, kNoReg};
+        i.cmp = CmpOp::GE;
+        add(i, "fsetp.ge p0, r4, r5");
+    }
+
+    // Memory.
+    {
+        Instruction i;
+        i.op = Opcode::LDG;
+        i.dst = 1;
+        i.src = {2, kNoReg, kNoReg};
+        i.imm = 4;
+        add(i, "ldg r1, [r2+4]");
+    }
+    {
+        Instruction i;
+        i.op = Opcode::STG;
+        i.src = {2, 3, kNoReg};
+        i.imm = 8;
+        add(i, "stg [r2+8], r3");
+    }
+    {
+        Instruction i;
+        i.op = Opcode::LDS;
+        i.dst = 1;
+        i.src = {2, kNoReg, kNoReg};
+        add(i, "lds r1, [r2+0]");
+    }
+    {
+        Instruction i;
+        i.op = Opcode::STS;
+        i.src = {2, 3, kNoReg};
+        add(i, "sts [r2+0], r3");
+    }
+
+    // Control flow.
+    {
+        Instruction i;
+        i.op = Opcode::BRA;
+        i.target = 5;
+        i.reconv = 7;
+        add(i, "bra -> 5 (reconv 7)");
+    }
+    {
+        Instruction i;
+        i.op = Opcode::JMP;
+        i.target = 3;
+        add(i, "jmp -> 3");
+    }
+    add(Instruction{.op = Opcode::BAR}, "bar");
+    add(Instruction{.op = Opcode::EXIT}, "exit");
+
+    // Special registers.
+    {
+        Instruction i;
+        i.op = Opcode::S2R;
+        i.dst = 1;
+        i.sreg = SReg::Tid;
+        add(i, "s2r r1, %tid");
+    }
+
+    // Hardware-inserted decompress-in-place move: d <- d.
+    {
+        Instruction i;
+        i.op = Opcode::SMOV;
+        i.dst = 4;
+        i.src = {4, kNoReg, kNoReg};
+        add(i, "smov r4, r4");
+    }
+
+    // Every opcode of the ISA must be pinned above.
+    EXPECT_EQ(cases.size(),
+              std::size_t(Opcode::NumOpcodes));
+    for (const auto &[op, expected] : cases)
+        EXPECT_EQ(expected.first.toString(), expected.second)
+            << "opcode " << opcodeName(op);
+}
+
+TEST(Disasm, ImmediateAndGuardForms)
+{
+    Instruction i = alu2(Opcode::IADD);
+    i.hasImm = true;
+    i.imm = 0x2a;
+    EXPECT_EQ(i.toString(), "iadd r1, r2, 0x2a");
+
+    // MOV-immediate loses its register source entirely.
+    Instruction m = alu1(Opcode::MOV);
+    m.hasImm = true;
+    m.imm = 7;
+    EXPECT_EQ(m.toString(), "mov r1, 0x7");
+
+    Instruction p;
+    p.op = Opcode::ISETP;
+    p.pdst = 1;
+    p.src = {2, kNoReg, kNoReg};
+    p.cmp = CmpOp::NE;
+    p.hasImm = true;
+    p.imm = 0x10;
+    EXPECT_EQ(p.toString(), "isetp.ne p1, r2, 0x10");
+
+    // Guard predicates prefix the mnemonic.
+    Instruction g = alu2(Opcode::ISUB);
+    g.guard = 2;
+    EXPECT_EQ(g.toString(), "@p2 isub r1, r2, r3");
+    g.guardNeg = true;
+    EXPECT_EQ(g.toString(), "@!p2 isub r1, r2, r3");
+}
+
+TEST(Disasm, BuilderKernelRoundTripsToGoldenText)
+{
+    KernelBuilder b("disasm_probe");
+    Reg tid = b.reg(), acc = b.reg(), addr = b.reg(), tmp = b.reg();
+    Pred big = b.pred();
+    b.s2r(tid, SReg::Tid);
+    b.movi(acc, 0);
+    b.shli(addr, tid, 2);
+    b.ldg(tmp, addr, 16);
+    b.isetpi(big, CmpOp::GT, tmp, 100);
+    b.ifThen(big, [&] { b.iadd(acc, acc, tmp); });
+    b.emit1(Opcode::RCP, tmp, tmp);
+    b.bar();
+    b.stg(addr, acc, 0);
+    const Kernel k = b.build();
+
+    EXPECT_EQ(k.disassemble(),
+              ".kernel disasm_probe (regs=4, preds=1, shared=0B)\n"
+              "  0: s2r r0, %tid\n"
+              "  1: mov r1, 0x0\n"
+              "  2: shl r2, r0, 0x2\n"
+              "  3: ldg r3, [r2+16]\n"
+              "  4: isetp.gt p0, r3, 0x64\n"
+              "  5: @!p0 bra -> 7 (reconv 7)\n"
+              "  6: iadd r1, r1, r3\n"
+              "  7: rcp r3, r3\n"
+              "  8: bar\n"
+              "  9: stg [r2+0], r1\n"
+              "  10: exit\n");
+}

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Disk run-cache tests (store/run_cache.hpp): store/load round trips in
+ * a throwaway directory, corrupt-record rejection (with deletion), the
+ * embedded-config authority check, LRU eviction and fromEnv plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "store/run_cache.hpp"
+#include "store/serial.hpp"
+
+namespace fs = std::filesystem;
+using namespace gs;
+
+namespace
+{
+
+/** Fresh mkdtemp directory, removed on destruction. */
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        std::string tmpl =
+            (fs::temp_directory_path() / "gscache-XXXXXX").string();
+        char *p = ::mkdtemp(tmpl.data());
+        EXPECT_NE(p, nullptr);
+        path = tmpl;
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+RunResult
+makeResult(const std::string &abbr, std::uint64_t cycles)
+{
+    RunResult r;
+    r.workload = abbr;
+    r.mode = ArchMode::GScalarFull;
+    r.ev.cycles = cycles;
+    r.ev.warpInsts = cycles * 3;
+    r.power.totalW = 12.5;
+    r.wallSeconds = 0.25;
+    return r;
+}
+
+std::vector<fs::path>
+recordFiles(const std::string &root)
+{
+    std::vector<fs::path> out;
+    std::error_code ec;
+    for (const auto &e : fs::recursive_directory_iterator(root, ec))
+        if (e.is_regular_file() && e.path().extension() == ".run")
+            out.push_back(e.path());
+    return out;
+}
+
+} // namespace
+
+TEST(DiskRunCache, MissThenStoreThenHit)
+{
+    TempDir tmp;
+    DiskRunCache cache(tmp.path);
+    ArchConfig cfg;
+
+    EXPECT_FALSE(cache.load("BT", cfg).has_value());
+    EXPECT_EQ(cache.stats().misses, 1u);
+
+    const RunResult stored = makeResult("BT", 8618);
+    ASSERT_TRUE(cache.store("BT", cfg, stored));
+
+    const std::optional<RunResult> back = cache.load("BT", cfg);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->ev.cycles, stored.ev.cycles);
+    EXPECT_EQ(back->workload, stored.workload);
+    EXPECT_EQ(back->mode, stored.mode);
+    EXPECT_DOUBLE_EQ(back->power.totalW, stored.power.totalW);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+}
+
+TEST(DiskRunCache, SurvivesReopen)
+{
+    TempDir tmp;
+    ArchConfig cfg;
+    cfg.mode = ArchMode::AluScalar;
+    {
+        DiskRunCache cache(tmp.path);
+        ASSERT_TRUE(cache.store("HS", cfg, makeResult("HS", 777)));
+    }
+    DiskRunCache reopened(tmp.path);
+    const std::optional<RunResult> back = reopened.load("HS", cfg);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->ev.cycles, 777u);
+}
+
+TEST(DiskRunCache, DifferentConfigsMiss)
+{
+    TempDir tmp;
+    DiskRunCache cache(tmp.path);
+    ArchConfig a, b;
+    b.warpSize = 64;
+    ASSERT_TRUE(cache.store("BT", a, makeResult("BT", 1)));
+    EXPECT_TRUE(cache.load("BT", a).has_value());
+    EXPECT_FALSE(cache.load("BT", b).has_value());
+    EXPECT_FALSE(cache.load("HS", a).has_value());
+}
+
+TEST(DiskRunCache, CorruptRecordIsRejectedAndDeleted)
+{
+    TempDir tmp;
+    DiskRunCache cache(tmp.path);
+    ArchConfig cfg;
+    ASSERT_TRUE(cache.store("BT", cfg, makeResult("BT", 42)));
+
+    const std::vector<fs::path> files = recordFiles(tmp.path);
+    ASSERT_EQ(files.size(), 1u);
+
+    // Flip one payload byte: the checksum must catch it, the load must
+    // miss, and the poisoned file must be removed.
+    {
+        std::fstream f(files[0],
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(12);
+        char c = 0;
+        f.seekg(12);
+        f.get(c);
+        f.seekp(12);
+        f.put(char(c ^ 0x40));
+    }
+    EXPECT_FALSE(cache.load("BT", cfg).has_value());
+    EXPECT_GE(cache.stats().rejects, 1u);
+    EXPECT_TRUE(recordFiles(tmp.path).empty());
+}
+
+TEST(DiskRunCache, TruncatedRecordIsRejected)
+{
+    TempDir tmp;
+    DiskRunCache cache(tmp.path);
+    ArchConfig cfg;
+    ASSERT_TRUE(cache.store("BT", cfg, makeResult("BT", 42)));
+    const std::vector<fs::path> files = recordFiles(tmp.path);
+    ASSERT_EQ(files.size(), 1u);
+    fs::resize_file(files[0], fs::file_size(files[0]) / 2);
+    EXPECT_FALSE(cache.load("BT", cfg).has_value());
+    EXPECT_TRUE(recordFiles(tmp.path).empty());
+}
+
+TEST(DiskRunCache, EmbeddedConfigIsAuthoritative)
+{
+    // Simulate a fingerprint collision: a record stored for config A
+    // copied onto the path for config B. The load must notice the
+    // embedded config differs and reject rather than return A's result.
+    TempDir tmp;
+    DiskRunCache cache(tmp.path);
+    ArchConfig a, b;
+    b.seed = 999;
+    ASSERT_TRUE(cache.store("BT", a, makeResult("BT", 42)));
+    ASSERT_TRUE(cache.store("BT", b, makeResult("BT", 43)));
+
+    std::vector<fs::path> files = recordFiles(tmp.path);
+    ASSERT_EQ(files.size(), 2u);
+    // Overwrite each record with the other's bytes; both loads must now
+    // reject (the embedded config no longer matches the request).
+    fs::copy_file(files[0], files[1],
+                  fs::copy_options::overwrite_existing);
+    const std::optional<RunResult> ra = cache.load("BT", a);
+    const std::optional<RunResult> rb = cache.load("BT", b);
+    // Exactly one of the two paths now holds the wrong config's record.
+    EXPECT_TRUE(!ra.has_value() || !rb.has_value());
+    EXPECT_GE(cache.stats().rejects, 1u);
+}
+
+TEST(DiskRunCache, LruEvictionKeepsRecentRecords)
+{
+    TempDir tmp;
+    // Records are a few hundred bytes; cap to roughly three of them.
+    DiskRunCache cache(tmp.path, 3 * 600);
+    ArchConfig cfg;
+    const char *abbrs[] = {"AA", "BB", "CC", "DD", "EE", "FF"};
+    for (const char *a : abbrs) {
+        ASSERT_TRUE(cache.store(a, cfg, makeResult(a, 1)));
+        // Distinct mtimes so LRU order is well defined even on
+        // coarse-grained filesystems.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_GE(cache.stats().evictions, 1u);
+    const std::size_t kept = recordFiles(tmp.path).size();
+    EXPECT_LT(kept, 6u);
+    EXPECT_GE(kept, 1u);
+    // The newest record must have survived the sweep.
+    EXPECT_TRUE(cache.load("FF", cfg).has_value());
+    // The oldest must be the first casualty.
+    EXPECT_FALSE(cache.load("AA", cfg).has_value());
+}
+
+TEST(DiskRunCache, UnlimitedSizeNeverEvicts)
+{
+    TempDir tmp;
+    DiskRunCache cache(tmp.path, 0);
+    ArchConfig cfg;
+    for (const char *a : {"AA", "BB", "CC", "DD"})
+        ASSERT_TRUE(cache.store(a, cfg, makeResult(a, 1)));
+    EXPECT_EQ(cache.stats().evictions, 0u);
+    EXPECT_EQ(recordFiles(tmp.path).size(), 4u);
+}
+
+TEST(DiskRunCache, FromEnvHonoursGsCacheDir)
+{
+    TempDir tmp;
+    ::setenv("GS_CACHE_DIR", tmp.path.c_str(), 1);
+    std::unique_ptr<DiskRunCache> cache = DiskRunCache::fromEnv();
+    ::unsetenv("GS_CACHE_DIR");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->dir(), tmp.path);
+}
+
+TEST(DiskRunCache, FromEnvDefaultsToDisabled)
+{
+    ::unsetenv("GS_CACHE_DIR");
+    EXPECT_EQ(DiskRunCache::fromEnv(false), nullptr);
+    // Opt-in (--cache) without GS_CACHE_DIR lands at the default dir.
+    EXPECT_FALSE(DiskRunCache::defaultCacheDir().empty());
+}

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * gscalard tests (serve/server.hpp + serve/client.hpp): one in-process
+ * server per test on a throwaway socket path. Covers ping, result
+ * correctness against a direct simulation, concurrent clients sharing
+ * one engine, malformed input handling, stale-socket recovery, and the
+ * SIGINT drain (an in-flight request still gets its response).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "harness/engine.hpp"
+#include "harness/runner.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "store/serial.hpp"
+
+namespace fs = std::filesystem;
+using namespace gs;
+
+namespace
+{
+
+/** Short throwaway socket path (sun_path caps at ~108 bytes). */
+struct TempSocket
+{
+    std::string path;
+
+    TempSocket()
+    {
+        static std::atomic<unsigned> counter{0};
+        path = (fs::temp_directory_path() /
+                ("gsd-test-" + std::to_string(::getpid()) + "-" +
+                 std::to_string(counter.fetch_add(1)) + ".sock"))
+                   .string();
+    }
+
+    ~TempSocket() { ::unlink(path.c_str()); }
+};
+
+GscalarServer::Options
+optsFor(const TempSocket &sock)
+{
+    GscalarServer::Options o;
+    o.socketPath = sock.path;
+    return o;
+}
+
+} // namespace
+
+TEST(GscalarServer, PingPong)
+{
+    TempSocket sock;
+    ExperimentEngine engine(1);
+    GscalarServer server(engine, optsFor(sock));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    EXPECT_TRUE(server.running());
+
+    GscalarClient client(sock.path);
+    EXPECT_TRUE(client.ping(&err)) << err;
+    server.stop();
+    EXPECT_FALSE(server.running());
+}
+
+TEST(GscalarServer, ServedResultMatchesDirectSimulation)
+{
+    TempSocket sock;
+    ExperimentEngine engine(1);
+    GscalarServer server(engine, optsFor(sock));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    ArchConfig cfg;
+    cfg.mode = ArchMode::GScalarFull;
+    GscalarClient client(sock.path);
+    const std::optional<RunResult> served =
+        client.run("BT", cfg, &err);
+    ASSERT_TRUE(served.has_value()) << err;
+
+    const RunResult direct = runWorkload("BT", cfg);
+    EXPECT_EQ(served->workload, direct.workload);
+    EXPECT_EQ(served->mode, direct.mode);
+    EXPECT_EQ(served->ev.cycles, direct.ev.cycles);
+    EXPECT_EQ(served->ev.warpInsts, direct.ev.warpInsts);
+    EXPECT_DOUBLE_EQ(served->power.totalW, direct.power.totalW);
+    EXPECT_EQ(server.requestsServed(), 1u);
+    server.stop();
+}
+
+TEST(GscalarServer, ConcurrentClientsShareOneEngine)
+{
+    TempSocket sock;
+    ExperimentEngine engine(2);
+    GscalarServer server(engine, optsFor(sock));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // Several clients ask for the same point plus one distinct point:
+    // every reply must be correct, and the shared run cache must have
+    // collapsed the duplicates into one simulation.
+    constexpr int kClients = 5;
+    std::atomic<int> okCount{0};
+    std::vector<std::thread> threads;
+    std::uint64_t expect[kClients] = {};
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            ArchConfig cfg;
+            cfg.mode = (i == kClients - 1) ? ArchMode::Baseline
+                                           : ArchMode::GScalarFull;
+            GscalarClient client(sock.path);
+            std::string cerr2;
+            const std::optional<RunResult> r =
+                client.run("BT", cfg, &cerr2);
+            if (r && r->ev.cycles > 0) {
+                expect[i] = r->ev.cycles;
+                okCount.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(okCount.load(), kClients);
+    EXPECT_EQ(server.requestsServed(), std::uint64_t(kClients));
+    // Identical requests agree with each other.
+    for (int i = 1; i + 1 < kClients; ++i)
+        EXPECT_EQ(expect[i], expect[0]);
+    // Duplicates were answered by the run cache, not re-simulated.
+    EXPECT_EQ(engine.cacheStats().misses, 2u);
+    EXPECT_EQ(engine.cacheStats().hits, std::uint64_t(kClients) - 2);
+    server.stop();
+}
+
+TEST(GscalarServer, BadRequestsGetErrorsNotCrashes)
+{
+    TempSocket sock;
+    ExperimentEngine engine(1);
+    GscalarServer server(engine, optsFor(sock));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    GscalarClient client(sock.path);
+
+    // Unknown workload.
+    std::optional<RunResponse> resp =
+        client.exchange(RunRequest{"NOPE", ArchConfig{}}, &err);
+    ASSERT_TRUE(resp.has_value()) << err;
+    EXPECT_EQ(resp->status, ResponseStatus::BadRequest);
+    EXPECT_NE(resp->error.find("NOPE"), std::string::npos);
+
+    // Invalid configuration (fails ArchConfig::check()).
+    ArchConfig bad;
+    bad.warpSize = 0;
+    resp = client.exchange(RunRequest{"BT", bad}, &err);
+    ASSERT_TRUE(resp.has_value()) << err;
+    EXPECT_EQ(resp->status, ResponseStatus::BadRequest);
+
+    // Garbage frames: the reply is BadRequest (or a dropped
+    // connection), never a crash.
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      sock.path.c_str());
+        ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+
+        // A valid blob of a kind the server does not expect.
+        ByteWriter w(BlobKind::Pong);
+        ASSERT_TRUE(writeFrame(fd, w.finish()));
+        std::vector<std::uint8_t> payload;
+        ASSERT_EQ(readFrame(fd, payload, &err), 1) << err;
+        const std::optional<RunResponse> junkResp =
+            deserializeResponse(payload.data(), payload.size(), &err);
+        ASSERT_TRUE(junkResp.has_value()) << err;
+        EXPECT_EQ(junkResp->status, ResponseStatus::BadRequest);
+
+        // Bytes that are not even an envelope: same outcome.
+        const std::vector<std::uint8_t> noise(32, 0x5a);
+        ASSERT_TRUE(writeFrame(fd, noise));
+        ASSERT_EQ(readFrame(fd, payload, &err), 1) << err;
+        const std::optional<RunResponse> noiseResp =
+            deserializeResponse(payload.data(), payload.size(), &err);
+        ASSERT_TRUE(noiseResp.has_value()) << err;
+        EXPECT_EQ(noiseResp->status, ResponseStatus::BadRequest);
+        ::close(fd);
+    }
+    // A fresh client is still served afterwards.
+    GscalarClient again(sock.path);
+    EXPECT_TRUE(again.ping(&err)) << err;
+    server.stop();
+}
+
+TEST(GscalarServer, StaleSocketFileIsReplaced)
+{
+    TempSocket sock;
+    // Leave a bound-but-dead socket file behind.
+    {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      sock.path.c_str());
+        ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        ::close(fd); // no listen(): connect() will be refused
+    }
+    ASSERT_TRUE(fs::exists(sock.path));
+
+    ExperimentEngine engine(1);
+    GscalarServer server(engine, optsFor(sock));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    GscalarClient client(sock.path);
+    EXPECT_TRUE(client.ping(&err)) << err;
+    server.stop();
+}
+
+TEST(GscalarServer, SecondServerOnLiveSocketRefused)
+{
+    TempSocket sock;
+    ExperimentEngine engine(1);
+    GscalarServer first(engine, optsFor(sock));
+    std::string err;
+    ASSERT_TRUE(first.start(&err)) << err;
+
+    GscalarServer second(engine, optsFor(sock));
+    EXPECT_FALSE(second.start(&err));
+    EXPECT_NE(err.find("already"), std::string::npos);
+    first.stop();
+}
+
+TEST(GscalarServer, SigintDrainsInFlightRequests)
+{
+    TempSocket sock;
+    ExperimentEngine engine(1);
+    GscalarServer server(engine, optsFor(sock));
+    std::string err;
+    ASSERT_TRUE(server.installSignalHandlers(&err)) << err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    // Launch a request, then SIGINT the process while it is (likely
+    // still) in flight. The drain must deliver the response before
+    // wait() returns, whatever the interleaving.
+    std::optional<RunResult> got;
+    std::string cerr2;
+    std::thread clientThread([&] {
+        ArchConfig cfg;
+        cfg.mode = ArchMode::WarpedCompression;
+        GscalarClient client(sock.path);
+        got = client.run("BT", cfg, &cerr2);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_EQ(::kill(::getpid(), SIGINT), 0);
+    server.wait();
+    clientThread.join();
+
+    EXPECT_FALSE(server.running());
+    ASSERT_TRUE(got.has_value()) << cerr2;
+    EXPECT_EQ(got->workload, "BT");
+    EXPECT_GT(got->ev.cycles, 0u);
+    EXPECT_EQ(server.requestsServed(), 1u);
+
+    // New connections are refused once the socket is gone.
+    GscalarClient late(sock.path);
+    EXPECT_FALSE(late.ping(&err));
+}
+
+TEST(GscalarServer, StopIsIdempotentAndRestartable)
+{
+    TempSocket sock;
+    ExperimentEngine engine(1);
+    std::string err;
+    {
+        GscalarServer server(engine, optsFor(sock));
+        ASSERT_TRUE(server.start(&err)) << err;
+        server.stop();
+        server.stop(); // no-op
+    }
+    // The path is reusable by a fresh server immediately.
+    GscalarServer next(engine, optsFor(sock));
+    ASSERT_TRUE(next.start(&err)) << err;
+    GscalarClient client(sock.path);
+    EXPECT_TRUE(client.ping(&err)) << err;
+    next.stop();
+}

@@ -8,13 +8,17 @@
  *   gscalar disasm <BENCH>
  *   gscalar experiment <fig1|fig8|fig9|fig10|fig11|fig12|table3|
  *                       ratio|smov|banks|compiler|occupancy|half|affine>
+ *   gscalar serve [--socket PATH] [--timeout SEC]
+ *   gscalar submit <BENCH> [--socket PATH] [run flags]
  *   gscalar config
  *   gscalar list
  */
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,18 +30,24 @@
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
 #include "power/energy_model.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 #include "sim/gpu.hpp"
 #include "sim/trace.hpp"
+
+#ifndef GS_VERSION
+#define GS_VERSION "0.0.0-dev"
+#endif
 
 using namespace gs;
 
 namespace
 {
 
-int
-usage()
+void
+printUsage(std::ostream &os)
 {
-    std::cerr <<
+    os <<
         "usage:\n"
         "  gscalar run <BENCH> [--mode M] [--warp N] [--sms N]\n"
         "              [--seed S] [--csv] [--json] [--power]\n"
@@ -45,16 +55,29 @@ usage()
         "  gscalar disasm <BENCH>\n"
         "  gscalar trace <BENCH> [--mode M] [--lines N]\n"
         "  gscalar experiment <name>... [--jobs N]   (or 'all')\n"
+        "  gscalar serve [--socket PATH] [--timeout SEC] [--jobs N]\n"
+        "  gscalar submit <BENCH> [--socket PATH] [run flags]\n"
         "  gscalar config\n"
         "  gscalar list\n"
+        "  gscalar --help | --version\n"
         "\n"
         "  --jobs/-j N (or GS_JOBS=N) sets the simulation worker pool\n"
         "  size; default is the host's hardware concurrency.\n"
+        "  --cache (or GS_CACHE_DIR=DIR) persists finished runs on disk\n"
+        "  so later processes reuse them; gscalar serve exposes one\n"
+        "  shared engine to many clients over a unix socket (submit\n"
+        "  talks to it).\n"
         "modes: baseline alu-scalar warped-compression gscalar-compress\n"
         "       gscalar-nodiv gscalar\n"
         "experiments: fig1 fig8 fig9 fig10 fig11 fig12 table3 ratio\n"
         "             smov banks compiler occupancy half affine\n"
         "             bankcount warpwidth\n";
+}
+
+int
+usage()
+{
+    printUsage(std::cerr);
     return 2;
 }
 
@@ -77,6 +100,7 @@ struct Options
     bool csv = false;
     bool json = false;
     bool power = false;
+    std::string socket; ///< submit: daemon socket path override
 };
 
 /** Parse trailing --flag [value] options into @p opt. */
@@ -104,22 +128,26 @@ parseFlags(int argc, char **argv, int first, Options &opt)
             opt.json = true;
         else if (a == "--power")
             opt.power = true;
-        else if (a == "--jobs" || a == "-j")
-            setDefaultJobs(unsigned(std::stoul(need("--jobs"))));
-        else
+        else if (a == "--socket")
+            opt.socket = need("--socket");
+        else if (a == "--cache")
+            setDefaultCacheEnabled(true);
+        else if (a == "--jobs" || a == "-j") {
+            const std::string v = need("--jobs");
+            const std::optional<unsigned> jobs = parseJobsValue(v);
+            if (!jobs)
+                GS_FATAL("invalid ", a, " value '", v,
+                         "' (want an integer in [1, 4096])");
+            setDefaultJobs(*jobs);
+        } else
             GS_FATAL("unknown option '", a, "'");
     }
 }
 
-int
-cmdRun(int argc, char **argv)
+/** Shared run/submit output: plain, --csv, --json, optional --power. */
+void
+printResult(const RunResult &r, const Options &opt)
 {
-    if (argc < 3)
-        return usage();
-    Options opt;
-    parseFlags(argc, argv, 3, opt);
-
-    const RunResult r = runWorkload(argv[2], opt.cfg);
     if (opt.csv) {
         std::cout << csvHeader() << "\n" << csvRow(r) << "\n";
     } else if (opt.json) {
@@ -132,7 +160,22 @@ cmdRun(int argc, char **argv)
     }
     if (opt.power)
         std::cout << r.power.describe();
-    std::cerr << throughputSummary({r}) << "\n";
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    Options opt;
+    parseFlags(argc, argv, 3, opt);
+
+    // Through the shared engine so --cache / GS_CACHE_DIR can answer
+    // repeat invocations from disk instead of re-simulating.
+    const RunResult r = defaultEngine().run(argv[2], opt.cfg);
+    printResult(r, opt);
+    std::cerr << throughputSummary({r}) << "\n"
+              << defaultEngine().statsSummary() << "\n";
     return 0;
 }
 
@@ -266,6 +309,70 @@ cmdExperiment(int argc, char **argv)
     return 0;
 }
 
+int
+cmdServe(int argc, char **argv)
+{
+    GscalarServer::Options sopt;
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                GS_FATAL(what, " needs a value");
+            return argv[++i];
+        };
+        if (a == "--socket")
+            sopt.socketPath = need("--socket");
+        else if (a == "--timeout")
+            sopt.requestTimeoutSec = std::stod(need("--timeout"));
+        else if (a == "--cache")
+            setDefaultCacheEnabled(true);
+        else if (a == "--jobs" || a == "-j") {
+            const std::string v = need("--jobs");
+            const std::optional<unsigned> jobs = parseJobsValue(v);
+            if (!jobs)
+                GS_FATAL("invalid ", a, " value '", v,
+                         "' (want an integer in [1, 4096])");
+            setDefaultJobs(*jobs);
+        } else
+            GS_FATAL("unknown option '", a, "'");
+    }
+
+    GscalarServer server(defaultEngine(), sopt);
+    std::string err;
+    if (!server.installSignalHandlers(&err) || !server.start(&err)) {
+        std::cerr << "gscalard: " << err << "\n";
+        return 1;
+    }
+    std::cerr << "gscalard: listening on " << server.socketPath()
+              << " (" << defaultEngine().jobs()
+              << " worker(s); Ctrl-C to drain and exit)\n";
+    server.wait();
+    std::cerr << "gscalard: served " << server.requestsServed()
+              << " request(s)\n"
+              << defaultEngine().statsSummary() << "\n";
+    return 0;
+}
+
+int
+cmdSubmit(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    Options opt;
+    parseFlags(argc, argv, 3, opt);
+
+    GscalarClient client(opt.socket);
+    std::string err;
+    const std::optional<RunResult> r =
+        client.run(argv[2], opt.cfg, &err);
+    if (!r) {
+        std::cerr << "gscalar submit: " << err << "\n";
+        return 1;
+    }
+    printResult(*r, opt);
+    return 0;
+}
+
 } // namespace
 
 int
@@ -275,6 +382,22 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        printUsage(std::cout);
+        return 0;
+    }
+    if (cmd == "--version" || cmd == "-V" || cmd == "version") {
+        std::cout << "gscalar " << GS_VERSION << "\n";
+        return 0;
+    }
+    // Reject malformed GS_JOBS up front for every subcommand rather
+    // than silently simulating on a default-sized pool.
+    if (const char *env = std::getenv("GS_JOBS")) {
+        if (!parseJobsValue(env))
+            GS_FATAL("GS_JOBS='", env,
+                     "' is not a valid worker count "
+                     "(want an integer in [1, 4096])");
+    }
     if (cmd == "run")
         return cmdRun(argc, argv);
     if (cmd == "suite")
@@ -285,6 +408,10 @@ main(int argc, char **argv)
         return cmdTrace(argc, argv);
     if (cmd == "experiment")
         return cmdExperiment(argc, argv);
+    if (cmd == "serve")
+        return cmdServe(argc, argv);
+    if (cmd == "submit")
+        return cmdSubmit(argc, argv);
     if (cmd == "config") {
         std::cout << experimentConfig().describe();
         return 0;

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * gscalard: standalone simulation daemon. Equivalent to
+ * `gscalar serve` but as its own binary so deployments can ship the
+ * service without the experiment drivers.
+ *
+ *   gscalard [--socket PATH] [--timeout SEC] [--jobs N] [--cache]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/log.hpp"
+#include "harness/engine.hpp"
+#include "serve/server.hpp"
+
+#ifndef GS_VERSION
+#define GS_VERSION "0.0.0-dev"
+#endif
+
+using namespace gs;
+
+namespace
+{
+
+void
+printUsage(std::ostream &os)
+{
+    os <<
+        "usage: gscalard [--socket PATH] [--timeout SEC] [--jobs N]\n"
+        "                [--cache]\n"
+        "\n"
+        "Serves simulation requests from gscalar submit /\n"
+        "GscalarClient over a unix-domain socket, sharing one\n"
+        "experiment engine (worker pool + run cache) across every\n"
+        "client. SIGINT/SIGTERM drain in-flight requests, then exit.\n"
+        "\n"
+        "  --socket PATH   listen here (default $GS_SOCKET, else\n"
+        "                  $XDG_RUNTIME_DIR/gscalard.sock, else\n"
+        "                  /tmp/gscalard-<uid>.sock)\n"
+        "  --timeout SEC   per-request engine budget (default 600)\n"
+        "  --jobs/-j N     worker pool size (or GS_JOBS=N)\n"
+        "  --cache         persist runs at $GS_CACHE_DIR or the\n"
+        "                  default cache directory\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    GscalarServer::Options sopt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                GS_FATAL(what, " needs a value");
+            return argv[++i];
+        };
+        if (a == "--help" || a == "-h") {
+            printUsage(std::cout);
+            return 0;
+        } else if (a == "--version" || a == "-V") {
+            std::cout << "gscalard " << GS_VERSION << "\n";
+            return 0;
+        } else if (a == "--socket")
+            sopt.socketPath = need("--socket");
+        else if (a == "--timeout")
+            sopt.requestTimeoutSec = std::stod(need("--timeout"));
+        else if (a == "--cache")
+            setDefaultCacheEnabled(true);
+        else if (a == "--jobs" || a == "-j") {
+            const std::string v = need("--jobs");
+            const std::optional<unsigned> jobs = parseJobsValue(v);
+            if (!jobs)
+                GS_FATAL("invalid ", a, " value '", v,
+                         "' (want an integer in [1, 4096])");
+            setDefaultJobs(*jobs);
+        } else {
+            printUsage(std::cerr);
+            return 2;
+        }
+    }
+    if (const char *env = std::getenv("GS_JOBS")) {
+        if (!parseJobsValue(env))
+            GS_FATAL("GS_JOBS='", env,
+                     "' is not a valid worker count "
+                     "(want an integer in [1, 4096])");
+    }
+
+    GscalarServer server(defaultEngine(), sopt);
+    std::string err;
+    if (!server.installSignalHandlers(&err) || !server.start(&err)) {
+        std::cerr << "gscalard: " << err << "\n";
+        return 1;
+    }
+    std::cerr << "gscalard: listening on " << server.socketPath()
+              << " (" << defaultEngine().jobs()
+              << " worker(s); Ctrl-C to drain and exit)\n";
+    server.wait();
+    std::cerr << "gscalard: served " << server.requestsServed()
+              << " request(s)\n"
+              << defaultEngine().statsSummary() << "\n";
+    return 0;
+}
