@@ -1,19 +1,14 @@
 /**
  * @file
- * Regenerates the Section 4.1 bank-count scaling ablation.
+ * Ablation: register-file bank count scaling (Sec 4.1). Thin wrapper over the 'bankcount' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runBankCountAblation(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("bankcount", argc, argv);
 }

@@ -1,20 +1,14 @@
 /**
  * @file
- * Regenerates the Section 3.2/4.3 half-register compression ablation.
+ * Ablation: half-register vs whole-register compression (Sec 3.2/4.3). Thin wrapper over the 'half' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runHalfRegisterAblation(gs::experimentConfig())
-              << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("half", argc, argv);
 }

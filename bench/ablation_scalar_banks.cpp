@@ -1,20 +1,14 @@
 /**
  * @file
- * Regenerates the Section 4.1 scalar-RF bank ablation of the paper. Prints measured series beside the
- * paper's reference numbers.
+ * Ablation: prior-work scalar RF bank count (Sec 4.1). Thin wrapper over the 'banks' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runScalarBankAblation(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("banks", argc, argv);
 }

@@ -1,19 +1,14 @@
 /**
  * @file
- * Regenerates the Section 6 scalar dispatch-occupancy ablation.
+ * Ablation: scalar execution shortening dispatch occupancy (Sec 6). Thin wrapper over the 'occupancy' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runOccupancyAblation(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("occupancy", argc, argv);
 }

@@ -1,19 +1,14 @@
 /**
  * @file
- * Regenerates the Section 3.3 compiler-assisted special-move ablation.
+ * Ablation: special-move overhead, hardware vs compiler-assisted (Sec 3.3). Thin wrapper over the 'smovcompiler' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runSmovCompilerAblation(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("smovcompiler", argc, argv);
 }

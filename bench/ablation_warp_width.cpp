@@ -1,19 +1,14 @@
 /**
  * @file
- * Regenerates the Section 4.3/6 warp-width scaling ablation.
+ * Ablation: warp width (32 vs 64) vs scalar benefit (Sec 4.3/6). Thin wrapper over the 'warpwidth' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runWarpWidthAblation(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("warpwidth", argc, argv);
 }

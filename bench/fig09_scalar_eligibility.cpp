@@ -1,20 +1,14 @@
 /**
  * @file
- * Regenerates Figure 9 of the paper. Prints measured series beside the
- * paper's reference numbers.
+ * Regenerates Figure 9: instructions eligible for scalar execution. Thin wrapper over the 'fig9' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runFig9(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("fig9", argc, argv);
 }

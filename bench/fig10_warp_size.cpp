@@ -1,20 +1,14 @@
 /**
  * @file
- * Regenerates Figure 10 of the paper. Prints measured series beside the
- * paper's reference numbers.
+ * Regenerates Figure 10: half-scalar eligible share vs warp size. Thin wrapper over the 'fig10' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runFig10(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("fig10", argc, argv);
 }

@@ -1,20 +1,14 @@
 /**
  * @file
- * Regenerates Figure 11 of the paper. Prints measured series beside the
- * paper's reference numbers.
+ * Regenerates Figure 11: normalized power efficiency and IPC. Thin wrapper over the 'fig11' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runFig11(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("fig11", argc, argv);
 }

@@ -1,20 +1,14 @@
 /**
  * @file
- * Regenerates the Section 6 affine-register opportunity comparison.
+ * Affine register writes vs scalar ones (related work, Sec 6). Thin wrapper over the 'affine' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runAffineOpportunity(gs::experimentConfig())
-              << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("affine", argc, argv);
 }

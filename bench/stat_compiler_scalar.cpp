@@ -1,19 +1,14 @@
 /**
  * @file
- * Regenerates the Section 6 static-vs-dynamic scalar coverage comparison.
+ * Static compiler scalarization vs dynamic G-Scalar detection (Sec 6). Thin wrapper over the 'compiler' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runCompilerScalarComparison(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("compiler", argc, argv);
 }

@@ -1,20 +1,14 @@
 /**
  * @file
- * Regenerates the Section 5.3 compression-ratio comparison of the paper. Prints measured series beside the
- * paper's reference numbers.
+ * Compression ratio over the register write stream (Sec 5.3). Thin wrapper over the 'ratio' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runCompressionRatio(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("ratio", argc, argv);
 }

@@ -1,20 +1,14 @@
 /**
  * @file
- * Regenerates the Section 3.3 special-move overhead estimate of the paper. Prints measured series beside the
- * paper's reference numbers.
+ * Special-move dynamic instruction overhead (Sec 3.3). Thin wrapper over the 'smov' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "common/log.hpp"
-#include "harness/engine.hpp"
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
 main(int argc, char **argv)
 {
-    gs::initHarness(argc, argv);
-    std::cout << gs::runSpecialMoveOverhead(gs::experimentConfig()) << std::endl;
-    std::cerr << gs::defaultEngine().statsSummary() << std::endl;
-    return 0;
+    return gs::benchDriverMain("smov", argc, argv);
 }

@@ -1,16 +1,14 @@
 /**
  * @file
- * Regenerates Table 3 (codec area/delay/power) and the Section 5.1
- * per-SM overheads from the structural hardware cost model.
+ * Regenerates Table 3 and the Sec 5.1 per-SM hardware overheads. Thin wrapper over the 'table3' entry of the experiment
+ * registry; supports --format=text|json|csv and the shared
+ * --jobs/--cache flags.
  */
 
-#include <iostream>
-
-#include "harness/experiments.hpp"
+#include "harness/bench.hpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::cout << gs::runTable3() << std::endl;
-    return 0;
+    return gs::benchDriverMain("table3", argc, argv);
 }

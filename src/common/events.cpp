@@ -8,91 +8,15 @@ namespace gs
 EventCounts &
 EventCounts::operator+=(const EventCounts &o)
 {
-    // Cycles are wall time: SMs run in lock-step, so merging takes the max.
-    cycles = std::max(cycles, o.cycles);
+    // Cycles are wall time: SMs run in lock-step, so merging takes the
+    // max. Computed first, applied after the generated sums below.
+    const u64 mergedCycles = std::max(cycles, o.cycles);
 
-    warpInsts += o.warpInsts;
-    threadInsts += o.threadInsts;
-    issuedInsts += o.issuedInsts;
+#define GS_EVENT_ADD(member, name, unit, doc) member += o.member;
+    GS_EVENT_COUNT_FIELDS(GS_EVENT_ADD)
+#undef GS_EVENT_ADD
 
-    aluWarpInsts += o.aluWarpInsts;
-    sfuWarpInsts += o.sfuWarpInsts;
-    memWarpInsts += o.memWarpInsts;
-    ctrlWarpInsts += o.ctrlWarpInsts;
-
-    aluLaneOps += o.aluLaneOps;
-    sfuLaneOps += o.sfuLaneOps;
-    memLaneOps += o.memLaneOps;
-    aluEnergyUnits += o.aluEnergyUnits;
-    sfuEnergyUnits += o.sfuEnergyUnits;
-
-    divergentWarpInsts += o.divergentWarpInsts;
-    divergentScalarEligible += o.divergentScalarEligible;
-    scalarAluEligible += o.scalarAluEligible;
-    scalarSfuEligible += o.scalarSfuEligible;
-    scalarMemEligible += o.scalarMemEligible;
-    halfScalarEligible += o.halfScalarEligible;
-    scalarExecuted += o.scalarExecuted;
-    halfScalarExecuted += o.halfScalarExecuted;
-    specialMoveInsts += o.specialMoveInsts;
-    staticScalarInsts += o.staticScalarInsts;
-
-    rfReads += o.rfReads;
-    rfWrites += o.rfWrites;
-    rfArrayReads += o.rfArrayReads;
-    rfArrayWrites += o.rfArrayWrites;
-    bvrAccesses += o.bvrAccesses;
-    scalarRfAccesses += o.scalarRfAccesses;
-    crossbarBytes += o.crossbarBytes;
-    ocAllocations += o.ocAllocations;
-
-    rfAccScalar += o.rfAccScalar;
-    rfAcc3Byte += o.rfAcc3Byte;
-    rfAcc2Byte += o.rfAcc2Byte;
-    rfAcc1Byte += o.rfAcc1Byte;
-    rfAccDivergent += o.rfAccDivergent;
-    rfAccOther += o.rfAccOther;
-
-    compressorUses += o.compressorUses;
-    decompressorUses += o.decompressorUses;
-
-    shadowBaseArrayReads += o.shadowBaseArrayReads;
-    shadowBaseArrayWrites += o.shadowBaseArrayWrites;
-    shadowScalarArrayReads += o.shadowScalarArrayReads;
-    shadowScalarArrayWrites += o.shadowScalarArrayWrites;
-    shadowScalarRfAccesses += o.shadowScalarRfAccesses;
-    shadowOursArrayReads += o.shadowOursArrayReads;
-    shadowOursArrayWrites += o.shadowOursArrayWrites;
-    shadowOursBvrAccesses += o.shadowOursBvrAccesses;
-    shadowOursCrossbarBytes += o.shadowOursCrossbarBytes;
-    bdiMetaAccesses += o.bdiMetaAccesses;
-
-    affineWrites += o.affineWrites;
-    affineNonScalarWrites += o.affineNonScalarWrites;
-
-    compBytesUncompressed += o.compBytesUncompressed;
-    compBytesCompressed += o.compBytesCompressed;
-    bdiBytesUncompressed += o.bdiBytesUncompressed;
-    bdiBytesCompressed += o.bdiBytesCompressed;
-    bdiArrayReads += o.bdiArrayReads;
-    bdiArrayWrites += o.bdiArrayWrites;
-
-    l1Accesses += o.l1Accesses;
-    l1Misses += o.l1Misses;
-    l2Accesses += o.l2Accesses;
-    l2Misses += o.l2Misses;
-    dramAccesses += o.dramAccesses;
-    sharedAccesses += o.sharedAccesses;
-    sharedBankConflicts += o.sharedBankConflicts;
-    memRequests += o.memRequests;
-    mshrStallCycles += o.mshrStallCycles;
-
-    schedIdleCycles += o.schedIdleCycles;
-    scoreboardStalls += o.scoreboardStalls;
-    ocFullStalls += o.ocFullStalls;
-    scalarBankStalls += o.scalarBankStalls;
-    pipeBusyStalls += o.pipeBusyStalls;
-
+    cycles = mergedCycles;
     return *this;
 }
 

@@ -9,6 +9,7 @@
 #ifndef GSCALAR_COMMON_EVENTS_HPP
 #define GSCALAR_COMMON_EVENTS_HPP
 
+#include <cstddef>
 #include <cstdint>
 
 namespace gs
@@ -148,6 +149,165 @@ struct EventCounts
                    : 1.0;
     }
 };
+
+/**
+ * X-macro enumerating every EventCounts field exactly once, in
+ * declaration order: X(member, metricName, unit, doc). This is the
+ * single source of truth behind operator+= (events.cpp) and the named
+ * metric registry (obs/metrics.hpp); adding a counter means adding the
+ * struct member *and* one line here — the static_assert below catches a
+ * missed registration at compile time.
+ *
+ * Merge rule: `cycles` merges by max (SMs run in lock-step wall time);
+ * every other field sums.
+ */
+#define GS_EVENT_COUNT_FIELDS(X)                                             \
+    X(cycles, "cycles", "cycles",                                            \
+      "SM core cycles (max over SMs after merge)")                           \
+    X(warpInsts, "warp_insts", "insts",                                      \
+      "dynamic warp instructions committed")                                 \
+    X(threadInsts, "thread_insts", "insts",                                  \
+      "sum of active lanes over warp insts")                                 \
+    X(issuedInsts, "issued_insts", "insts",                                  \
+      "scheduler issues (incl. special moves)")                              \
+    X(aluWarpInsts, "alu_warp_insts", "insts", "ALU-class warp insts")       \
+    X(sfuWarpInsts, "sfu_warp_insts", "insts", "SFU-class warp insts")       \
+    X(memWarpInsts, "mem_warp_insts", "insts", "memory-class warp insts")    \
+    X(ctrlWarpInsts, "ctrl_warp_insts", "insts", "control-class warp insts") \
+    X(aluLaneOps, "alu_lane_ops", "ops", "ALU lane operations")              \
+    X(sfuLaneOps, "sfu_lane_ops", "ops", "SFU lane operations")              \
+    X(memLaneOps, "mem_lane_ops", "ops", "address-generation lane ops")      \
+    X(aluEnergyUnits, "alu_energy_units", "fp32-ops",                        \
+      "ALU lane ops x per-opcode relative energy")                           \
+    X(sfuEnergyUnits, "sfu_energy_units", "fp32-ops",                        \
+      "SFU lane ops x per-opcode relative energy")                           \
+    X(divergentWarpInsts, "divergent_warp_insts", "insts",                   \
+      "active mask != full warp")                                            \
+    X(divergentScalarEligible, "divergent_scalar_eligible", "insts",         \
+      "tier 4: divergent scalar")                                            \
+    X(scalarAluEligible, "scalar_alu_eligible", "insts",                     \
+      "tier 1: non-divergent ALU scalar")                                    \
+    X(scalarSfuEligible, "scalar_sfu_eligible", "insts", "tier 2a: SFU")     \
+    X(scalarMemEligible, "scalar_mem_eligible", "insts", "tier 2b: MEM")     \
+    X(halfScalarEligible, "half_scalar_eligible", "insts",                   \
+      "tier 3: non-divergent, some group scalar")                            \
+    X(scalarExecuted, "scalar_executed", "insts",                            \
+      "warp insts actually run on one lane")                                 \
+    X(halfScalarExecuted, "half_scalar_executed", "insts",                   \
+      "warp insts run on one lane per half")                                 \
+    X(specialMoveInsts, "special_move_insts", "insts",                       \
+      "inserted decompress moves (Sec 3.3)")                                 \
+    X(staticScalarInsts, "static_scalar_insts", "insts",                     \
+      "covered by a static scalarizing compiler (Sec 6)")                    \
+    X(rfReads, "rf_reads", "accesses", "vector-register read operations")    \
+    X(rfWrites, "rf_writes", "accesses", "vector-register write operations") \
+    X(rfArrayReads, "rf_array_reads", "accesses",                            \
+      "128-bit SRAM array read activations")                                 \
+    X(rfArrayWrites, "rf_array_writes", "accesses",                          \
+      "128-bit SRAM array write activations")                                \
+    X(bvrAccesses, "bvr_accesses", "accesses",                               \
+      "small BVR/EBR/flag array accesses")                                   \
+    X(scalarRfAccesses, "scalar_rf_accesses", "accesses",                    \
+      "prior-work scalar RF accesses")                                       \
+    X(crossbarBytes, "crossbar_bytes", "bytes",                              \
+      "operand bytes through the crossbar")                                  \
+    X(ocAllocations, "oc_allocations", "entries",                            \
+      "operand collector entries allocated")                                 \
+    X(rfAccScalar, "rf_acc_scalar", "accesses",                              \
+      "reads of a fully-scalar register (enc 1111)")                         \
+    X(rfAcc3Byte, "rf_acc_3byte", "accesses",                                \
+      "reads with top 3 bytes common")                                       \
+    X(rfAcc2Byte, "rf_acc_2byte", "accesses",                                \
+      "reads with top 2 bytes common")                                       \
+    X(rfAcc1Byte, "rf_acc_1byte", "accesses",                                \
+      "reads with top byte common")                                          \
+    X(rfAccDivergent, "rf_acc_divergent", "accesses",                        \
+      "reads of a divergently-written register")                             \
+    X(rfAccOther, "rf_acc_other", "accesses",                                \
+      "reads with no common bytes")                                          \
+    X(compressorUses, "compressor_uses", "uses",                             \
+      "byte-mask compressor activations")                                    \
+    X(decompressorUses, "decompressor_uses", "uses",                         \
+      "byte-mask decompressor activations")                                  \
+    X(shadowBaseArrayReads, "shadow_base_array_reads", "accesses",           \
+      "baseline word-sliced RF shadow: array reads")                         \
+    X(shadowBaseArrayWrites, "shadow_base_array_writes", "accesses",         \
+      "baseline word-sliced RF shadow: array writes")                        \
+    X(shadowScalarArrayReads, "shadow_scalar_array_reads", "accesses",       \
+      "scalar-RF [3] shadow: vector array reads")                            \
+    X(shadowScalarArrayWrites, "shadow_scalar_array_writes", "accesses",     \
+      "scalar-RF [3] shadow: vector array writes")                           \
+    X(shadowScalarRfAccesses, "shadow_scalar_rf_accesses", "accesses",       \
+      "scalar-RF [3] shadow: scalar RF accesses")                            \
+    X(shadowOursArrayReads, "shadow_ours_array_reads", "accesses",           \
+      "byte-mask RF shadow: array reads")                                    \
+    X(shadowOursArrayWrites, "shadow_ours_array_writes", "accesses",         \
+      "byte-mask RF shadow: array writes")                                   \
+    X(shadowOursBvrAccesses, "shadow_ours_bvr_accesses", "accesses",         \
+      "byte-mask RF shadow: BVR/EBR accesses")                               \
+    X(shadowOursCrossbarBytes, "shadow_ours_crossbar_bytes", "bytes",        \
+      "byte-mask RF shadow: crossbar bytes")                                 \
+    X(bdiMetaAccesses, "bdi_meta_accesses", "accesses",                      \
+      "Warped-Compression RF metadata accesses")                             \
+    X(affineWrites, "affine_writes", "writes",                               \
+      "register writes of base+i*stride form")                               \
+    X(affineNonScalarWrites, "affine_nonscalar_writes", "writes",            \
+      "affine writes with stride != 0")                                      \
+    X(compBytesUncompressed, "comp_bytes_uncompressed", "bytes",             \
+      "register bytes written, raw size (ours)")                             \
+    X(compBytesCompressed, "comp_bytes_compressed", "bytes",                 \
+      "register bytes written, stored size (ours)")                          \
+    X(bdiBytesUncompressed, "bdi_bytes_uncompressed", "bytes",               \
+      "shadow-BDI raw bytes over the same stream")                           \
+    X(bdiBytesCompressed, "bdi_bytes_compressed", "bytes",                   \
+      "shadow-BDI stored bytes over the same stream")                        \
+    X(bdiArrayReads, "bdi_array_reads", "accesses",                          \
+      "array read activations if BDI stored regs")                           \
+    X(bdiArrayWrites, "bdi_array_writes", "accesses",                        \
+      "array write activations if BDI stored regs")                          \
+    X(l1Accesses, "l1_accesses", "accesses", "L1 data cache accesses")       \
+    X(l1Misses, "l1_misses", "accesses", "L1 data cache misses")             \
+    X(l2Accesses, "l2_accesses", "accesses", "L2 cache accesses")            \
+    X(l2Misses, "l2_misses", "accesses", "L2 cache misses")                  \
+    X(dramAccesses, "dram_accesses", "accesses", "DRAM accesses")            \
+    X(sharedAccesses, "shared_accesses", "accesses",                         \
+      "shared-memory accesses")                                              \
+    X(sharedBankConflicts, "shared_bank_conflicts", "cycles",                \
+      "extra serialisation cycles from bank conflicts")                      \
+    X(memRequests, "mem_requests", "requests",                               \
+      "post-coalescing memory requests")                                     \
+    X(mshrStallCycles, "mshr_stall_cycles", "cycles",                        \
+      "L1 injection blocked on a full MSHR")                                 \
+    X(schedIdleCycles, "sched_idle_cycles", "cycles",                        \
+      "scheduler issued nothing")                                            \
+    X(scoreboardStalls, "scoreboard_stalls", "cycles",                       \
+      "issue blocked by dependences")                                        \
+    X(ocFullStalls, "oc_full_stalls", "cycles", "no free collector")         \
+    X(scalarBankStalls, "scalar_bank_stalls", "cycles",                      \
+      "scalar-RF bank conflicts (AluScalar)")                                \
+    X(pipeBusyStalls, "pipe_busy_stalls", "cycles",                          \
+      "execution pipe occupied")
+
+namespace detail
+{
+#define GS_EVENT_COUNT_ONE(member, name, unit, doc) +1
+/** Number of lines in GS_EVENT_COUNT_FIELDS. */
+inline constexpr std::size_t kEventFieldListCount =
+    0 GS_EVENT_COUNT_FIELDS(GS_EVENT_COUNT_ONE);
+#undef GS_EVENT_COUNT_ONE
+} // namespace detail
+
+/** Number of EventCounts fields; the registry must cover all of them. */
+inline constexpr std::size_t kEventCountFields =
+    detail::kEventFieldListCount;
+
+// Every EventCounts member is 8 bytes (u64 or double), so a field
+// missing from (or duplicated in) GS_EVENT_COUNT_FIELDS breaks this.
+static_assert(sizeof(double) == sizeof(std::uint64_t));
+static_assert(kEventCountFields * sizeof(std::uint64_t) ==
+                  sizeof(EventCounts),
+              "GS_EVENT_COUNT_FIELDS is out of sync with EventCounts: "
+              "register every new counter exactly once");
 
 } // namespace gs
 

@@ -34,6 +34,19 @@ class Table
     /** Render the table, header separated by a rule. */
     std::string str() const;
 
+    /** Table title (empty when none was given). */
+    const std::string &title() const { return title_; }
+
+    /**
+     * Raw cells in insertion order; the first row is the header. The
+     * structured result emitters (obs/result.hpp) serialize these, so
+     * machine-readable output always matches the rendered text.
+     */
+    const std::vector<std::vector<std::string>> &rows() const
+    {
+        return rows_;
+    }
+
     /** Render and write to stdout. */
     void print() const;
 

@@ -1,0 +1,50 @@
+#include "bench.hpp"
+
+#include <iostream>
+#include <string>
+
+#include "common/log.hpp"
+#include "engine.hpp"
+#include "experiments.hpp"
+#include "obs/result.hpp"
+
+namespace gs
+{
+
+int
+benchDriverMain(const char *experimentName, int argc, char **argv)
+{
+    initHarness(argc, argv);
+
+    ResultFormat format = ResultFormat::Text;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        std::string value;
+        if (a.rfind("--format=", 0) == 0)
+            value = a.substr(9);
+        else if (a == "--format") {
+            if (i + 1 >= argc)
+                GS_FATAL("--format needs a value (text|json|csv)");
+            value = argv[++i];
+        } else {
+            continue;
+        }
+        const std::optional<ResultFormat> f = parseResultFormat(value);
+        if (!f)
+            GS_FATAL("unknown --format '", value,
+                     "' (want text, json or csv)");
+        format = *f;
+    }
+
+    const Experiment *exp = findExperiment(experimentName);
+    if (!exp)
+        GS_PANIC("bench driver built for unregistered experiment '",
+                 experimentName, "'");
+
+    const auto sink = makeResultSink(format, std::cout);
+    exp->run(defaultEngine(), experimentConfig(), *sink);
+    stderrSink().writeLine(defaultEngine().statsSummary());
+    return 0;
+}
+
+} // namespace gs

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared main() body for the per-experiment bench binaries. Every
+ * driver under bench/ is three lines: include this, forward to
+ * benchDriverMain() with its experiment name. The driver output
+ * contract is unchanged from the historical hand-written mains —
+ * result on stdout (text by default, --format=json|csv for machines),
+ * engine statistics on stderr.
+ */
+
+#ifndef GSCALAR_HARNESS_BENCH_HPP
+#define GSCALAR_HARNESS_BENCH_HPP
+
+namespace gs
+{
+
+/**
+ * Run one registered experiment as a bench binary: initHarness()
+ * (--jobs/-j/--cache), --format=text|json|csv selection, the
+ * experiment through the default engine with the Table 1
+ * configuration, and the engine stats summary on stderr.
+ * @return process exit code.
+ */
+int benchDriverMain(const char *experimentName, int argc, char **argv);
+
+} // namespace gs
+
+#endif // GSCALAR_HARNESS_BENCH_HPP

@@ -1,5 +1,6 @@
 #include "engine.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <sstream>
@@ -40,8 +41,23 @@ WorkerPool::submit(std::function<void()> fn)
         std::lock_guard<std::mutex> lock(mutex_);
         GS_ASSERT(!stop_, "submit() on a stopped worker pool");
         queue_.push_back(std::move(fn));
+        peakDepth_ = std::max(peakDepth_, queue_.size());
     }
     cv_.notify_one();
+}
+
+std::size_t
+WorkerPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::size_t
+WorkerPool::peakQueueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peakDepth_;
 }
 
 void
@@ -89,7 +105,14 @@ cacheKey(const std::string &abbr, const ArchConfig &cfg)
 
 } // namespace
 
-ExperimentEngine::ExperimentEngine(unsigned jobs) : pool_(jobs) {}
+ExperimentEngine::ExperimentEngine(unsigned jobs) : pool_(jobs)
+{
+    // GS_VERBOSE: emit one timing line per completed run. The lines go
+    // through the mutexed obs sink so concurrent workers never
+    // interleave fragments.
+    const char *v = std::getenv("GS_VERBOSE");
+    verbose_ = v && *v && std::string(v) != "0";
+}
 
 std::shared_future<RunResult>
 ExperimentEngine::submit(const Workload &w, const ArchConfig &cfg)
@@ -114,26 +137,43 @@ ExperimentEngine::submit(const Workload &w, const ArchConfig &cfg)
             // submit path; a hit skips the simulation entirely and
             // returns the stored counters bit-for-bit.
             if (disk_) {
-                if (std::optional<RunResult> r = disk_->load(w.name, cfg)) {
+                std::optional<RunResult> r;
+                {
+                    ScopedPhase phase(phases_, "disk-cache-load");
+                    r = disk_->load(w.name, cfg);
+                }
+                if (r) {
                     {
                         std::lock_guard<std::mutex> statsLock(mutex_);
                         ++stats_.diskHits;
                     }
+                    if (verbose_)
+                        noteRun(w.name, cfg, r->wallSeconds,
+                                "disk-cache");
                     promise->set_value(std::move(*r));
                     return;
                 }
             }
-            RunResult r = runWorkload(w, cfg);
-            if (disk_ && disk_->store(w.name, cfg, r)) {
-                std::lock_guard<std::mutex> statsLock(mutex_);
-                ++stats_.diskStores;
+            RunResult r;
+            {
+                ScopedPhase phase(phases_, "simulate");
+                r = runWorkload(w, cfg);
+            }
+            bool stored = false;
+            if (disk_) {
+                ScopedPhase phase(phases_, "disk-cache-store");
+                stored = disk_->store(w.name, cfg, r);
             }
             {
                 std::lock_guard<std::mutex> statsLock(mutex_);
+                if (stored)
+                    ++stats_.diskStores;
                 wallSumSeconds_ += r.wallSeconds;
                 simCycles_ += r.ev.cycles;
                 warpInsts_ += r.ev.warpInsts;
             }
+            if (verbose_)
+                noteRun(w.name, cfg, r.wallSeconds, "simulate");
             promise->set_value(std::move(r));
         } catch (...) {
             promise->set_exception(std::current_exception());
@@ -186,6 +226,35 @@ ExperimentEngine::cacheStats() const
 }
 
 void
+ExperimentEngine::noteRun(const std::string &workload,
+                          const ArchConfig &cfg, double seconds,
+                          const char *how) const
+{
+    std::ostringstream os;
+    os << "run " << workload << " " << archModeName(cfg.mode) << " "
+       << Table::num(seconds, 3) << "s (" << how << ")";
+    stderrSink().writeLine(os.str());
+}
+
+EngineSnapshot
+ExperimentEngine::snapshot() const
+{
+    EngineSnapshot s;
+    s.jobs = pool_.jobs();
+    s.queueDepth = pool_.queueDepth();
+    s.peakQueueDepth = pool_.peakQueueDepth();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        s.cache = stats_;
+        s.wallSumSeconds = wallSumSeconds_;
+        s.simCycles = simCycles_;
+        s.warpInsts = warpInsts_;
+    }
+    s.phases = phases_.entries();
+    return s;
+}
+
+void
 ExperimentEngine::clearCache()
 {
     // Wait for in-flight runs so nobody holds a future we forget about.
@@ -210,22 +279,33 @@ ExperimentEngine::setDiskCache(std::unique_ptr<DiskRunCache> cache)
 std::string
 ExperimentEngine::statsSummary() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const EngineSnapshot s = snapshot();
     std::ostringstream os;
-    os << "engine: " << (stats_.misses - stats_.diskHits)
-       << " simulations (+" << stats_.hits << " cache hits) on "
-       << pool_.jobs() << " worker(s)";
+    os << "engine: " << (s.cache.misses - s.cache.diskHits)
+       << " simulations (+" << s.cache.hits << " cache hits) on "
+       << s.jobs << " worker(s)";
+    if (s.peakQueueDepth > 0)
+        os << ", peak queue " << s.peakQueueDepth;
     if (disk_)
-        os << "; disk cache: " << stats_.diskHits << " hits, "
-           << stats_.diskStores << " stores (" << disk_->dir() << ")";
-    if (wallSumSeconds_ > 0) {
-        os << "; " << simCycles_ << " sim-cycles, " << warpInsts_
-           << " warp-insts in " << Table::num(wallSumSeconds_, 2)
-           << "s CPU (" << Table::num(double(simCycles_) / wallSumSeconds_ /
-                                          1e6, 1)
+        os << "; disk cache: " << s.cache.diskHits << " hits, "
+           << s.cache.diskStores << " stores (" << disk_->dir() << ")";
+    if (s.wallSumSeconds > 0) {
+        os << "; " << s.simCycles << " sim-cycles, " << s.warpInsts
+           << " warp-insts in " << Table::num(s.wallSumSeconds, 2)
+           << "s CPU ("
+           << Table::num(double(s.simCycles) / s.wallSumSeconds / 1e6, 1)
            << "M sim-cycles/s, "
-           << Table::num(double(warpInsts_) / wallSumSeconds_ / 1e6, 2)
+           << Table::num(double(s.warpInsts) / s.wallSumSeconds / 1e6, 2)
            << "M warp-insts/s)";
+    }
+    if (!s.phases.empty()) {
+        os << "; phases: ";
+        bool first = true;
+        for (const PhaseTimers::Entry &e : s.phases) {
+            os << (first ? "" : "  ") << e.name << " "
+               << Table::num(e.seconds, 2) << "s/" << e.samples;
+            first = false;
+        }
     }
     return os.str();
 }

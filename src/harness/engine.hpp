@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "obs/stats.hpp"
 #include "runner.hpp"
 #include "store/run_cache.hpp"
 
@@ -56,6 +57,12 @@ class WorkerPool
     /** Number of worker threads. */
     unsigned jobs() const { return unsigned(threads_.size()); }
 
+    /** Tasks currently queued (not yet picked up by a worker). */
+    std::size_t queueDepth() const;
+
+    /** Highest queue depth observed since construction. */
+    std::size_t peakQueueDepth() const;
+
     /**
      * Pool size used when none is requested: the GS_JOBS environment
      * variable if set to a positive integer, else
@@ -68,8 +75,9 @@ class WorkerPool
 
     std::vector<std::thread> threads_;
     std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
+    std::size_t peakDepth_ = 0;
     bool stop_ = false;
 };
 
@@ -82,6 +90,24 @@ struct CacheStats
      *  cache instead of a simulation. */
     std::uint64_t diskHits = 0;
     std::uint64_t diskStores = 0; ///< fresh results persisted to disk
+};
+
+/**
+ * Point-in-time view of the engine's self-metrics: pool geometry,
+ * cache counters, aggregate simulation throughput, and per-phase wall
+ * clock. The daemon's `stats` response and the bench stderr summary
+ * are both rendered from this.
+ */
+struct EngineSnapshot
+{
+    unsigned jobs = 0;
+    std::size_t queueDepth = 0;
+    std::size_t peakQueueDepth = 0;
+    CacheStats cache;
+    double wallSumSeconds = 0; ///< summed per-run simulate wall clock
+    std::uint64_t simCycles = 0;
+    std::uint64_t warpInsts = 0;
+    std::vector<PhaseTimers::Entry> phases;
 };
 
 /**
@@ -127,6 +153,16 @@ class ExperimentEngine
     /** Cache hit/miss counters so far. */
     CacheStats cacheStats() const;
 
+    /** Self-metrics snapshot (pool, cache, throughput, phases). */
+    EngineSnapshot snapshot() const;
+
+    /**
+     * Wall-clock accounting per harness phase ("simulate",
+     * "disk-cache-load", "disk-cache-store"); workers add to it, the
+     * snapshot reports it.
+     */
+    PhaseTimers &phaseTimers() { return phases_; }
+
     /** Drop every in-memory cached result (tests use this); the
      *  persistent disk cache, when attached, is left untouched. */
     void clearCache();
@@ -156,6 +192,10 @@ class ExperimentEngine
     std::string statsSummary() const;
 
   private:
+    /** Emit one GS_VERBOSE timing line through the mutexed obs sink. */
+    void noteRun(const std::string &workload, const ArchConfig &cfg,
+                 double seconds, const char *how) const;
+
     WorkerPool pool_;
     std::unique_ptr<DiskRunCache> disk_;
 
@@ -165,6 +205,8 @@ class ExperimentEngine
     double wallSumSeconds_ = 0; ///< summed per-run wall clock
     std::uint64_t simCycles_ = 0;
     std::uint64_t warpInsts_ = 0;
+    PhaseTimers phases_;
+    bool verbose_ = false; ///< GS_VERBOSE: per-run timing lines
 };
 
 /**

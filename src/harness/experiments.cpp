@@ -6,7 +6,6 @@
 #include <sstream>
 
 #include "common/table.hpp"
-#include "engine.hpp"
 #include "power/hardware_cost.hpp"
 #include "runner.hpp"
 
@@ -23,27 +22,14 @@ experimentConfig()
 namespace
 {
 
-/**
- * Run every suite workload under @p cfg through the process-wide
- * engine: fans out over the worker pool and joins any run another
- * driver already scheduled for the same (workload, fingerprint).
- */
-std::vector<RunResult>
-runSuite(const ArchConfig &cfg)
-{
-    return defaultEngine().runSuite(cfg);
-}
-
 double
 pctDiv(double num, double den)
 {
     return den > 0 ? num / den : 0;
 }
 
-} // namespace
-
-std::string
-runFig1(const ArchConfig &base)
+SuiteResult
+buildFig1(ExperimentEngine &eng, const ArchConfig &base)
 {
     ArchConfig cfg = base;
     cfg.mode = ArchMode::Baseline; // classification is mode-independent
@@ -51,7 +37,7 @@ runFig1(const ArchConfig &base)
     Table t("Figure 1: divergent and divergent-scalar instructions");
     t.row({"bench", "divergent", "divergent-scalar"});
     double div_sum = 0, dsc_sum = 0;
-    const auto results = runSuite(cfg);
+    const auto results = eng.runSuite(cfg);
     for (const RunResult &r : results) {
         const double div =
             pctDiv(double(r.ev.divergentWarpInsts), double(r.ev.warpInsts));
@@ -64,11 +50,11 @@ runFig1(const ArchConfig &base)
     const double n = double(results.size());
     t.row({"AVG", Table::pct(div_sum / n), Table::pct(dsc_sum / n)});
     t.row({"paper-AVG", "28.0%", "12.6% (45% of divergent)"});
-    return t.str();
+    return makeSuiteResult("fig1", "Fig. 1", t, results);
 }
 
-std::string
-runFig8(const ArchConfig &base)
+SuiteResult
+buildFig8(ExperimentEngine &eng, const ArchConfig &base)
 {
     ArchConfig cfg = base;
     cfg.mode = ArchMode::Baseline;
@@ -77,7 +63,7 @@ runFig8(const ArchConfig &base)
     t.row({"bench", "scalar", "3-byte", "2-byte", "1-byte", "divergent",
            "other"});
     double sums[6] = {};
-    const auto results = runSuite(cfg);
+    const auto results = eng.runSuite(cfg);
     for (const RunResult &r : results) {
         const double reads = double(r.ev.rfReads);
         const double vals[6] = {
@@ -98,11 +84,11 @@ runFig8(const ArchConfig &base)
            Table::pct(sums[2] / n), Table::pct(sums[3] / n),
            Table::pct(sums[4] / n), Table::pct(sums[5] / n)});
     t.row({"paper-AVG", "36%", "17%", "4%", "7%", "-", "-"});
-    return t.str();
+    return makeSuiteResult("fig8", "Fig. 8", t, results);
 }
 
-std::string
-runFig9(const ArchConfig &base)
+SuiteResult
+buildFig9(ExperimentEngine &eng, const ArchConfig &base)
 {
     ArchConfig cfg = base;
     cfg.mode = ArchMode::Baseline;
@@ -111,7 +97,7 @@ runFig9(const ArchConfig &base)
     t.row({"bench", "ALU-scalar", "+SFU", "+MEM", "+half", "+divergent",
            "total"});
     double sums[6] = {};
-    const auto results = runSuite(cfg);
+    const auto results = eng.runSuite(cfg);
     for (const RunResult &r : results) {
         const double wi = double(r.ev.warpInsts);
         const double alu = pctDiv(double(r.ev.scalarAluEligible), wi);
@@ -134,11 +120,11 @@ runFig9(const ArchConfig &base)
            Table::pct(sums[4] / n), Table::pct(sums[5] / n)});
     t.row({"paper-AVG", "22%", "+7% (SFU+MEM)", "", "+2%", "+9%",
            "40%"});
-    return t.str();
+    return makeSuiteResult("fig9", "Fig. 9", t, results);
 }
 
-std::string
-runFig10(const ArchConfig &base)
+SuiteResult
+buildFig10(ExperimentEngine &eng, const ArchConfig &base)
 {
     Table t("Figure 10: half-scalar eligible share vs warp size");
     t.row({"bench", "warp 32 (half)", "warp 64 (quarter)"});
@@ -149,8 +135,8 @@ runFig10(const ArchConfig &base)
     cfg64.warpSize = 64;
 
     // Fan both warp sizes out together before joining either.
-    auto f32 = defaultEngine().submitSuite(cfg32);
-    auto f64 = defaultEngine().submitSuite(cfg64);
+    auto f32 = eng.submitSuite(cfg32);
+    auto f64 = eng.submitSuite(cfg64);
     std::vector<RunResult> r32, r64;
     for (auto &f : f32)
         r32.push_back(f.get());
@@ -169,11 +155,14 @@ runFig10(const ArchConfig &base)
     const double n = double(r32.size());
     t.row({"AVG", Table::pct(s32 / n), Table::pct(s64 / n)});
     t.row({"paper-AVG", "2%", "5%"});
-    return t.str();
+
+    std::vector<RunResult> runs = std::move(r32);
+    runs.insert(runs.end(), r64.begin(), r64.end());
+    return makeSuiteResult("fig10", "Fig. 10", t, std::move(runs));
 }
 
-std::string
-runFig11(const ArchConfig &base)
+SuiteResult
+buildFig11(ExperimentEngine &eng, const ArchConfig &base)
 {
     Table t("Figure 11: normalized power efficiency (IPC/W) and IPC");
     t.row({"bench", "ALU-scalar", "G-Scalar w/o div", "G-Scalar",
@@ -187,7 +176,7 @@ runFig11(const ArchConfig &base)
     for (const ArchMode m : modes) {
         ArchConfig cfg = base;
         cfg.mode = m;
-        futures[m] = defaultEngine().submitSuite(cfg);
+        futures[m] = eng.submitSuite(cfg);
     }
     std::map<ArchMode, std::vector<RunResult>> results;
     for (const ArchMode m : modes)
@@ -222,11 +211,15 @@ runFig11(const ArchConfig &base)
            Table::num(sums[3] / double(n), 3)});
     t.row({"paper-AVG", "~1.08", "-", "1.24 (1.15 vs ALU-scalar)",
            "0.983"});
-    return t.str();
+
+    std::vector<RunResult> runs;
+    for (const ArchMode m : modes)
+        runs.insert(runs.end(), results[m].begin(), results[m].end());
+    return makeSuiteResult("fig11", "Fig. 11", t, std::move(runs));
 }
 
-std::string
-runFig12(const ArchConfig &base)
+SuiteResult
+buildFig12(ExperimentEngine &eng, const ArchConfig &base)
 {
     ArchConfig cfg = base;
     cfg.mode = ArchMode::Baseline; // shadow counters carry all schemes
@@ -234,7 +227,7 @@ runFig12(const ArchConfig &base)
     Table t("Figure 12: normalized RF dynamic power");
     t.row({"bench", "scalar only [3]", "W-C (BDI) [4]", "ours"});
     double sums[3] = {};
-    const auto results = runSuite(cfg);
+    const auto results = eng.runSuite(cfg);
     for (const RunResult &r : results) {
         const RfEnergyBreakdown b = computeRfEnergy(r.ev);
         const double s = b.scalarOnlyJ / b.baselineJ;
@@ -250,17 +243,23 @@ runFig12(const ArchConfig &base)
     t.row({"AVG", Table::num(sums[0] / n, 3), Table::num(sums[1] / n, 3),
            Table::num(sums[2] / n, 3)});
     t.row({"paper-AVG", "0.63", "~0.55", "0.46"});
-    return t.str();
+    return makeSuiteResult("fig12", "Fig. 12", t, results);
 }
 
-std::string
-runTable3()
+SuiteResult
+buildTable3(ExperimentEngine &, const ArchConfig &)
 {
-    return describeHardwareCost();
+    // Pure cost model: no simulations behind this one.
+    SuiteResult r;
+    r.experiment = "table3";
+    r.tag = "Table 3";
+    r.title = "Hardware cost model (Table 3 + Sec 5.1)";
+    r.text = describeHardwareCost();
+    return r;
 }
 
-std::string
-runCompressionRatio(const ArchConfig &base)
+SuiteResult
+buildCompressionRatio(ExperimentEngine &eng, const ArchConfig &base)
 {
     ArchConfig cfg = base;
     cfg.mode = ArchMode::Baseline;
@@ -268,7 +267,7 @@ runCompressionRatio(const ArchConfig &base)
     Table t("Compression ratio over the register write stream (Sec 5.3)");
     t.row({"bench", "ours", "BDI"});
     double so = 0, sb = 0;
-    const auto results = runSuite(cfg);
+    const auto results = eng.runSuite(cfg);
     for (const RunResult &r : results) {
         const double ours = r.ev.compressionRatio();
         const double bdi = r.ev.bdiCompressionRatio();
@@ -279,11 +278,11 @@ runCompressionRatio(const ArchConfig &base)
     const double n = double(results.size());
     t.row({"AVG", Table::num(so / n, 2), Table::num(sb / n, 2)});
     t.row({"paper-AVG", "2.17", "2.13"});
-    return t.str();
+    return makeSuiteResult("ratio", "Sec 5.3", t, results);
 }
 
-std::string
-runSpecialMoveOverhead(const ArchConfig &base)
+SuiteResult
+buildSpecialMoveOverhead(ExperimentEngine &eng, const ArchConfig &base)
 {
     ArchConfig cfg = base;
     cfg.mode = ArchMode::GScalarFull;
@@ -291,7 +290,7 @@ runSpecialMoveOverhead(const ArchConfig &base)
     Table t("Special-move dynamic instruction overhead (Sec 3.3)");
     t.row({"bench", "special moves / instructions"});
     double sum = 0;
-    const auto results = runSuite(cfg);
+    const auto results = eng.runSuite(cfg);
     for (const RunResult &r : results) {
         const double o = pctDiv(double(r.ev.specialMoveInsts),
                                 double(r.ev.warpInsts));
@@ -300,11 +299,12 @@ runSpecialMoveOverhead(const ArchConfig &base)
     }
     t.row({"AVG", Table::pct(sum / double(results.size()), 2)});
     t.row({"paper", "~2% (hardware-assisted)"});
-    return t.str();
+    return makeSuiteResult("smov", "Sec 3.3", t, results);
 }
 
-std::string
-runCompilerScalarComparison(const ArchConfig &base)
+SuiteResult
+buildCompilerScalarComparison(ExperimentEngine &eng,
+                              const ArchConfig &base)
 {
     ArchConfig cfg = base;
     cfg.mode = ArchMode::Baseline;
@@ -312,7 +312,7 @@ runCompilerScalarComparison(const ArchConfig &base)
     Table t("Static compiler scalarization vs dynamic G-Scalar (Sec 6)");
     t.row({"bench", "compiler", "G-Scalar", "compiler/G-Scalar"});
     double sc = 0, sg = 0;
-    const auto results = runSuite(cfg);
+    const auto results = eng.runSuite(cfg);
     for (const RunResult &r : results) {
         const double wi = double(r.ev.warpInsts);
         const double stat = pctDiv(double(r.ev.staticScalarInsts), wi);
@@ -331,11 +331,11 @@ runCompilerScalarComparison(const ArchConfig &base)
     t.row({"AVG", Table::pct(sc / n), Table::pct(sg / n),
            Table::num((sc / n) / (sg / n), 2)});
     t.row({"paper", "captures ~24% fewer than G-Scalar", "", "~0.76"});
-    return t.str();
+    return makeSuiteResult("compiler", "Sec 6", t, results);
 }
 
-std::string
-runSmovCompilerAblation(const ArchConfig &base)
+SuiteResult
+buildSmovCompilerAblation(ExperimentEngine &eng, const ArchConfig &base)
 {
     Table t("Special-move overhead: hardware vs compiler-assisted "
             "(Sec 3.3)");
@@ -346,9 +346,10 @@ runSmovCompilerAblation(const ArchConfig &base)
     ArchConfig ca = hw;
     ca.compilerAssistedSmov = true;
 
-    auto fh = defaultEngine().submitSuite(hw);
-    auto fc = defaultEngine().submitSuite(ca);
+    auto fh = eng.submitSuite(hw);
+    auto fc = eng.submitSuite(ca);
 
+    std::vector<RunResult> runs;
     double sh = 0, sc = 0;
     unsigned n = 0;
     for (std::size_t i = 0; i < fh.size(); ++i) {
@@ -364,14 +365,17 @@ runSmovCompilerAblation(const ArchConfig &base)
         ++n;
         t.row({rh.workload, Table::pct(oh, 2), Table::pct(oc, 2),
                oh > 0 ? Table::pct(1.0 - oc / oh, 0) : "-"});
+        runs.push_back(rh);
+        runs.push_back(rc);
     }
     t.row({"AVG", Table::pct(sh / n, 2), Table::pct(sc / n, 2), ""});
     t.row({"paper", "~2%", "<2% (lifetime analysis)", ""});
-    return t.str();
+    return makeSuiteResult("smovcompiler", "Sec 3.3", t,
+                           std::move(runs));
 }
 
-std::string
-runOccupancyAblation(const ArchConfig &base)
+SuiteResult
+buildOccupancyAblation(ExperimentEngine &eng, const ArchConfig &base)
 {
     Table t("Ablation: scalar execution shortening dispatch occupancy "
             "(Sec 6)");
@@ -383,9 +387,10 @@ runOccupancyAblation(const ArchConfig &base)
     ArchConfig fast = plain;
     fast.scalarShortensOccupancy = true;
 
-    auto fa = defaultEngine().submitSuite(plain);
-    auto fb = defaultEngine().submitSuite(fast);
+    auto fa = eng.submitSuite(plain);
+    auto fb = eng.submitSuite(fast);
 
+    std::vector<RunResult> runs;
     double s = 0;
     unsigned n = 0;
     for (std::size_t i = 0; i < fa.size(); ++i) {
@@ -397,13 +402,15 @@ runOccupancyAblation(const ArchConfig &base)
         ++n;
         t.row({a.workload, Table::num(a.power.ipc, 2),
                Table::num(b.power.ipc, 2), Table::num(speedup, 3)});
+        runs.push_back(a);
+        runs.push_back(b);
     }
     t.row({"AVG", "", "", Table::num(s / n, 3)});
-    return t.str();
+    return makeSuiteResult("occupancy", "Sec 6", t, std::move(runs));
 }
 
-std::string
-runAffineOpportunity(const ArchConfig &base)
+SuiteResult
+buildAffineOpportunity(ExperimentEngine &eng, const ArchConfig &base)
 {
     ArchConfig cfg = base;
     cfg.mode = ArchMode::Baseline;
@@ -411,7 +418,7 @@ runAffineOpportunity(const ArchConfig &base)
     Table t("Affine register writes (related work, Sec 6)");
     t.row({"bench", "affine", "affine non-scalar (extra vs scalar)"});
     double sa = 0, sn = 0;
-    const auto results = runSuite(cfg);
+    const auto results = eng.runSuite(cfg);
     for (const RunResult &r : results) {
         const double wr = double(r.ev.rfWrites);
         const double aff = pctDiv(double(r.ev.affineWrites), wr);
@@ -425,11 +432,11 @@ runAffineOpportunity(const ArchConfig &base)
     t.row({"AVG", Table::pct(sa / n), Table::pct(sn / n)});
     t.row({"paper", "affine units apply to limited instruction types",
            ""});
-    return t.str();
+    return makeSuiteResult("affine", "Sec 6", t, results);
 }
 
-std::string
-runBankCountAblation(const ArchConfig &base)
+SuiteResult
+buildBankCountAblation(ExperimentEngine &eng, const ArchConfig &base)
 {
     Table t("Ablation: register-file bank count scaling (Sec 4.1)");
     t.row({"banks", "baseline IPC", "ALU-scalar IPC", "G-Scalar IPC",
@@ -448,14 +455,15 @@ runBankCountAblation(const ArchConfig &base)
             ArchConfig b = base;
             b.numBanks = banks;
             b.mode = ArchMode::Baseline;
-            auto fb = defaultEngine().submit(name, b);
+            auto fb = eng.submit(name, b);
             b.mode = ArchMode::AluScalar;
-            auto fa = defaultEngine().submit(name, b);
+            auto fa = eng.submit(name, b);
             b.mode = ArchMode::GScalarFull;
-            auto fg = defaultEngine().submit(name, b);
+            auto fg = eng.submit(name, b);
             futures[{banks, name}] = {fb, fa, fg};
         }
     }
+    std::vector<RunResult> runs;
     for (const unsigned banks : bankCounts) {
         double ipc_base = 0, ipc_alu = 0, ipc_gs = 0, eff = 0;
         for (const auto &name : benches) {
@@ -467,22 +475,26 @@ runBankCountAblation(const ArchConfig &base)
             ipc_alu += ra.power.ipc;
             ipc_gs += rg.power.ipc;
             eff += rg.power.ipcPerWatt() / rb.power.ipcPerWatt();
+            runs.push_back(rb);
+            runs.push_back(ra);
+            runs.push_back(rg);
         }
         const double n = double(benches.size());
         t.row({std::to_string(banks), Table::num(ipc_base / n, 2),
                Table::num(ipc_alu / n, 2), Table::num(ipc_gs / n, 2),
                Table::num(eff / n, 3)});
     }
-    return t.str();
+    return makeSuiteResult("bankcount", "Sec 4.1", t, std::move(runs));
 }
 
-std::string
-runWarpWidthAblation(const ArchConfig &base)
+SuiteResult
+buildWarpWidthAblation(ExperimentEngine &eng, const ArchConfig &base)
 {
     Table t("Ablation: warp width vs scalar benefit (Sec 4.3/6)");
     t.row({"config", "full-warp eligible", "half/quarter eligible",
            "IPC/W vs same-width baseline"});
 
+    std::vector<RunResult> runs;
     for (const unsigned warp : {32u, 64u}) {
         for (const bool half : {true, false}) {
             ArchConfig b = base;
@@ -494,8 +506,8 @@ runWarpWidthAblation(const ArchConfig &base)
 
             // The same-width baseline suite is a cache hit on the
             // second (half) iteration.
-            auto fb = defaultEngine().submitSuite(b);
-            auto fg = defaultEngine().submitSuite(g);
+            auto fb = eng.submitSuite(b);
+            auto fg = eng.submitSuite(g);
 
             double full_e = 0, half_e = 0, eff = 0;
             unsigned n = 0;
@@ -512,6 +524,7 @@ runWarpWidthAblation(const ArchConfig &base)
                                  double(rg.ev.warpInsts));
                 eff += rg.power.ipcPerWatt() / rb.power.ipcPerWatt();
                 ++n;
+                runs.push_back(rg);
             }
             t.row({"warp " + std::to_string(warp) +
                        (half ? " +half-scalar" : " full-warp only"),
@@ -519,11 +532,12 @@ runWarpWidthAblation(const ArchConfig &base)
                    Table::num(eff / n, 3)});
         }
     }
-    return t.str();
+    return makeSuiteResult("warpwidth", "Sec 4.3/6", t,
+                           std::move(runs));
 }
 
-std::string
-runHalfRegisterAblation(const ArchConfig &base)
+SuiteResult
+buildHalfRegisterAblation(ExperimentEngine &eng, const ArchConfig &base)
 {
     Table t("Ablation: half-register vs whole-register compression "
             "(Sec 3.2/4.3)");
@@ -536,9 +550,10 @@ runHalfRegisterAblation(const ArchConfig &base)
     ArchConfig whole = half;
     whole.halfRegisterCompression = false;
 
-    auto fh = defaultEngine().submitSuite(half);
-    auto fw = defaultEngine().submitSuite(whole);
+    auto fh = eng.submitSuite(half);
+    auto fw = eng.submitSuite(whole);
 
+    std::vector<RunResult> runs;
     double s_half = 0, s_whole = 0;
     unsigned n = 0;
     for (std::size_t i = 0; i < fh.size(); ++i) {
@@ -563,15 +578,17 @@ runHalfRegisterAblation(const ArchConfig &base)
         t.row({rh.workload, Table::num(eh, 3), Table::num(ew, 3),
                std::to_string(rh.ev.halfScalarExecuted),
                std::to_string(rw.ev.halfScalarExecuted)});
+        runs.push_back(rh);
+        runs.push_back(rw);
     }
     t.row({"AVG", Table::num(s_half / n, 3), Table::num(s_whole / n, 3),
            "", ""});
     t.row({"paper", "+7% RF area", "+3% RF area", "", ""});
-    return t.str();
+    return makeSuiteResult("half", "Sec 3.2/4.3", t, std::move(runs));
 }
 
-std::string
-runScalarBankAblation(const ArchConfig &base)
+SuiteResult
+buildScalarBankAblation(ExperimentEngine &eng, const ArchConfig &base)
 {
     Table t("Ablation: prior-work scalar RF bank count (Sec 4.1)");
     t.row({"bench", "1 bank IPC", "2 banks", "4 banks", "G-Scalar IPC",
@@ -589,12 +606,13 @@ runScalarBankAblation(const ArchConfig &base)
             ArchConfig cfg = base;
             cfg.mode = ArchMode::AluScalar;
             cfg.scalarRfBanks = banks;
-            bankFutures[name].push_back(defaultEngine().submit(name, cfg));
+            bankFutures[name].push_back(eng.submit(name, cfg));
         }
         ArchConfig gcfg = base;
         gcfg.mode = ArchMode::GScalarFull;
-        gsFutures[name] = defaultEngine().submit(name, gcfg);
+        gsFutures[name] = eng.submit(name, gcfg);
     }
+    std::vector<RunResult> runs;
     for (const auto &name : benches) {
         std::vector<double> ipc;
         double stalls_per_kinst = 0;
@@ -608,13 +626,186 @@ runScalarBankAblation(const ArchConfig &base)
                                    double(r.ev.warpInsts);
                 first_bank = false;
             }
+            runs.push_back(r);
         }
         const RunResult g = gsFutures[name].get();
+        runs.push_back(g);
         t.row({name, Table::num(ipc[0], 3), Table::num(ipc[1], 3),
                Table::num(ipc[2], 3), Table::num(g.power.ipc, 3),
                Table::num(stalls_per_kinst, 1)});
     }
-    return t.str();
+    return makeSuiteResult("banks", "Sec 4.1", t, std::move(runs));
+}
+
+} // namespace
+
+const std::vector<Experiment> &
+experiments()
+{
+    // Bench-driver (alphabetical binary name) order: this is exactly
+    // the order tests/run_golden.cmake concatenates driver output in,
+    // so `gscalar bench` reproduces the golden reference byte for
+    // byte.
+    static const std::vector<Experiment> registry = {
+        {"bankcount", "Sec 4.1", "ablation_bank_count",
+         "RF bank count scaling: single scalar bank vs per-bank BVRs",
+         buildBankCountAblation},
+        {"half", "Sec 3.2/4.3", "ablation_half_register",
+         "half-register vs whole-register compression trade-off",
+         buildHalfRegisterAblation},
+        {"banks", "Sec 4.1", "ablation_scalar_banks",
+         "prior-work scalar RF bank count vs G-Scalar",
+         buildScalarBankAblation},
+        {"occupancy", "Sec 6", "ablation_scalar_occupancy",
+         "scalar execution shortening dispatch occupancy",
+         buildOccupancyAblation},
+        {"smovcompiler", "Sec 3.3", "ablation_smov_compiler",
+         "special-move overhead: hardware vs compiler-assisted",
+         buildSmovCompilerAblation},
+        {"warpwidth", "Sec 4.3/6", "ablation_warp_width",
+         "warp width (32 vs 64) vs scalar benefit",
+         buildWarpWidthAblation},
+        {"fig1", "Fig. 1", "fig01_divergence_mix",
+         "divergent and divergent-scalar instruction mix", buildFig1},
+        {"fig8", "Fig. 8", "fig08_rf_distribution",
+         "RF access distribution for operand values", buildFig8},
+        {"fig9", "Fig. 9", "fig09_scalar_eligibility",
+         "instructions eligible for scalar execution", buildFig9},
+        {"fig10", "Fig. 10", "fig10_warp_size",
+         "half-scalar eligible share vs warp size", buildFig10},
+        {"fig11", "Fig. 11", "fig11_power_efficiency",
+         "normalized power efficiency (IPC/W) and IPC", buildFig11},
+        {"fig12", "Fig. 12", "fig12_rf_power",
+         "normalized RF dynamic power", buildFig12},
+        {"affine", "Sec 6", "stat_affine_opportunity",
+         "affine register writes vs scalar ones",
+         buildAffineOpportunity},
+        {"compiler", "Sec 6", "stat_compiler_scalar",
+         "static compiler scalarization vs dynamic detection",
+         buildCompilerScalarComparison},
+        {"ratio", "Sec 5.3", "stat_compression_ratio",
+         "compression ratio: byte-mask vs BDI",
+         buildCompressionRatio},
+        {"smov", "Sec 3.3", "stat_special_move_overhead",
+         "special-move dynamic instruction overhead",
+         buildSpecialMoveOverhead},
+        {"table3", "Table 3", "table3_codec_cost",
+         "hardware cost model (codec area/latency)", buildTable3},
+    };
+    return registry;
+}
+
+const Experiment *
+findExperiment(const std::string &name)
+{
+    for (const Experiment &e : experiments())
+        if (name == e.name)
+            return &e;
+    return nullptr;
+}
+
+// ---- legacy string wrappers ----------------------------------------------
+
+std::string
+runFig1(const ArchConfig &base)
+{
+    return buildFig1(defaultEngine(), base).text;
+}
+
+std::string
+runFig8(const ArchConfig &base)
+{
+    return buildFig8(defaultEngine(), base).text;
+}
+
+std::string
+runFig9(const ArchConfig &base)
+{
+    return buildFig9(defaultEngine(), base).text;
+}
+
+std::string
+runFig10(const ArchConfig &base)
+{
+    return buildFig10(defaultEngine(), base).text;
+}
+
+std::string
+runFig11(const ArchConfig &base)
+{
+    return buildFig11(defaultEngine(), base).text;
+}
+
+std::string
+runFig12(const ArchConfig &base)
+{
+    return buildFig12(defaultEngine(), base).text;
+}
+
+std::string
+runTable3()
+{
+    return describeHardwareCost();
+}
+
+std::string
+runCompressionRatio(const ArchConfig &base)
+{
+    return buildCompressionRatio(defaultEngine(), base).text;
+}
+
+std::string
+runSpecialMoveOverhead(const ArchConfig &base)
+{
+    return buildSpecialMoveOverhead(defaultEngine(), base).text;
+}
+
+std::string
+runCompilerScalarComparison(const ArchConfig &base)
+{
+    return buildCompilerScalarComparison(defaultEngine(), base).text;
+}
+
+std::string
+runSmovCompilerAblation(const ArchConfig &base)
+{
+    return buildSmovCompilerAblation(defaultEngine(), base).text;
+}
+
+std::string
+runOccupancyAblation(const ArchConfig &base)
+{
+    return buildOccupancyAblation(defaultEngine(), base).text;
+}
+
+std::string
+runAffineOpportunity(const ArchConfig &base)
+{
+    return buildAffineOpportunity(defaultEngine(), base).text;
+}
+
+std::string
+runBankCountAblation(const ArchConfig &base)
+{
+    return buildBankCountAblation(defaultEngine(), base).text;
+}
+
+std::string
+runWarpWidthAblation(const ArchConfig &base)
+{
+    return buildWarpWidthAblation(defaultEngine(), base).text;
+}
+
+std::string
+runHalfRegisterAblation(const ArchConfig &base)
+{
+    return buildHalfRegisterAblation(defaultEngine(), base).text;
+}
+
+std::string
+runScalarBankAblation(const ArchConfig &base)
+{
+    return buildScalarBankAblation(defaultEngine(), base).text;
 }
 
 } // namespace gs

@@ -1,23 +1,65 @@
 /**
  * @file
- * One driver per paper table/figure. Each runs the needed simulations
- * and renders an ASCII table with the paper's reference numbers beside
- * the measured ones, so every bench binary regenerates one artefact of
- * the evaluation section.
+ * One experiment per paper table/figure, behind a single registry.
+ * Each experiment runs the needed simulations through an
+ * ExperimentEngine and produces a SuiteResult — the ASCII table with
+ * the paper's reference numbers beside the measured ones, plus the
+ * structured rows and per-run counters behind it — which a ResultSink
+ * renders as text, JSON or CSV. The registry is what `gscalar bench`
+ * (--list/--only/--format) and the per-experiment bench binaries
+ * enumerate; the legacy runX() string functions remain as thin
+ * wrappers over it.
  */
 
 #ifndef GSCALAR_HARNESS_EXPERIMENTS_HPP
 #define GSCALAR_HARNESS_EXPERIMENTS_HPP
 
 #include <string>
+#include <vector>
 
 #include "common/config.hpp"
+#include "engine.hpp"
+#include "obs/result.hpp"
 
 namespace gs
 {
 
 /** Baseline GTX 480 configuration used by all experiments (Table 1). */
 ArchConfig experimentConfig();
+
+/** One registered experiment (a paper figure, table or ablation). */
+struct Experiment
+{
+    const char *name;        ///< CLI name, e.g. "fig8"
+    const char *tag;         ///< paper artefact, e.g. "Fig. 8"
+    const char *driver;      ///< bench binary, e.g. "fig08_rf_distribution"
+    const char *description; ///< one line for --list
+
+    /** Simulate (through @p eng) and assemble the structured result. */
+    SuiteResult (*build)(ExperimentEngine &eng, const ArchConfig &base);
+
+    /** Build and hand the result to @p sink. */
+    void
+    run(ExperimentEngine &eng, const ArchConfig &base,
+        ResultSink &sink) const
+    {
+        sink.emit(build(eng, base));
+    }
+};
+
+/**
+ * Every experiment, in bench-driver (golden reference output) order.
+ * `gscalar bench` with no --only runs exactly this sequence, so its
+ * text output reproduces docs/bench_reference_output.txt byte for
+ * byte.
+ */
+const std::vector<Experiment> &experiments();
+
+/** Registry entry by CLI name, or nullptr. */
+const Experiment *findExperiment(const std::string &name);
+
+// ---- legacy string drivers (wrappers over the registry) ------------------
+// Each runs through defaultEngine() and returns the rendered table.
 
 /** Fig. 1: divergent / divergent-scalar instruction percentages. */
 std::string runFig1(const ArchConfig &base);

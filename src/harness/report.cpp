@@ -2,121 +2,46 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/result.hpp"
+
 namespace gs
 {
 
 std::vector<std::pair<std::string, double>>
 eventFields(const EventCounts &e)
 {
+    // Enumerated from the obs metric registry (every EventCounts field
+    // exactly once, declaration order), then the derived ratios.
     std::vector<std::pair<std::string, double>> f;
-    auto add = [&f](const char *n, double v) { f.emplace_back(n, v); };
-
-    add("cycles", double(e.cycles));
-    add("warp_insts", double(e.warpInsts));
-    add("thread_insts", double(e.threadInsts));
-    add("issued_insts", double(e.issuedInsts));
-    add("ipc", e.ipc());
-
-    add("alu_warp_insts", double(e.aluWarpInsts));
-    add("sfu_warp_insts", double(e.sfuWarpInsts));
-    add("mem_warp_insts", double(e.memWarpInsts));
-    add("ctrl_warp_insts", double(e.ctrlWarpInsts));
-    add("alu_lane_ops", double(e.aluLaneOps));
-    add("sfu_lane_ops", double(e.sfuLaneOps));
-    add("mem_lane_ops", double(e.memLaneOps));
-    add("alu_energy_units", e.aluEnergyUnits);
-    add("sfu_energy_units", e.sfuEnergyUnits);
-
-    add("divergent_warp_insts", double(e.divergentWarpInsts));
-    add("divergent_scalar_eligible", double(e.divergentScalarEligible));
-    add("scalar_alu_eligible", double(e.scalarAluEligible));
-    add("scalar_sfu_eligible", double(e.scalarSfuEligible));
-    add("scalar_mem_eligible", double(e.scalarMemEligible));
-    add("half_scalar_eligible", double(e.halfScalarEligible));
-    add("scalar_executed", double(e.scalarExecuted));
-    add("half_scalar_executed", double(e.halfScalarExecuted));
-    add("special_move_insts", double(e.specialMoveInsts));
-    add("static_scalar_insts", double(e.staticScalarInsts));
-
-    add("rf_reads", double(e.rfReads));
-    add("rf_writes", double(e.rfWrites));
-    add("rf_array_reads", double(e.rfArrayReads));
-    add("rf_array_writes", double(e.rfArrayWrites));
-    add("bvr_accesses", double(e.bvrAccesses));
-    add("scalar_rf_accesses", double(e.scalarRfAccesses));
-    add("crossbar_bytes", double(e.crossbarBytes));
-    add("oc_allocations", double(e.ocAllocations));
-
-    add("rf_acc_scalar", double(e.rfAccScalar));
-    add("rf_acc_3byte", double(e.rfAcc3Byte));
-    add("rf_acc_2byte", double(e.rfAcc2Byte));
-    add("rf_acc_1byte", double(e.rfAcc1Byte));
-    add("rf_acc_divergent", double(e.rfAccDivergent));
-    add("rf_acc_other", double(e.rfAccOther));
-
-    add("compressor_uses", double(e.compressorUses));
-    add("decompressor_uses", double(e.decompressorUses));
-    add("affine_writes", double(e.affineWrites));
-    add("affine_nonscalar_writes", double(e.affineNonScalarWrites));
-    add("compression_ratio", e.compressionRatio());
-    add("bdi_compression_ratio", e.bdiCompressionRatio());
-
-    add("l1_accesses", double(e.l1Accesses));
-    add("l1_misses", double(e.l1Misses));
-    add("l2_accesses", double(e.l2Accesses));
-    add("l2_misses", double(e.l2Misses));
-    add("dram_accesses", double(e.dramAccesses));
-    add("shared_accesses", double(e.sharedAccesses));
-    add("shared_bank_conflicts", double(e.sharedBankConflicts));
-    add("mem_requests", double(e.memRequests));
-    add("mshr_stall_cycles", double(e.mshrStallCycles));
-
-    add("sched_idle_cycles", double(e.schedIdleCycles));
-    add("scoreboard_stalls", double(e.scoreboardStalls));
-    add("oc_full_stalls", double(e.ocFullStalls));
-    add("scalar_bank_stalls", double(e.scalarBankStalls));
-    add("pipe_busy_stalls", double(e.pipeBusyStalls));
+    f.reserve(eventMetrics().size() + derivedEventMetrics().size());
+    for (const MetricDef &m : eventMetrics())
+        f.emplace_back(m.name, m.value(e));
+    for (const DerivedMetricDef &m : derivedEventMetrics())
+        f.emplace_back(m.name, m.value(e));
     return f;
 }
 
 std::vector<std::pair<std::string, double>>
 powerFields(const PowerReport &p)
 {
-    return {
-        {"power_frontend_w", p.frontendW},
-        {"power_execute_w", p.executeW},
-        {"power_sfu_w", p.sfuW},
-        {"power_regfile_w", p.regFileW},
-        {"power_codec_w", p.codecW},
-        {"power_memory_w", p.memoryW},
-        {"power_static_w", p.staticW},
-        {"power_total_w", p.totalW},
-        {"ipc_per_watt", p.ipcPerWatt()},
-    };
+    std::vector<std::pair<std::string, double>> f;
+    f.reserve(powerMetrics().size());
+    for (const PowerMetricDef &m : powerMetrics())
+        f.emplace_back(m.name, m.value(p));
+    return f;
 }
 
 std::string
 csvHeader()
 {
-    std::ostringstream os;
-    os << "workload,mode";
-    for (const auto &[name, value] : eventFields(EventCounts{}))
-        os << "," << name;
-    for (const auto &[name, value] : powerFields(PowerReport{}))
-        os << "," << name;
-    return os.str();
+    return runCsvHeader();
 }
 
 std::string
 csvRow(const RunResult &r)
 {
-    std::ostringstream os;
-    os << r.workload << "," << archModeName(r.mode);
-    for (const auto &[name, value] : eventFields(r.ev))
-        os << "," << value;
-    for (const auto &[name, value] : powerFields(r.power))
-        os << "," << value;
-    return os.str();
+    return runCsvRow(r);
 }
 
 std::string
@@ -154,18 +79,7 @@ throughputSummary(const std::vector<RunResult> &results)
 std::string
 toJson(const RunResult &r)
 {
-    std::ostringstream os;
-    os << "{\n  \"workload\": \"" << r.workload << "\",\n  \"mode\": \""
-       << archModeName(r.mode) << "\"";
-    for (const auto &[name, value] : eventFields(r.ev))
-        os << ",\n  \"" << name << "\": " << value;
-    for (const auto &[name, value] : powerFields(r.power))
-        os << ",\n  \"" << name << "\": " << value;
-    os << ",\n  \"wall_seconds\": " << r.wallSeconds;
-    os << ",\n  \"sim_cycles_per_sec\": " << r.simCyclesPerSec();
-    os << ",\n  \"warp_insts_per_sec\": " << r.warpInstsPerSec();
-    os << "\n}\n";
-    return os.str();
+    return runResultJson(r);
 }
 
 } // namespace gs

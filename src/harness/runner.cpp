@@ -3,21 +3,82 @@
 #include <chrono>
 
 #include "common/log.hpp"
+#include "obs/jsonl_tracer.hpp"
 #include "sim/gpu.hpp"
+#include "sim/trace.hpp"
 
 namespace gs
 {
 
+namespace
+{
+
+/** Fans events out to two tracers (request tracer + GS_TRACE tracer). */
+class TeeTracer : public Tracer
+{
+  public:
+    TeeTracer(Tracer &a, Tracer &b) : a_(a), b_(b) {}
+
+    void
+    onIssue(const IssueEvent &e) override
+    {
+        a_.onIssue(e);
+        b_.onIssue(e);
+    }
+    void
+    onCtaLaunch(unsigned sm, unsigned cta, Cycle now) override
+    {
+        a_.onCtaLaunch(sm, cta, now);
+        b_.onCtaLaunch(sm, cta, now);
+    }
+    void
+    onCtaRetire(unsigned sm, unsigned cta, Cycle now) override
+    {
+        a_.onCtaRetire(sm, cta, now);
+        b_.onCtaRetire(sm, cta, now);
+    }
+    void
+    onRunBegin(const std::string &w, ArchMode m) override
+    {
+        a_.onRunBegin(w, m);
+        b_.onRunBegin(w, m);
+    }
+    void
+    onRunEnd(const std::string &w) override
+    {
+        a_.onRunEnd(w);
+        b_.onRunEnd(w);
+    }
+
+  private:
+    Tracer &a_;
+    Tracer &b_;
+};
+
 RunResult
-runWorkload(const Workload &w, const ArchConfig &cfg,
-            const EnergyParams &ep)
+runWorkloadImpl(const Workload &w, const ArchConfig &cfg,
+                const EnergyParams &ep, Tracer *extra)
 {
     RunResult r;
     r.workload = w.name;
     r.mode = cfg.mode;
 
+    // Attach the request tracer and/or the process-wide GS_TRACE
+    // tracer; fan out through a tee when both are present.
+    Tracer *env = envTracer();
+    std::optional<TeeTracer> tee;
+    Tracer *active = extra ? extra : env;
+    if (extra && env) {
+        tee.emplace(*extra, *env);
+        active = &*tee;
+    }
+
+    if (active)
+        active->onRunBegin(w.name, cfg.mode);
+
     const auto t0 = std::chrono::steady_clock::now();
     Gpu gpu(cfg);
+    gpu.setTracer(active);
     if (w.setup)
         w.setup(gpu.memory(), cfg.seed);
 
@@ -41,14 +102,35 @@ runWorkload(const Workload &w, const ArchConfig &cfg,
     r.wallSeconds = std::chrono::duration<double>(
                         std::chrono::steady_clock::now() - t0)
                         .count();
+    if (active)
+        active->onRunEnd(w.name);
     return r;
+}
+
+} // namespace
+
+RunResult
+runWorkload(const RunRequest &req)
+{
+    ArchConfig cfg = req.cfg;
+    if (req.seed)
+        cfg.seed = *req.seed;
+    return runWorkloadImpl(makeWorkload(req.workload), cfg, req.energy,
+                           req.tracer);
+}
+
+RunResult
+runWorkload(const Workload &w, const ArchConfig &cfg,
+            const EnergyParams &ep)
+{
+    return runWorkloadImpl(w, cfg, ep, nullptr);
 }
 
 RunResult
 runWorkload(const std::string &abbr, const ArchConfig &cfg,
             const EnergyParams &ep)
 {
-    return runWorkload(makeWorkload(abbr), cfg, ep);
+    return runWorkloadImpl(makeWorkload(abbr), cfg, ep, nullptr);
 }
 
 } // namespace gs

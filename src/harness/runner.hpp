@@ -1,12 +1,17 @@
 /**
  * @file
  * Experiment runner: executes one workload under one architecture
- * configuration and returns its event counters and power report.
+ * configuration and returns its event counters and power report. All
+ * entry points funnel through one RunRequest struct — the same struct
+ * the daemon protocol serializes — so local and remote runs describe
+ * work identically.
  */
 
 #ifndef GSCALAR_HARNESS_RUNNER_HPP
 #define GSCALAR_HARNESS_RUNNER_HPP
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/config.hpp"
@@ -16,6 +21,28 @@
 
 namespace gs
 {
+
+class Tracer;
+
+/**
+ * Everything needed to run one workload under one configuration. The
+ * serve layer serializes the (workload, cfg) pair over the wire; the
+ * tracer and seed override are local-only extras.
+ */
+struct RunRequest
+{
+    std::string workload; ///< Table 2 abbreviation (e.g. "BP")
+    ArchConfig cfg;
+
+    /** Extra tracer attached for this run (not serialized). */
+    Tracer *tracer = nullptr;
+
+    /** When set, overrides cfg.seed for input generation. */
+    std::optional<std::uint64_t> seed;
+
+    /** Energy parameters for the power report (defaults are §5's). */
+    EnergyParams energy;
+};
 
 /** Result of one workload x configuration run. */
 struct RunResult
@@ -41,7 +68,14 @@ struct RunResult
     }
 };
 
-/** Run @p w under @p cfg (input setup + every launch, sequentially). */
+/**
+ * Run the workload described by @p req (input setup + every launch,
+ * sequentially). A process-wide GS_TRACE tracer, when configured, is
+ * attached in addition to req.tracer.
+ */
+RunResult runWorkload(const RunRequest &req);
+
+/** Convenience wrapper building a RunRequest from @p w and @p cfg. */
 RunResult runWorkload(const Workload &w, const ArchConfig &cfg,
                       const EnergyParams &ep = {});
 

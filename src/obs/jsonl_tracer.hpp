@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Sampling JSONL tracer: streams issue and CTA lifecycle events as one
+ * JSON object per line, enabled via GS_TRACE=path[:1/N]. Sampling
+ * applies to issue events only (every Nth is kept, counted with an
+ * atomic so concurrent runs sample coherently); CTA and run-lifecycle
+ * events are always recorded. Designed for offline analysis with
+ * standard JSONL tooling rather than human reading — use the text
+ * tracer (`gscalar trace`) for that.
+ */
+
+#ifndef GSCALAR_OBS_JSONL_TRACER_HPP
+#define GSCALAR_OBS_JSONL_TRACER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace gs
+{
+
+/** Parsed GS_TRACE specification. */
+struct TraceSpec
+{
+    std::string path;          ///< output file (JSON Lines)
+    std::uint64_t sampleN = 1; ///< keep every Nth issue event
+};
+
+/**
+ * Parse "path" or "path:1/N" (N >= 1). Empty optional on malformed
+ * specs such as a zero sample divisor.
+ */
+std::optional<TraceSpec> parseTraceSpec(const std::string &spec);
+
+/** Tracer writing sampled events as JSON Lines. Thread-safe. */
+class JsonlTracer : public Tracer
+{
+  public:
+    /** Stream to @p os (owned elsewhere), keeping every Nth issue. */
+    JsonlTracer(std::ostream &os, std::uint64_t sampleN = 1);
+
+    void onIssue(const IssueEvent &e) override;
+    void onCtaLaunch(unsigned sm_id, unsigned cta_id,
+                     Cycle now) override;
+    void onCtaRetire(unsigned sm_id, unsigned cta_id,
+                     Cycle now) override;
+    void onRunBegin(const std::string &workload, ArchMode mode) override;
+    void onRunEnd(const std::string &workload) override;
+
+    /** Events written (post-sampling). */
+    std::uint64_t linesWritten() const { return lines_.load(); }
+
+  private:
+    void writeLine(const std::string &line);
+
+    std::ostream &os_;
+    std::uint64_t sampleN_;
+    std::atomic<std::uint64_t> issueSeen_{0};
+    std::atomic<std::uint64_t> lines_{0};
+    std::mutex mutex_;
+};
+
+/**
+ * Process-wide tracer configured from GS_TRACE, or nullptr when the
+ * variable is unset. Created (and its file opened) on first use;
+ * malformed specs or unopenable paths warn once and disable tracing.
+ * Runners attach this tracer to every simulation they launch.
+ */
+JsonlTracer *envTracer();
+
+} // namespace gs
+
+#endif // GSCALAR_OBS_JSONL_TRACER_HPP

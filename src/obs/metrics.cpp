@@ -1,0 +1,95 @@
+#include "metrics.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+MetricDef
+make(const char *name, const char *unit, const char *doc,
+     std::uint64_t EventCounts::*p)
+{
+    MetricDef d{name, unit, doc};
+    d.u64 = p;
+    return d;
+}
+
+MetricDef
+make(const char *name, const char *unit, const char *doc,
+     double EventCounts::*p)
+{
+    MetricDef d{name, unit, doc};
+    d.f64 = p;
+    return d;
+}
+
+} // namespace
+
+const std::array<MetricDef, kEventCountFields> &
+eventMetrics()
+{
+    // Expanded from the X-macro, so the registry tracks EventCounts by
+    // construction; the overloaded make() picks u64 vs f64 per field.
+    static const std::array<MetricDef, kEventCountFields> registry = {
+#define GS_EVENT_METRIC(member, name, unit, doc)                             \
+    make(name, unit, doc, &EventCounts::member),
+        GS_EVENT_COUNT_FIELDS(GS_EVENT_METRIC)
+#undef GS_EVENT_METRIC
+    };
+    return registry;
+}
+
+const MetricDef *
+findEventMetric(const std::string &name)
+{
+    for (const MetricDef &m : eventMetrics())
+        if (name == m.name)
+            return &m;
+    return nullptr;
+}
+
+const std::array<DerivedMetricDef, 3> &
+derivedEventMetrics()
+{
+    static const std::array<DerivedMetricDef, 3> registry = {{
+        {"ipc", "insts/cycle", "warp instructions per cycle",
+         [](const EventCounts &e) { return e.ipc(); }},
+        {"compression_ratio", "ratio",
+         "raw / stored register write bytes (ours)",
+         [](const EventCounts &e) { return e.compressionRatio(); }},
+        {"bdi_compression_ratio", "ratio",
+         "raw / stored register write bytes (shadow BDI)",
+         [](const EventCounts &e) { return e.bdiCompressionRatio(); }},
+    }};
+    return registry;
+}
+
+const std::array<PowerMetricDef, 9> &
+powerMetrics()
+{
+    static const std::array<PowerMetricDef, 9> registry = {{
+        {"power_frontend_w", "W", "fetch + decode + schedule",
+         &PowerReport::frontendW, nullptr},
+        {"power_execute_w", "W", "ALU + SFU + MEM lanes",
+         &PowerReport::executeW, nullptr},
+        {"power_sfu_w", "W", "SFU share of execute (informational)",
+         &PowerReport::sfuW, nullptr},
+        {"power_regfile_w", "W", "arrays + BVR + scalar RF + crossbar",
+         &PowerReport::regFileW, nullptr},
+        {"power_codec_w", "W", "compressor/decompressor dynamic + static",
+         &PowerReport::codecW, nullptr},
+        {"power_memory_w", "W", "L1 + L2 + DRAM + shared",
+         &PowerReport::memoryW, nullptr},
+        {"power_static_w", "W", "static / background power",
+         &PowerReport::staticW, nullptr},
+        {"power_total_w", "W", "total chip power", &PowerReport::totalW,
+         nullptr},
+        {"ipc_per_watt", "insts/cycle/W",
+         "the paper's efficiency metric (Fig. 11)", nullptr,
+         [](const PowerReport &p) { return p.ipcPerWatt(); }},
+    }};
+    return registry;
+}
+
+} // namespace gs

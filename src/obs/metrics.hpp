@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Named-metric registry in the gem5 stats idiom: every EventCounts
+ * field is registered once with a stable snake_case name, a unit and a
+ * doc string, plus the derived ratios the reports print. The report
+ * layer (CSV/JSON emitters) and any future regression dashboard
+ * enumerate the registry instead of hand-listing struct fields, so a
+ * counter added to EventCounts is exported everywhere by construction
+ * (a static_assert in events.hpp enforces registration).
+ */
+
+#ifndef GSCALAR_OBS_METRICS_HPP
+#define GSCALAR_OBS_METRICS_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/events.hpp"
+#include "power/energy_model.hpp"
+
+namespace gs
+{
+
+/** One registered counter of EventCounts. */
+struct MetricDef
+{
+    const char *name; ///< stable snake_case export name
+    const char *unit; ///< e.g. "cycles", "insts", "bytes"
+    const char *doc;  ///< one-line description
+
+    /** Exactly one of the two member pointers is set. */
+    std::uint64_t EventCounts::*u64 = nullptr;
+    double EventCounts::*f64 = nullptr;
+
+    /** Field value of @p ev as a double (u64 fields are converted). */
+    double
+    value(const EventCounts &ev) const
+    {
+        return u64 ? double(ev.*u64) : ev.*f64;
+    }
+
+    /** Whether the underlying field is floating point. */
+    bool isFloat() const { return f64 != nullptr; }
+};
+
+/**
+ * The full EventCounts registry, in struct declaration order. Exactly
+ * kEventCountFields entries; names are unique (tested).
+ */
+const std::array<MetricDef, kEventCountFields> &eventMetrics();
+
+/** Registry entry by name, or nullptr. */
+const MetricDef *findEventMetric(const std::string &name);
+
+/** A metric computed from counters rather than stored in them. */
+struct DerivedMetricDef
+{
+    const char *name;
+    const char *unit;
+    const char *doc;
+    double (*value)(const EventCounts &ev);
+};
+
+/** Derived ratios exported after the raw counters (ipc, ...). */
+const std::array<DerivedMetricDef, 3> &derivedEventMetrics();
+
+/** One registered component of a PowerReport. */
+struct PowerMetricDef
+{
+    const char *name;
+    const char *unit;
+    const char *doc;
+    double PowerReport::*field = nullptr;  ///< null for derived entries
+    double (*derived)(const PowerReport &) = nullptr;
+
+    double
+    value(const PowerReport &p) const
+    {
+        return field ? p.*field : derived(p);
+    }
+};
+
+/** Power components in report order (8 watt fields + ipc_per_watt). */
+const std::array<PowerMetricDef, 9> &powerMetrics();
+
+} // namespace gs
+
+#endif // GSCALAR_OBS_METRICS_HPP

@@ -1,0 +1,124 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+namespace gs
+{
+
+void
+PhaseTimers::add(const std::string &name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Entry &e : entries_) {
+        if (e.name == name) {
+            e.seconds += seconds;
+            ++e.samples;
+            return;
+        }
+    }
+    entries_.push_back({name, seconds, 1});
+}
+
+std::vector<PhaseTimers::Entry>
+PhaseTimers::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+}
+
+std::string
+PhaseTimers::summary() const
+{
+    const auto snap = entries();
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(2);
+    bool first = true;
+    for (const Entry &e : snap) {
+        os << (first ? "" : "  ") << e.name << " " << e.seconds << "s/"
+           << e.samples;
+        first = false;
+    }
+    return os.str();
+}
+
+namespace
+{
+
+constexpr std::array<double, LatencyHistogram::kBuckets - 1>
+    kLatencyBounds = {0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0};
+
+} // namespace
+
+double
+LatencyHistogram::bucketBound(std::size_t i)
+{
+    return i < kLatencyBounds.size()
+               ? kLatencyBounds[i]
+               : std::numeric_limits<double>::infinity();
+}
+
+std::string
+LatencyHistogram::bucketLabel(std::size_t i)
+{
+    std::ostringstream os;
+    if (i < kLatencyBounds.size())
+        os << "<" << kLatencyBounds[i] << "s";
+    else
+        os << ">=" << kLatencyBounds.back() << "s";
+    return os.str();
+}
+
+void
+LatencyHistogram::record(double seconds)
+{
+    std::size_t i = 0;
+    while (i < kLatencyBounds.size() && seconds >= kLatencyBounds[i])
+        ++i;
+    ++buckets_[i];
+    ++count_;
+    totalSeconds_ += seconds;
+    maxSeconds_ = std::max(maxSeconds_, seconds);
+}
+
+void
+LatencyHistogram::restore(
+    const std::array<std::uint64_t, kBuckets> &buckets,
+    std::uint64_t count, double totalSeconds, double maxSeconds)
+{
+    buckets_ = buckets;
+    count_ = count;
+    totalSeconds_ = totalSeconds;
+    maxSeconds_ = maxSeconds;
+}
+
+std::string
+LatencyHistogram::summary() const
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "n=" << count_ << " mean=" << meanSeconds()
+       << "s max=" << maxSeconds_ << "s";
+    return os.str();
+}
+
+void
+LineSink::writeLine(const std::string &line)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os_ << line << "\n";
+    os_.flush();
+}
+
+LineSink &
+stderrSink()
+{
+    static LineSink sink(std::cerr);
+    return sink;
+}
+
+} // namespace gs

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Harness self-metrics: wall-clock phase timers, a fixed-bucket latency
+ * histogram, and a mutexed line sink so concurrent worker threads never
+ * interleave their progress lines. These instruments observe the
+ * harness itself (simulate time, cache probes, daemon request
+ * latencies) as opposed to the simulated GPU, which is covered by the
+ * EventCounts registry in obs/metrics.hpp.
+ */
+
+#ifndef GSCALAR_OBS_STATS_HPP
+#define GSCALAR_OBS_STATS_HPP
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gs
+{
+
+/**
+ * Accumulates wall-clock seconds per named phase. Thread-safe; workers
+ * time their phases with ScopedPhase and the totals are reported on
+ * bench stderr alongside the engine cache statistics.
+ */
+class PhaseTimers
+{
+  public:
+    /** Add @p seconds to phase @p name (created on first use). */
+    void add(const std::string &name, double seconds);
+
+    /** Snapshot of (phase, total seconds, samples), insertion order. */
+    struct Entry
+    {
+        std::string name;
+        double seconds = 0;
+        std::uint64_t samples = 0;
+    };
+    std::vector<Entry> entries() const;
+
+    /** One-line summary, e.g. "simulate 12.3s/34  disk-cache 0.1s/2". */
+    std::string summary() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;
+};
+
+/** RAII timer adding its lifetime to one phase of a PhaseTimers. */
+class ScopedPhase
+{
+  public:
+    ScopedPhase(PhaseTimers &timers, std::string name)
+        : timers_(timers), name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ScopedPhase(const ScopedPhase &) = delete;
+    ScopedPhase &operator=(const ScopedPhase &) = delete;
+
+    ~ScopedPhase()
+    {
+        const auto dt = std::chrono::steady_clock::now() - start_;
+        timers_.add(name_,
+                    std::chrono::duration<double>(dt).count());
+    }
+
+  private:
+    PhaseTimers &timers_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Fixed-bucket latency histogram (seconds). Buckets are chosen for
+ * workload run times: sub-10ms cache hits through multi-second
+ * simulations. Not internally locked — callers hold their own lock
+ * (the daemon keeps one histogram per workload under its stats mutex).
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr std::size_t kBuckets = 8;
+
+    /** Upper bound of bucket @p i in seconds (last is +inf). */
+    static double bucketBound(std::size_t i);
+
+    /** Printable bucket label, e.g. "<0.1s" or ">=10s". */
+    static std::string bucketLabel(std::size_t i);
+
+    void record(double seconds);
+
+    std::uint64_t count() const { return count_; }
+    double totalSeconds() const { return totalSeconds_; }
+    double maxSeconds() const { return maxSeconds_; }
+    double
+    meanSeconds() const
+    {
+        return count_ ? totalSeconds_ / double(count_) : 0;
+    }
+    const std::array<std::uint64_t, kBuckets> &
+    buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Rebuild from serialized state (daemon stats transport). */
+    void restore(const std::array<std::uint64_t, kBuckets> &buckets,
+                 std::uint64_t count, double totalSeconds,
+                 double maxSeconds);
+
+    /** Compact rendering: "n=12 mean=0.42s max=1.3s". */
+    std::string summary() const;
+
+  private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    double totalSeconds_ = 0;
+    double maxSeconds_ = 0;
+};
+
+/**
+ * Mutexed line writer. Worker threads emitting per-run timing lines
+ * under `-j` previously wrote to std::cerr directly, interleaving
+ * fragments of different lines; all diagnostic lines now funnel
+ * through here so each line lands atomically.
+ */
+class LineSink
+{
+  public:
+    explicit LineSink(std::ostream &os) : os_(os) {}
+
+    /** Write @p line plus '\n' atomically with respect to other lines. */
+    void writeLine(const std::string &line);
+
+  private:
+    std::mutex mutex_;
+    std::ostream &os_;
+};
+
+/** Process-wide sink for harness diagnostics (wraps std::cerr). */
+LineSink &stderrSink();
+
+} // namespace gs
+
+#endif // GSCALAR_OBS_STATS_HPP

@@ -103,12 +103,41 @@ GscalarClient::exchange(const RunRequest &req, std::string *error)
     return deserializeResponse(payload.data(), payload.size(), error);
 }
 
+std::optional<DaemonStats>
+GscalarClient::stats(std::string *error)
+{
+    if (fd_ < 0 && !connect(error))
+        return std::nullopt;
+    if (!writeFrame(fd_, serializeStatsRequest())) {
+        if (error)
+            *error = "cannot send stats request (daemon gone?)";
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> payload;
+    const int rc = readFrame(fd_, payload, error);
+    if (rc != 1) {
+        if (rc == 0 && error)
+            *error = "daemon closed the connection before responding";
+        return std::nullopt;
+    }
+    if (peekKind(payload.data(), payload.size()) !=
+        BlobKind::StatsResponse) {
+        if (error)
+            *error = "unexpected reply to stats request";
+        return std::nullopt;
+    }
+    return deserializeStatsResponse(payload.data(), payload.size(),
+                                    error);
+}
+
 std::optional<RunResult>
 GscalarClient::run(const std::string &workload, const ArchConfig &cfg,
                    std::string *error)
 {
-    const std::optional<RunResponse> resp =
-        exchange(RunRequest{workload, cfg}, error);
+    RunRequest req;
+    req.workload = workload;
+    req.cfg = cfg;
+    const std::optional<RunResponse> resp = exchange(req, error);
     if (!resp)
         return std::nullopt;
     if (resp->status != ResponseStatus::Ok) {

@@ -46,6 +46,12 @@ class GscalarClient
     std::optional<RunResponse> exchange(const RunRequest &req,
                                         std::string *error = nullptr);
 
+    /**
+     * Fetch the daemon's live counters (`gscalar submit --stats`).
+     * Empty optional on transport failure or malformed reply.
+     */
+    std::optional<DaemonStats> stats(std::string *error = nullptr);
+
     bool connected() const { return fd_ >= 0; }
     const std::string &socketPath() const { return path_; }
 

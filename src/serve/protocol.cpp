@@ -1,5 +1,6 @@
 #include "protocol.hpp"
 
+#include <array>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +22,73 @@ constexpr std::uint16_t kReqConfig = 2;
 constexpr std::uint16_t kRespStatus = 1;
 constexpr std::uint16_t kRespError = 2;
 constexpr std::uint16_t kRespResult = 3;
+
+// StatsResponse field tags.
+constexpr std::uint16_t kStatUptime = 1;
+constexpr std::uint16_t kStatServed = 2;
+constexpr std::uint16_t kStatConns = 3;
+constexpr std::uint16_t kStatJobs = 4;
+constexpr std::uint16_t kStatQueueDepth = 5;
+constexpr std::uint16_t kStatPeakQueueDepth = 6;
+constexpr std::uint16_t kStatCacheHits = 7;
+constexpr std::uint16_t kStatCacheMisses = 8;
+constexpr std::uint16_t kStatDiskHits = 9;
+constexpr std::uint16_t kStatDiskStores = 10;
+constexpr std::uint16_t kStatSimWall = 11;
+constexpr std::uint16_t kStatSimCycles = 12;
+constexpr std::uint16_t kStatWarpInsts = 13;
+constexpr std::uint16_t kStatWorkload = 14; ///< repeated nested blob
+
+// WorkloadStats (nested) field tags.
+constexpr std::uint16_t kWlName = 1;
+constexpr std::uint16_t kWlCount = 2;
+constexpr std::uint16_t kWlTotalSeconds = 3;
+constexpr std::uint16_t kWlMaxSeconds = 4;
+constexpr std::uint16_t kWlBucketBase = 16; ///< tags 16..16+kBuckets-1
+
+std::vector<std::uint8_t>
+serializeWorkloadLatency(const WorkloadLatency &wl)
+{
+    ByteWriter w(BlobKind::WorkloadStats);
+    w.field(kWlName, wl.workload);
+    w.field(kWlCount, wl.latency.count());
+    w.field(kWlTotalSeconds, wl.latency.totalSeconds());
+    w.field(kWlMaxSeconds, wl.latency.maxSeconds());
+    const auto &buckets = wl.latency.buckets();
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        if (buckets[i] != 0)
+            w.field(std::uint16_t(kWlBucketBase + i), buckets[i]);
+    return w.finish();
+}
+
+std::optional<WorkloadLatency>
+deserializeWorkloadLatency(const std::uint8_t *data, std::size_t size,
+                           std::string *error)
+{
+    ByteReader r(data, size, BlobKind::WorkloadStats);
+    WorkloadLatency wl;
+    std::uint64_t count = 0;
+    double total = 0, max = 0;
+    std::array<std::uint64_t, LatencyHistogram::kBuckets> buckets{};
+    r.get(kWlName, wl.workload);
+    r.get(kWlCount, count);
+    r.get(kWlTotalSeconds, total);
+    r.get(kWlMaxSeconds, max);
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        r.get(std::uint16_t(kWlBucketBase + i), buckets[i]);
+    if (!r.ok()) {
+        if (error)
+            *error = r.error();
+        return std::nullopt;
+    }
+    if (wl.workload.empty()) {
+        if (error)
+            *error = "workload stats blob carries no workload name";
+        return std::nullopt;
+    }
+    wl.latency.restore(buckets, count, total, max);
+    return wl;
+}
 
 } // namespace
 
@@ -146,6 +214,70 @@ std::vector<std::uint8_t>
 serializePong()
 {
     return ByteWriter(BlobKind::Pong).finish();
+}
+
+std::vector<std::uint8_t>
+serializeStatsRequest()
+{
+    return ByteWriter(BlobKind::StatsRequest).finish();
+}
+
+std::vector<std::uint8_t>
+serializeStatsResponse(const DaemonStats &s)
+{
+    ByteWriter w(BlobKind::StatsResponse);
+    w.field(kStatUptime, s.uptimeSeconds);
+    w.field(kStatServed, s.requestsServed);
+    w.field(kStatConns, s.activeConnections);
+    w.field(kStatJobs, s.jobs);
+    w.field(kStatQueueDepth, s.queueDepth);
+    w.field(kStatPeakQueueDepth, s.peakQueueDepth);
+    w.field(kStatCacheHits, s.cacheHits);
+    w.field(kStatCacheMisses, s.cacheMisses);
+    w.field(kStatDiskHits, s.diskCacheHits);
+    w.field(kStatDiskStores, s.diskCacheStores);
+    w.field(kStatSimWall, s.simWallSeconds);
+    w.field(kStatSimCycles, s.simCycles);
+    w.field(kStatWarpInsts, s.warpInsts);
+    for (const WorkloadLatency &wl : s.workloads)
+        w.fieldBlob(kStatWorkload, serializeWorkloadLatency(wl));
+    return w.finish();
+}
+
+std::optional<DaemonStats>
+deserializeStatsResponse(const std::uint8_t *data, std::size_t size,
+                         std::string *error)
+{
+    ByteReader r(data, size, BlobKind::StatsResponse);
+    DaemonStats s;
+    r.get(kStatUptime, s.uptimeSeconds);
+    r.get(kStatServed, s.requestsServed);
+    r.get(kStatConns, s.activeConnections);
+    r.get(kStatJobs, s.jobs);
+    r.get(kStatQueueDepth, s.queueDepth);
+    r.get(kStatPeakQueueDepth, s.peakQueueDepth);
+    r.get(kStatCacheHits, s.cacheHits);
+    r.get(kStatCacheMisses, s.cacheMisses);
+    r.get(kStatDiskHits, s.diskCacheHits);
+    r.get(kStatDiskStores, s.diskCacheStores);
+    r.get(kStatSimWall, s.simWallSeconds);
+    r.get(kStatSimCycles, s.simCycles);
+    r.get(kStatWarpInsts, s.warpInsts);
+    const std::vector<ByteReader::BlobView> blobs =
+        r.getBlobs(kStatWorkload);
+    if (!r.ok()) {
+        if (error)
+            *error = r.error();
+        return std::nullopt;
+    }
+    for (const ByteReader::BlobView &b : blobs) {
+        std::optional<WorkloadLatency> wl =
+            deserializeWorkloadLatency(b.ptr, b.len, error);
+        if (!wl)
+            return std::nullopt;
+        s.workloads.push_back(std::move(*wl));
+    }
+    return s;
 }
 
 std::optional<BlobKind>

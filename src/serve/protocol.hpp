@@ -10,6 +10,9 @@
  *   Ping / Pong      liveness probe, empty payload
  *   Request          run request: workload abbreviation + ArchConfig
  *   Response         status + error string + RunResult on success
+ *   StatsRequest     daemon counters probe, empty payload
+ *   StatsResponse    uptime, request/cache counters, per-workload
+ *                    latency histograms (nested WorkloadStats blobs)
  *
  * The protocol is strictly request/response per connection; a client
  * may pipeline multiple requests sequentially on one socket.
@@ -23,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "harness/runner.hpp"
+#include "obs/stats.hpp"
 #include "store/serial.hpp"
 
 namespace gs
@@ -37,12 +42,9 @@ inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
  */
 std::string defaultSocketPath();
 
-/** One experiment request. */
-struct RunRequest
-{
-    std::string workload; ///< Table 2 abbreviation (e.g. "BP")
-    ArchConfig cfg;
-};
+// A run request on the wire is the harness RunRequest (runner.hpp);
+// only the (workload, cfg) pair is serialized — tracer and seed
+// override are local-only.
 
 /** Result status of a RunResponse. */
 enum class ResponseStatus : std::uint32_t
@@ -64,6 +66,37 @@ struct RunResponse
     RunResult result;   ///< valid only when status == Ok
 };
 
+/** Request-latency histogram of one workload, as served by the daemon. */
+struct WorkloadLatency
+{
+    std::string workload;
+    LatencyHistogram latency;
+};
+
+/**
+ * Live daemon counters returned for a StatsRequest: process-level
+ * figures (uptime, requests, connections), the embedded engine's
+ * snapshot (pool geometry, memo/disk cache counters, simulation
+ * throughput), and one request-latency histogram per workload served.
+ */
+struct DaemonStats
+{
+    double uptimeSeconds = 0;
+    std::uint64_t requestsServed = 0; ///< Ok responses only
+    std::uint32_t activeConnections = 0;
+    std::uint32_t jobs = 0;
+    std::uint64_t queueDepth = 0;
+    std::uint64_t peakQueueDepth = 0;
+    std::uint64_t cacheHits = 0;   ///< in-memory memo hits
+    std::uint64_t cacheMisses = 0; ///< tasks actually scheduled
+    std::uint64_t diskCacheHits = 0;
+    std::uint64_t diskCacheStores = 0;
+    double simWallSeconds = 0; ///< summed simulate wall clock
+    std::uint64_t simCycles = 0;
+    std::uint64_t warpInsts = 0;
+    std::vector<WorkloadLatency> workloads; ///< sorted by name
+};
+
 // ---- message serialization ----------------------------------------------
 
 std::vector<std::uint8_t> serializeRequest(const RunRequest &req);
@@ -78,6 +111,12 @@ std::optional<RunResponse> deserializeResponse(const std::uint8_t *data,
 
 std::vector<std::uint8_t> serializePing();
 std::vector<std::uint8_t> serializePong();
+
+std::vector<std::uint8_t> serializeStatsRequest();
+std::vector<std::uint8_t> serializeStatsResponse(const DaemonStats &s);
+std::optional<DaemonStats>
+deserializeStatsResponse(const std::uint8_t *data, std::size_t size,
+                         std::string *error = nullptr);
 
 /** Kind byte of a blob whose envelope looks sane; nullopt otherwise. */
 std::optional<BlobKind> peekKind(const std::uint8_t *data,

@@ -135,6 +135,7 @@ GscalarServer::start(std::string *error)
         return false;
     }
 
+    startTime_ = std::chrono::steady_clock::now();
     running_.store(true);
     acceptThread_ = std::thread([this] { acceptLoop(); });
     return true;
@@ -215,6 +216,7 @@ RunResponse
 GscalarServer::handleRequest(const std::uint8_t *data, std::size_t size)
 {
     RunResponse resp;
+    const auto begin = std::chrono::steady_clock::now();
 
     std::string err;
     const std::optional<RunRequest> req =
@@ -255,11 +257,41 @@ GscalarServer::handleRequest(const std::uint8_t *data, std::size_t size)
         resp.result = future.get();
         resp.status = ResponseStatus::Ok;
         served_.fetch_add(1);
+        const auto dt = std::chrono::steady_clock::now() - begin;
+        std::lock_guard<std::mutex> lock(latencyMutex_);
+        latency_[req->workload].record(
+            std::chrono::duration<double>(dt).count());
     } catch (const std::exception &e) {
         resp.status = ResponseStatus::InternalError;
         resp.error = e.what();
     }
     return resp;
+}
+
+DaemonStats
+GscalarServer::stats() const
+{
+    DaemonStats s;
+    const EngineSnapshot snap = engine_.snapshot();
+    s.uptimeSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - startTime_)
+                          .count();
+    s.requestsServed = served_.load();
+    s.activeConnections = std::uint32_t(activeConnections());
+    s.jobs = snap.jobs;
+    s.queueDepth = snap.queueDepth;
+    s.peakQueueDepth = snap.peakQueueDepth;
+    s.cacheHits = snap.cache.hits;
+    s.cacheMisses = snap.cache.misses;
+    s.diskCacheHits = snap.cache.diskHits;
+    s.diskCacheStores = snap.cache.diskStores;
+    s.simWallSeconds = snap.wallSumSeconds;
+    s.simCycles = snap.simCycles;
+    s.warpInsts = snap.warpInsts;
+    std::lock_guard<std::mutex> lock(latencyMutex_);
+    for (const auto &[name, hist] : latency_)
+        s.workloads.push_back({name, hist}); // std::map: sorted by name
+    return s;
 }
 
 void
@@ -276,6 +308,8 @@ GscalarServer::connectionLoop(Conn &conn)
         bool sent = false;
         if (kind == BlobKind::Ping) {
             sent = writeFrame(conn.fd, serializePong());
+        } else if (kind == BlobKind::StatsRequest) {
+            sent = writeFrame(conn.fd, serializeStatsResponse(stats()));
         } else if (kind == BlobKind::Request) {
             const RunResponse resp =
                 handleRequest(payload.data(), payload.size());

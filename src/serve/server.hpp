@@ -20,8 +20,10 @@
 #define GSCALAR_SERVE_SERVER_HPP
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -96,6 +98,13 @@ class GscalarServer
     /** Currently open client connections. */
     std::uint64_t activeConnections() const;
 
+    /**
+     * Live counters for the `stats` protocol message: uptime, requests
+     * served, connection count, the engine snapshot, and one request
+     * latency histogram per workload (sorted by name).
+     */
+    DaemonStats stats() const;
+
   private:
     struct Conn
     {
@@ -123,6 +132,11 @@ class GscalarServer
     std::atomic<bool> stopping_{false};
     std::atomic<bool> running_{false};
     std::atomic<std::uint64_t> served_{0};
+
+    std::chrono::steady_clock::time_point startTime_{};
+    mutable std::mutex latencyMutex_;
+    /** Request latency per workload (Ok responses only). */
+    std::map<std::string, LatencyHistogram> latency_;
 
     bool handlersInstalled_ = false;
     struct sigaction oldInt_ = {}, oldTerm_ = {};

@@ -10,7 +10,9 @@
 #define GSCALAR_SIM_TRACE_HPP
 
 #include <ostream>
+#include <string>
 
+#include "common/arch_mode.hpp"
 #include "common/types.hpp"
 #include "isa/instruction.hpp"
 #include "scalar/eligibility.hpp"
@@ -39,6 +41,17 @@ class Tracer
 
     /** An instruction (or special move) issued. */
     virtual void onIssue(const IssueEvent &) {}
+    /** A workload run starts (runner-level hook; sims never call it). */
+    virtual void onRunBegin(const std::string &workload, ArchMode mode)
+    {
+        (void)workload;
+        (void)mode;
+    }
+    /** The current workload run finished. */
+    virtual void onRunEnd(const std::string &workload)
+    {
+        (void)workload;
+    }
     /** A CTA began executing on an SM. */
     virtual void onCtaLaunch(unsigned sm_id, unsigned cta_id, Cycle now)
     {

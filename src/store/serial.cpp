@@ -333,6 +333,26 @@ ByteReader::getBlob(std::uint16_t tag, const std::uint8_t *&p,
     return true;
 }
 
+std::vector<ByteReader::BlobView>
+ByteReader::getBlobs(std::uint16_t tag)
+{
+    std::vector<BlobView> out;
+    if (!ok_)
+        return out;
+    for (const Field &f : fields_) {
+        if (f.tag != tag)
+            continue;
+        if (f.wire != kWireBlob) {
+            fail("field tag " + std::to_string(tag) +
+                 " has wire type " + std::to_string(f.wire) +
+                 ", expected " + std::to_string(kWireBlob));
+            return {};
+        }
+        out.push_back({f.ptr, f.len});
+    }
+    return out;
+}
+
 // ------------------------------------------------------- field enumerations
 //
 // One visitor per struct lists (tag, field) pairs; serialization and

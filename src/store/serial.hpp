@@ -51,8 +51,11 @@ enum class BlobKind : std::uint8_t
     Response = 5,   ///< gscalard run response
     Ping = 6,       ///< gscalard liveness probe (empty payload)
     Pong = 7,       ///< gscalard liveness reply (empty payload)
-    Events = 8,     ///< nested EventCounts of a result
-    Power = 9,      ///< nested PowerReport of a result
+    Events = 8,        ///< nested EventCounts of a result
+    Power = 9,         ///< nested PowerReport of a result
+    StatsRequest = 10, ///< gscalard stats probe (empty payload)
+    StatsResponse = 11, ///< gscalard daemon counters
+    WorkloadStats = 12, ///< nested per-workload latency histogram
 };
 
 /** Wire-format revision; bump when a field changes meaning. */
@@ -149,6 +152,21 @@ class ByteReader
     bool get(std::uint16_t tag, std::string &v);
     /** Nested blob: pointer/size view into this reader's buffer. */
     bool getBlob(std::uint16_t tag, const std::uint8_t *&p, std::size_t &n);
+
+    /** A nested-blob view (for repeated fields). */
+    struct BlobView
+    {
+        const std::uint8_t *ptr;
+        std::size_t len;
+    };
+
+    /**
+     * Every nested blob carrying @p tag, in wire order. Empty when the
+     * tag is absent; fails the reader if the tag exists with a
+     * non-blob wire type. Used for repeated fields such as the
+     * daemon's per-workload stats.
+     */
+    std::vector<BlobView> getBlobs(std::uint16_t tag);
 
     /** Record a failure (used by callers for semantic errors too). */
     void fail(const std::string &why);

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Observability-layer tests (src/obs): metric-registry completeness
+ * (every EventCounts field registered exactly once, unique names), the
+ * structured result emitters (JSON document shape and stable key
+ * order, CSV header/row agreement), harness self-metrics (phase
+ * timers, latency histogram, atomic line sink) and the sampling JSONL
+ * tracer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/events.hpp"
+#include "common/table.hpp"
+#include "obs/jsonl_tracer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/result.hpp"
+#include "obs/stats.hpp"
+
+using namespace gs;
+
+// ---- metric registry -----------------------------------------------------
+
+TEST(MetricRegistry, EveryEventCountsFieldRegisteredExactlyOnce)
+{
+    // The array size is pinned to kEventCountFields at compile time;
+    // here we prove the entries cover distinct fields of the struct.
+    // Since EventCounts is exactly kEventCountFields 8-byte fields
+    // (static_assert in events.hpp), distinct member addresses imply
+    // every field appears exactly once.
+    EventCounts ev{};
+    std::set<const void *> addresses;
+    for (const MetricDef &m : eventMetrics()) {
+        ASSERT_TRUE((m.u64 != nullptr) != (m.f64 != nullptr))
+            << m.name << ": exactly one member pointer must be set";
+        const void *addr = m.u64
+                               ? static_cast<const void *>(&(ev.*m.u64))
+                               : static_cast<const void *>(&(ev.*m.f64));
+        EXPECT_GE(addr, static_cast<const void *>(&ev));
+        EXPECT_LT(addr, static_cast<const void *>(&ev + 1));
+        EXPECT_TRUE(addresses.insert(addr).second)
+            << m.name << " aliases another registered field";
+    }
+    EXPECT_EQ(addresses.size(), kEventCountFields);
+}
+
+TEST(MetricRegistry, NamesAreUniqueAndDocumented)
+{
+    std::set<std::string> names;
+    for (const MetricDef &m : eventMetrics()) {
+        ASSERT_NE(m.name, nullptr);
+        EXPECT_FALSE(std::string(m.name).empty());
+        EXPECT_FALSE(std::string(m.unit).empty()) << m.name;
+        EXPECT_FALSE(std::string(m.doc).empty()) << m.name;
+        EXPECT_TRUE(names.insert(m.name).second)
+            << "duplicate metric name " << m.name;
+    }
+    // Derived and power metrics must not collide with counters either.
+    for (const DerivedMetricDef &m : derivedEventMetrics())
+        EXPECT_TRUE(names.insert(m.name).second)
+            << "duplicate metric name " << m.name;
+    for (const PowerMetricDef &m : powerMetrics())
+        EXPECT_TRUE(names.insert(m.name).second)
+            << "duplicate metric name " << m.name;
+}
+
+TEST(MetricRegistry, LookupAndValueExtraction)
+{
+    EventCounts ev{};
+    ev.cycles = 100;
+    ev.warpInsts = 250;
+
+    const MetricDef *cycles = findEventMetric("cycles");
+    ASSERT_NE(cycles, nullptr);
+    EXPECT_FALSE(cycles->isFloat());
+    EXPECT_DOUBLE_EQ(cycles->value(ev), 100.0);
+
+    EXPECT_EQ(findEventMetric("no_such_metric"), nullptr);
+
+    // Derived ipc = warpInsts / cycles.
+    const auto &derived = derivedEventMetrics();
+    const auto ipc = std::find_if(
+        derived.begin(), derived.end(),
+        [](const DerivedMetricDef &d) {
+            return std::string(d.name) == "ipc";
+        });
+    ASSERT_NE(ipc, derived.end());
+    EXPECT_DOUBLE_EQ(ipc->value(ev), 2.5);
+}
+
+// ---- structured results --------------------------------------------------
+
+namespace
+{
+
+SuiteResult
+sampleResult()
+{
+    Table t("Sample title");
+    t.row({"Bench", "Value"});
+    t.row({"BT", "1.00"});
+    t.row({"MM", "2.00"});
+    RunResult run;
+    run.workload = "BT";
+    run.mode = ArchMode::Baseline;
+    run.ev.cycles = 10;
+    run.ev.warpInsts = 20;
+    return makeSuiteResult("sample", "Fig. 0", t, {run});
+}
+
+} // namespace
+
+TEST(ResultModel, MakeSuiteResultCapturesTableStructure)
+{
+    const SuiteResult r = sampleResult();
+    EXPECT_EQ(r.experiment, "sample");
+    EXPECT_EQ(r.tag, "Fig. 0");
+    EXPECT_EQ(r.title, "Sample title");
+    ASSERT_EQ(r.columns, (std::vector<std::string>{"Bench", "Value"}));
+    ASSERT_EQ(r.rows.size(), 2u);
+    EXPECT_EQ(r.rows[0][0], "BT");
+    EXPECT_EQ(r.rows[1][1], "2.00");
+    ASSERT_EQ(r.runs.size(), 1u);
+    EXPECT_NE(r.text.find("Sample title"), std::string::npos);
+}
+
+TEST(ResultModel, ParseResultFormatRoundTrips)
+{
+    for (const ResultFormat f :
+         {ResultFormat::Text, ResultFormat::Json, ResultFormat::Csv})
+        EXPECT_EQ(parseResultFormat(resultFormatName(f)), f);
+    EXPECT_FALSE(parseResultFormat("yaml").has_value());
+    EXPECT_FALSE(parseResultFormat("").has_value());
+}
+
+TEST(ResultModel, TextSinkEmitsGoldenBytes)
+{
+    const SuiteResult r = sampleResult();
+    std::ostringstream os;
+    TextSink sink(os);
+    sink.emit(r);
+    // Exactly the historical `std::cout << runX() << std::endl`.
+    EXPECT_EQ(os.str(), r.text + "\n");
+}
+
+TEST(ResultModel, JsonSinkEmitsStableKeyOrder)
+{
+    const SuiteResult r = sampleResult();
+    std::ostringstream os;
+    JsonSink sink(os);
+    sink.emit(r);
+    const std::string doc = os.str();
+
+    // Top-level keys in the documented, fixed order.
+    const char *keys[] = {"\"schema\"", "\"experiment\"", "\"tag\"",
+                          "\"title\"",  "\"columns\"",    "\"rows\"",
+                          "\"runs\""};
+    std::size_t last = 0;
+    for (const char *k : keys) {
+        const std::size_t pos = doc.find(k);
+        ASSERT_NE(pos, std::string::npos) << k << " missing";
+        EXPECT_GT(pos, last) << k << " out of order";
+        last = pos;
+    }
+    EXPECT_NE(doc.find("\"gscalar.bench.v1\""), std::string::npos);
+
+    // Run objects carry the counter/derived/power sections in order.
+    const std::size_t counters = doc.find("\"counters\"");
+    const std::size_t derived = doc.find("\"derived\"");
+    const std::size_t power = doc.find("\"power\"");
+    ASSERT_NE(counters, std::string::npos);
+    ASSERT_NE(derived, std::string::npos);
+    ASSERT_NE(power, std::string::npos);
+    EXPECT_LT(counters, derived);
+    EXPECT_LT(derived, power);
+
+    // Integer counters print as integers, not floats.
+    EXPECT_NE(doc.find("\"cycles\": 10"), std::string::npos);
+
+    // Balanced braces/brackets (cheap well-formedness check).
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+              std::count(doc.begin(), doc.end(), '}'));
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+              std::count(doc.begin(), doc.end(), ']'));
+}
+
+TEST(ResultModel, CsvSinkRowsMatchHeaderArity)
+{
+    const SuiteResult r = sampleResult();
+    std::ostringstream os;
+    CsvSink sink(os);
+    sink.emit(r);
+    std::istringstream in(os.str());
+    std::string comment, header, row;
+    ASSERT_TRUE(std::getline(in, comment));
+    EXPECT_EQ(comment.rfind("# ", 0), 0u);
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+              std::count(row.begin(), row.end(), ','));
+    EXPECT_EQ(header, runCsvHeader());
+    EXPECT_EQ(row.rfind("BT,baseline,10,", 0), 0u);
+}
+
+TEST(ResultModel, JsonEscapeHandlesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(jsonEscape("x\ny\tz"), "x\\ny\\tz");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ---- harness self-metrics ------------------------------------------------
+
+TEST(PhaseTimers, AccumulatesInInsertionOrder)
+{
+    PhaseTimers t;
+    t.add("simulate", 1.0);
+    t.add("disk", 0.25);
+    t.add("simulate", 2.0);
+    const auto entries = t.entries();
+    ASSERT_EQ(entries.size(), 2u);
+    EXPECT_EQ(entries[0].name, "simulate");
+    EXPECT_DOUBLE_EQ(entries[0].seconds, 3.0);
+    EXPECT_EQ(entries[0].samples, 2u);
+    EXPECT_EQ(entries[1].name, "disk");
+    EXPECT_EQ(entries[1].samples, 1u);
+    EXPECT_NE(t.summary().find("simulate"), std::string::npos);
+}
+
+TEST(LatencyHistogram, BucketsAndSummary)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.meanSeconds(), 0.0);
+
+    h.record(0.001); // below the first bound
+    h.record(0.05);  // mid-range
+    h.record(100.0); // above the last bound
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.maxSeconds(), 100.0);
+    EXPECT_NEAR(h.totalSeconds(), 100.051, 1e-9);
+    EXPECT_EQ(h.buckets().front(), 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t b : h.buckets())
+        sum += b;
+    EXPECT_EQ(sum, 3u);
+
+    // Bounds are increasing; labels render.
+    for (std::size_t i = 1; i + 1 < LatencyHistogram::kBuckets; ++i)
+        EXPECT_LT(LatencyHistogram::bucketBound(i - 1),
+                  LatencyHistogram::bucketBound(i));
+    EXPECT_FALSE(LatencyHistogram::bucketLabel(0).empty());
+    EXPECT_NE(h.summary().find("n=3"), std::string::npos);
+
+    LatencyHistogram back;
+    back.restore(h.buckets(), h.count(), h.totalSeconds(),
+                 h.maxSeconds());
+    EXPECT_EQ(back.buckets(), h.buckets());
+    EXPECT_DOUBLE_EQ(back.meanSeconds(), h.meanSeconds());
+}
+
+TEST(LineSink, ConcurrentWritersNeverInterleave)
+{
+    std::ostringstream os;
+    LineSink sink(os);
+    constexpr int kThreads = 8, kLines = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&sink, t] {
+            const std::string line(20, char('a' + t));
+            for (int i = 0; i < kLines; ++i)
+                sink.writeLine(line);
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    std::istringstream in(os.str());
+    std::string line;
+    int n = 0;
+    while (std::getline(in, line)) {
+        ++n;
+        ASSERT_EQ(line.size(), 20u);
+        // A torn line would mix characters from two threads.
+        EXPECT_EQ(std::count(line.begin(), line.end(), line[0]), 20)
+            << "interleaved line: " << line;
+    }
+    EXPECT_EQ(n, kThreads * kLines);
+}
+
+// ---- JSONL tracer --------------------------------------------------------
+
+TEST(JsonlTracer, ParseTraceSpec)
+{
+    const auto plain = parseTraceSpec("/tmp/trace.jsonl");
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain->path, "/tmp/trace.jsonl");
+    EXPECT_EQ(plain->sampleN, 1u);
+
+    const auto sampled = parseTraceSpec("/tmp/t.jsonl:1/16");
+    ASSERT_TRUE(sampled.has_value());
+    EXPECT_EQ(sampled->path, "/tmp/t.jsonl");
+    EXPECT_EQ(sampled->sampleN, 16u);
+
+    EXPECT_FALSE(parseTraceSpec("/tmp/t:1/0").has_value());
+    EXPECT_FALSE(parseTraceSpec("/tmp/t:1/abc").has_value());
+    EXPECT_FALSE(parseTraceSpec("").has_value());
+}
+
+TEST(JsonlTracer, SamplesIssueEventsKeepsLifecycleEvents)
+{
+    std::ostringstream os;
+    JsonlTracer tracer(os, 4);
+
+    tracer.onRunBegin("BT", ArchMode::GScalarFull);
+    Instruction inst{};
+    Tracer::IssueEvent e;
+    e.inst = &inst;
+    for (int i = 0; i < 12; ++i)
+        tracer.onIssue(e);
+    tracer.onCtaLaunch(0, 1, 5);
+    tracer.onCtaRetire(0, 1, 9);
+    tracer.onRunEnd("BT");
+
+    // 12 issues sampled 1/4 -> 3, plus 4 lifecycle events.
+    EXPECT_EQ(tracer.linesWritten(), 7u);
+
+    std::istringstream in(os.str());
+    std::string line;
+    int issues = 0, lifecycle = 0;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(line.front(), '{');
+        EXPECT_EQ(line.back(), '}');
+        if (line.find("\"ev\": \"issue\"") != std::string::npos)
+            ++issues;
+        else
+            ++lifecycle;
+    }
+    EXPECT_EQ(issues, 3);
+    EXPECT_EQ(lifecycle, 4);
+    EXPECT_NE(os.str().find("\"ev\": \"run_begin\""),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"workload\": \"BT\""),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"mode\": \"gscalar\""),
+              std::string::npos);
+}

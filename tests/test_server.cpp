@@ -154,16 +154,18 @@ TEST(GscalarServer, BadRequestsGetErrorsNotCrashes)
     GscalarClient client(sock.path);
 
     // Unknown workload.
-    std::optional<RunResponse> resp =
-        client.exchange(RunRequest{"NOPE", ArchConfig{}}, &err);
+    RunRequest unknown;
+    unknown.workload = "NOPE";
+    std::optional<RunResponse> resp = client.exchange(unknown, &err);
     ASSERT_TRUE(resp.has_value()) << err;
     EXPECT_EQ(resp->status, ResponseStatus::BadRequest);
     EXPECT_NE(resp->error.find("NOPE"), std::string::npos);
 
     // Invalid configuration (fails ArchConfig::check()).
-    ArchConfig bad;
-    bad.warpSize = 0;
-    resp = client.exchange(RunRequest{"BT", bad}, &err);
+    RunRequest badReq;
+    badReq.workload = "BT";
+    badReq.cfg.warpSize = 0;
+    resp = client.exchange(badReq, &err);
     ASSERT_TRUE(resp.has_value()) << err;
     EXPECT_EQ(resp->status, ResponseStatus::BadRequest);
 
@@ -300,4 +302,112 @@ TEST(GscalarServer, StopIsIdempotentAndRestartable)
     GscalarClient client(sock.path);
     EXPECT_TRUE(client.ping(&err)) << err;
     next.stop();
+}
+
+TEST(GscalarServer, StatsRoundTrip)
+{
+    TempSocket sock;
+    ExperimentEngine engine(1);
+    GscalarServer server(engine, optsFor(sock));
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    GscalarClient client(sock.path);
+
+    // Before any run: counters are zero but the reply is well-formed.
+    std::optional<DaemonStats> s = client.stats(&err);
+    ASSERT_TRUE(s.has_value()) << err;
+    EXPECT_EQ(s->requestsServed, 0u);
+    EXPECT_GE(s->uptimeSeconds, 0.0);
+    EXPECT_EQ(s->jobs, 1u);
+    EXPECT_TRUE(s->workloads.empty());
+
+    // Two runs of the same point: one simulation, one memo hit, both
+    // recorded in the per-workload latency histogram.
+    ArchConfig cfg;
+    ASSERT_TRUE(client.run("BT", cfg, &err).has_value()) << err;
+    ASSERT_TRUE(client.run("BT", cfg, &err).has_value()) << err;
+
+    s = client.stats(&err);
+    ASSERT_TRUE(s.has_value()) << err;
+    EXPECT_EQ(s->requestsServed, 2u);
+    EXPECT_EQ(s->cacheMisses, 1u);
+    EXPECT_EQ(s->cacheHits, 1u);
+    EXPECT_GT(s->simCycles, 0u);
+    EXPECT_GT(s->warpInsts, 0u);
+    ASSERT_EQ(s->workloads.size(), 1u);
+    EXPECT_EQ(s->workloads[0].workload, "BT");
+    EXPECT_EQ(s->workloads[0].latency.count(), 2u);
+    EXPECT_GT(s->workloads[0].latency.maxSeconds(), 0.0);
+    std::uint64_t bucketSum = 0;
+    for (const std::uint64_t b : s->workloads[0].latency.buckets())
+        bucketSum += b;
+    EXPECT_EQ(bucketSum, 2u);
+
+    server.stop();
+}
+
+TEST(GscalarServer, StatsSerializationSurvivesTheWire)
+{
+    // Pure protocol round-trip, no sockets: every field and nested
+    // histogram must come back bit-identical.
+    DaemonStats s;
+    s.uptimeSeconds = 12.5;
+    s.requestsServed = 42;
+    s.activeConnections = 3;
+    s.jobs = 8;
+    s.queueDepth = 2;
+    s.peakQueueDepth = 7;
+    s.cacheHits = 10;
+    s.cacheMisses = 5;
+    s.diskCacheHits = 1;
+    s.diskCacheStores = 4;
+    s.simWallSeconds = 3.25;
+    s.simCycles = 123456789;
+    s.warpInsts = 987654321;
+    WorkloadLatency wl;
+    wl.workload = "BT";
+    wl.latency.record(0.005);
+    wl.latency.record(0.5);
+    wl.latency.record(20.0);
+    s.workloads.push_back(wl);
+    wl.workload = "MM";
+    s.workloads.push_back(wl);
+
+    const std::vector<std::uint8_t> blob = serializeStatsResponse(s);
+    EXPECT_EQ(peekKind(blob.data(), blob.size()),
+              BlobKind::StatsResponse);
+
+    std::string err;
+    const std::optional<DaemonStats> back =
+        deserializeStatsResponse(blob.data(), blob.size(), &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_DOUBLE_EQ(back->uptimeSeconds, 12.5);
+    EXPECT_EQ(back->requestsServed, 42u);
+    EXPECT_EQ(back->activeConnections, 3u);
+    EXPECT_EQ(back->jobs, 8u);
+    EXPECT_EQ(back->queueDepth, 2u);
+    EXPECT_EQ(back->peakQueueDepth, 7u);
+    EXPECT_EQ(back->cacheHits, 10u);
+    EXPECT_EQ(back->cacheMisses, 5u);
+    EXPECT_EQ(back->diskCacheHits, 1u);
+    EXPECT_EQ(back->diskCacheStores, 4u);
+    EXPECT_DOUBLE_EQ(back->simWallSeconds, 3.25);
+    EXPECT_EQ(back->simCycles, 123456789u);
+    EXPECT_EQ(back->warpInsts, 987654321u);
+    ASSERT_EQ(back->workloads.size(), 2u);
+    EXPECT_EQ(back->workloads[0].workload, "BT");
+    EXPECT_EQ(back->workloads[1].workload, "MM");
+    for (const WorkloadLatency &got : back->workloads) {
+        EXPECT_EQ(got.latency.count(), 3u);
+        EXPECT_DOUBLE_EQ(got.latency.totalSeconds(), 20.505);
+        EXPECT_DOUBLE_EQ(got.latency.maxSeconds(), 20.0);
+        EXPECT_EQ(got.latency.buckets(), wl.latency.buckets());
+    }
+
+    // Corruption is caught by the checksum, not parsed into garbage.
+    std::vector<std::uint8_t> bad = blob;
+    bad[bad.size() / 2] ^= 0x40;
+    EXPECT_FALSE(
+        deserializeStatsResponse(bad.data(), bad.size()).has_value());
 }

@@ -1,34 +1,30 @@
 /**
  * @file
- * Command-line driver for the G-Scalar simulator.
- *
- *   gscalar run <BENCH> [--mode M] [--warp N] [--sms N] [--seed S]
- *                        [--csv] [--json] [--power]
- *   gscalar suite [--mode M] [--csv]
- *   gscalar disasm <BENCH>
- *   gscalar experiment <fig1|fig8|fig9|fig10|fig11|fig12|table3|
- *                       ratio|smov|banks|compiler|occupancy|half|affine>
- *   gscalar serve [--socket PATH] [--timeout SEC]
- *   gscalar submit <BENCH> [--socket PATH] [run flags]
- *   gscalar config
- *   gscalar list
+ * Command-line driver for the G-Scalar simulator. Subcommands are
+ * dispatched through a single command table (name, summary, detailed
+ * help, handler) so `gscalar --help` and per-command `gscalar <cmd>
+ * --help` are generated from one source of truth instead of an if/else
+ * chain.
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <iomanip>
 #include <iostream>
-#include <map>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include <sstream>
-
 #include "common/log.hpp"
+#include "common/table.hpp"
 #include "harness/engine.hpp"
 #include "harness/experiments.hpp"
 #include "harness/report.hpp"
 #include "harness/runner.hpp"
+#include "obs/result.hpp"
+#include "obs/stats.hpp"
 #include "power/energy_model.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -44,34 +40,54 @@ using namespace gs;
 namespace
 {
 
+/** One CLI subcommand: the dispatch table entry. */
+struct Command
+{
+    const char *name;
+    const char *synopsis; ///< argument part of the usage line
+    const char *summary;  ///< one line for the global usage listing
+    const char *help;     ///< body of `gscalar <name> --help`
+    int (*run)(int argc, char **argv);
+};
+
+const std::vector<Command> &commands();
+
+const Command *
+findCommand(const std::string &name)
+{
+    for (const Command &c : commands())
+        if (name == c.name)
+            return &c;
+    return nullptr;
+}
+
 void
 printUsage(std::ostream &os)
 {
-    os <<
-        "usage:\n"
-        "  gscalar run <BENCH> [--mode M] [--warp N] [--sms N]\n"
-        "              [--seed S] [--csv] [--json] [--power]\n"
-        "  gscalar suite [--mode M] [--csv] [--jobs N]\n"
-        "  gscalar disasm <BENCH>\n"
-        "  gscalar trace <BENCH> [--mode M] [--lines N]\n"
-        "  gscalar experiment <name>... [--jobs N]   (or 'all')\n"
-        "  gscalar serve [--socket PATH] [--timeout SEC] [--jobs N]\n"
-        "  gscalar submit <BENCH> [--socket PATH] [run flags]\n"
-        "  gscalar config\n"
-        "  gscalar list\n"
-        "  gscalar --help | --version\n"
-        "\n"
-        "  --jobs/-j N (or GS_JOBS=N) sets the simulation worker pool\n"
-        "  size; default is the host's hardware concurrency.\n"
-        "  --cache (or GS_CACHE_DIR=DIR) persists finished runs on disk\n"
-        "  so later processes reuse them; gscalar serve exposes one\n"
-        "  shared engine to many clients over a unix socket (submit\n"
-        "  talks to it).\n"
-        "modes: baseline alu-scalar warped-compression gscalar-compress\n"
-        "       gscalar-nodiv gscalar\n"
-        "experiments: fig1 fig8 fig9 fig10 fig11 fig12 table3 ratio\n"
-        "             smov banks compiler occupancy half affine\n"
-        "             bankcount warpwidth\n";
+    os << "usage: gscalar <command> [options]\n\ncommands:\n";
+    for (const Command &c : commands())
+        os << "  " << std::left << std::setw(11) << c.name
+           << c.summary << "\n";
+    os << "\n"
+          "  gscalar <command> --help shows the command's options.\n"
+          "  --jobs/-j N (or GS_JOBS=N) sets the simulation worker\n"
+          "  pool size; --cache (or GS_CACHE_DIR=DIR) persists runs\n"
+          "  on disk; GS_TRACE=path[:1/N] streams a sampled JSONL\n"
+          "  event trace; GS_VERBOSE=1 prints per-run timing lines.\n"
+          "modes: baseline alu-scalar warped-compression\n"
+          "       gscalar-compress gscalar-nodiv gscalar\n"
+          "experiments (see `gscalar bench --list`):";
+    int col = 999;
+    for (const Experiment &e : experiments()) {
+        const int n = int(std::strlen(e.name)) + 1;
+        if (col + n > 64) {
+            os << "\n      ";
+            col = 6;
+        }
+        os << " " << e.name;
+        col += n;
+    }
+    os << "\n";
 }
 
 int
@@ -79,6 +95,15 @@ usage()
 {
     printUsage(std::cerr);
     return 2;
+}
+
+void
+printCommandHelp(const Command &c, std::ostream &os)
+{
+    os << "usage: gscalar " << c.name;
+    if (c.synopsis[0] != '\0')
+        os << " " << c.synopsis;
+    os << "\n\n" << c.help;
 }
 
 ArchMode
@@ -100,6 +125,7 @@ struct Options
     bool csv = false;
     bool json = false;
     bool power = false;
+    bool stats = false; ///< submit: query daemon counters instead
     std::string socket; ///< submit: daemon socket path override
 };
 
@@ -128,6 +154,8 @@ parseFlags(int argc, char **argv, int first, Options &opt)
             opt.json = true;
         else if (a == "--power")
             opt.power = true;
+        else if (a == "--stats")
+            opt.stats = true;
         else if (a == "--socket")
             opt.socket = need("--socket");
         else if (a == "--cache")
@@ -202,6 +230,89 @@ cmdSuite(int argc, char **argv)
 }
 
 int
+cmdBench(int argc, char **argv)
+{
+    initHarness(argc, argv); // --jobs/-j/--cache for the engine
+
+    ResultFormat format = ResultFormat::Text;
+    bool list = false;
+    std::vector<std::string> only;
+    auto addOnly = [&only](const std::string &csv) {
+        std::istringstream in(csv);
+        std::string name;
+        while (std::getline(in, name, ','))
+            if (!name.empty())
+                only.push_back(name);
+    };
+    auto setFormat = [&format](const std::string &v) {
+        const std::optional<ResultFormat> f = parseResultFormat(v);
+        if (!f)
+            GS_FATAL("unknown --format '", v,
+                     "' (want text, json or csv)");
+        format = *f;
+    };
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                GS_FATAL(what, " needs a value");
+            return argv[++i];
+        };
+        if (a == "--list")
+            list = true;
+        else if (a.rfind("--only=", 0) == 0)
+            addOnly(a.substr(7));
+        else if (a == "--only")
+            addOnly(need("--only"));
+        else if (a.rfind("--format=", 0) == 0)
+            setFormat(a.substr(9));
+        else if (a == "--format")
+            setFormat(need("--format"));
+        else if (a == "--cache")
+            continue; // consumed by initHarness
+        else if (a == "--jobs" || a == "-j")
+            ++i; // value consumed by initHarness
+        else
+            GS_FATAL("unknown option '", a,
+                     "' (see `gscalar bench --help`)");
+    }
+
+    if (list) {
+        std::size_t nameW = 4, tagW = 3;
+        for (const Experiment &e : experiments()) {
+            nameW = std::max(nameW, std::strlen(e.name));
+            tagW = std::max(tagW, std::strlen(e.tag));
+        }
+        for (const Experiment &e : experiments())
+            std::cout << std::left << std::setw(int(nameW) + 2)
+                      << e.name << std::setw(int(tagW) + 2) << e.tag
+                      << e.description << "\n";
+        return 0;
+    }
+
+    std::vector<const Experiment *> selected;
+    if (only.empty()) {
+        for (const Experiment &e : experiments())
+            selected.push_back(&e);
+    } else {
+        for (const std::string &name : only) {
+            const Experiment *e = findExperiment(name);
+            if (!e)
+                GS_FATAL("unknown experiment '", name,
+                         "' (see `gscalar bench --list`)");
+            selected.push_back(e);
+        }
+    }
+
+    const ArchConfig cfg = experimentConfig();
+    const auto sink = makeResultSink(format, std::cout);
+    for (const Experiment *e : selected)
+        e->run(defaultEngine(), cfg, *sink);
+    stderrSink().writeLine(defaultEngine().statsSummary());
+    return 0;
+}
+
+int
 cmdDisasm(int argc, char **argv)
 {
     if (argc < 3)
@@ -257,24 +368,7 @@ cmdExperiment(int argc, char **argv)
         return usage();
     initHarness(argc, argv); // --jobs/-j for the experiment engine
     const ArchConfig cfg = experimentConfig();
-    const std::map<std::string, std::string (*)(const ArchConfig &)>
-        table = {
-            {"fig1", runFig1},
-            {"fig8", runFig8},
-            {"fig9", runFig9},
-            {"fig10", runFig10},
-            {"fig11", runFig11},
-            {"fig12", runFig12},
-            {"ratio", runCompressionRatio},
-            {"smov", runSpecialMoveOverhead},
-            {"banks", runScalarBankAblation},
-            {"compiler", runCompilerScalarComparison},
-            {"occupancy", runOccupancyAblation},
-            {"half", runHalfRegisterAblation},
-            {"affine", runAffineOpportunity},
-            {"bankcount", runBankCountAblation},
-            {"warpwidth", runWarpWidthAblation},
-        };
+
     // One process may run several experiments ("fig1 fig8 fig9 ..."
     // or "all"): the shared run cache then simulates each (workload,
     // config) once across all of them.
@@ -285,10 +379,11 @@ cmdExperiment(int argc, char **argv)
             ++i; // value consumed by initHarness
             continue;
         }
+        if (a == "--cache")
+            continue;
         if (a == "all") {
-            for (const auto &[n, fn] : table)
-                names.push_back(n);
-            names.push_back("table3");
+            for (const Experiment &e : experiments())
+                names.push_back(e.name);
         } else {
             names.push_back(a);
         }
@@ -296,14 +391,11 @@ cmdExperiment(int argc, char **argv)
     if (names.empty())
         return usage();
     for (const std::string &name : names) {
-        if (name == "table3") {
-            std::cout << runTable3() << std::endl;
-            continue;
-        }
-        const auto it = table.find(name);
-        if (it == table.end())
-            return usage();
-        std::cout << it->second(cfg) << std::endl;
+        const Experiment *e = findExperiment(name);
+        if (!e)
+            GS_FATAL("unknown experiment '", name,
+                     "' (see `gscalar bench --list`)");
+        std::cout << e->build(defaultEngine(), cfg).text << std::endl;
     }
     std::cerr << defaultEngine().statsSummary() << "\n";
     return 0;
@@ -353,16 +445,93 @@ cmdServe(int argc, char **argv)
     return 0;
 }
 
+/** Render `gscalar submit --stats` output (text or --json). */
+void
+printDaemonStats(const DaemonStats &s, bool json)
+{
+    if (json) {
+        std::ostringstream os;
+        os << "{\"schema\": \"gscalar.stats.v1\""
+           << ", \"uptime_seconds\": " << s.uptimeSeconds
+           << ", \"requests_served\": " << s.requestsServed
+           << ", \"active_connections\": " << s.activeConnections
+           << ", \"jobs\": " << s.jobs
+           << ", \"queue_depth\": " << s.queueDepth
+           << ", \"peak_queue_depth\": " << s.peakQueueDepth
+           << ", \"cache_hits\": " << s.cacheHits
+           << ", \"cache_misses\": " << s.cacheMisses
+           << ", \"disk_cache_hits\": " << s.diskCacheHits
+           << ", \"disk_cache_stores\": " << s.diskCacheStores
+           << ", \"sim_wall_seconds\": " << s.simWallSeconds
+           << ", \"sim_cycles\": " << s.simCycles
+           << ", \"warp_insts\": " << s.warpInsts
+           << ", \"workloads\": [";
+        bool first = true;
+        for (const WorkloadLatency &wl : s.workloads) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << "{\"workload\": \"" << jsonEscape(wl.workload)
+               << "\", \"count\": " << wl.latency.count()
+               << ", \"mean_seconds\": " << wl.latency.meanSeconds()
+               << ", \"max_seconds\": " << wl.latency.maxSeconds()
+               << "}";
+        }
+        os << "]}";
+        std::cout << os.str() << "\n";
+        return;
+    }
+
+    std::cout << "gscalard: up " << Table::num(s.uptimeSeconds, 1)
+              << "s, served " << s.requestsServed << " request(s), "
+              << s.activeConnections << " open connection(s)\n"
+              << "engine: " << s.jobs << " worker(s), queue "
+              << s.queueDepth << " (peak " << s.peakQueueDepth
+              << "); memo cache " << s.cacheHits << " hit(s) / "
+              << s.cacheMisses << " miss(es), disk " << s.diskCacheHits
+              << " hit(s) / " << s.diskCacheStores << " store(s)\n"
+              << "simulated " << s.simCycles << " cycles, "
+              << s.warpInsts << " warp-insts in "
+              << Table::num(s.simWallSeconds, 2)
+              << "s of simulate time\n";
+    if (s.workloads.empty()) {
+        std::cout << "request latency: (no requests served yet)\n";
+        return;
+    }
+    std::cout << "request latency:\n";
+    std::size_t w = 0;
+    for (const WorkloadLatency &wl : s.workloads)
+        w = std::max(w, wl.workload.size());
+    for (const WorkloadLatency &wl : s.workloads)
+        std::cout << "  " << std::left << std::setw(int(w) + 2)
+                  << wl.workload << wl.latency.summary() << "\n";
+}
+
 int
 cmdSubmit(int argc, char **argv)
 {
-    if (argc < 3)
+    // `submit --stats` carries no workload argument; detect it before
+    // deciding whether argv[2] is the benchmark name.
+    const bool statsOnly =
+        argc >= 3 && std::strcmp(argv[2], "--stats") == 0;
+    if (!statsOnly && argc < 3)
         return usage();
+
     Options opt;
-    parseFlags(argc, argv, 3, opt);
+    parseFlags(argc, argv, statsOnly ? 2 : 3, opt);
 
     GscalarClient client(opt.socket);
     std::string err;
+    if (opt.stats) {
+        const std::optional<DaemonStats> s = client.stats(&err);
+        if (!s) {
+            std::cerr << "gscalar submit: " << err << "\n";
+            return 1;
+        }
+        printDaemonStats(*s, opt.json);
+        return 0;
+    }
+
     const std::optional<RunResult> r =
         client.run(argv[2], opt.cfg, &err);
     if (!r) {
@@ -371,6 +540,116 @@ cmdSubmit(int argc, char **argv)
     }
     printResult(*r, opt);
     return 0;
+}
+
+int
+cmdConfig(int, char **)
+{
+    std::cout << experimentConfig().describe();
+    return 0;
+}
+
+int
+cmdList(int, char **)
+{
+    for (const auto &n : workloadNames())
+        std::cout << n << "\n";
+    return 0;
+}
+
+const std::vector<Command> &
+commands()
+{
+    static const std::vector<Command> table = {
+        {"run", "<BENCH> [options]",
+         "simulate one benchmark and print its counters",
+         "  --mode M     architecture (default baseline)\n"
+         "  --warp N     warp size\n"
+         "  --sms N      SM count\n"
+         "  --seed S     input-data seed\n"
+         "  --csv        per-run counter row (with header)\n"
+         "  --json       flat JSON object of every metric\n"
+         "  --power      append the power breakdown\n"
+         "  --jobs/-j N  worker pool size\n"
+         "  --cache      persist runs on disk (GS_CACHE_DIR)\n",
+         cmdRun},
+        {"suite", "[options]",
+         "simulate the whole Table 2 suite",
+         "  --mode M     architecture (default baseline)\n"
+         "  --csv        full counter matrix as CSV\n"
+         "  --jobs/-j N  worker pool size\n"
+         "  --cache      persist runs on disk\n",
+         cmdSuite},
+        {"bench", "[--list] [--only=NAME[,NAME]] [--format=F]",
+         "run registered experiments (all of them by default)",
+         "  --list          show every experiment (name, paper tag,\n"
+         "                  description) and exit\n"
+         "  --only=N[,N]    run a subset by registry name\n"
+         "  --format=F      text (default; golden reference bytes),\n"
+         "                  json (one document per experiment) or csv\n"
+         "  --jobs/-j N     worker pool size\n"
+         "  --cache         persist runs on disk\n"
+         "\n"
+         "  With no --only the full registry runs in reference order,\n"
+         "  so `gscalar bench` reproduces docs/bench_reference_output\n"
+         "  .txt byte for byte on stdout (engine stats go to stderr).\n",
+         cmdBench},
+        {"disasm", "<BENCH>",
+         "disassemble a benchmark's kernels",
+         "  Prints every kernel of the workload plus its launch\n"
+         "  geometry.\n",
+         cmdDisasm},
+        {"trace", "<BENCH> [--mode M] [--lines N]",
+         "print the first lines of an issue-level text trace",
+         "  --mode M    architecture (default baseline)\n"
+         "  --lines N   lines to print (default 120)\n"
+         "\n"
+         "  For machine-readable traces of full runs use\n"
+         "  GS_TRACE=path[:1/N] (sampled JSONL) on any command.\n",
+         cmdTrace},
+        {"experiment", "<name>... | all",
+         "print experiment tables (text; see bench for formats)",
+         "  Runs one or more registry experiments in the order given\n"
+         "  and prints their tables; `all` expands to the whole\n"
+         "  registry. Names are listed by `gscalar bench --list`.\n"
+         "  --jobs/-j N  worker pool size\n"
+         "  --cache      persist runs on disk\n",
+         cmdExperiment},
+        {"serve", "[--socket PATH] [--timeout SEC]",
+         "run the gscalard simulation daemon",
+         "  --socket PATH  unix socket (default $GS_SOCKET or\n"
+         "                 $XDG_RUNTIME_DIR/gscalard.sock)\n"
+         "  --timeout SEC  per-request engine budget (default 600)\n"
+         "  --jobs/-j N    worker pool size\n"
+         "  --cache        persist runs on disk\n"
+         "\n"
+         "  Clients reach it with `gscalar submit`; `gscalar submit\n"
+         "  --stats` reports its live counters.\n",
+         cmdServe},
+        {"submit", "<BENCH> [options] | --stats [--json]",
+         "send a run (or a stats probe) to a gscalard",
+         "  <BENCH> [run flags]  submit one run; accepts the same\n"
+         "                       --mode/--warp/--sms/--seed/--csv/\n"
+         "                       --json/--power flags as `run`\n"
+         "  --stats              fetch the daemon's live counters:\n"
+         "                       uptime, requests served, engine pool\n"
+         "                       and cache state, per-workload request\n"
+         "                       latency histograms\n"
+         "  --json               machine-readable stats document\n"
+         "  --socket PATH        daemon socket path\n",
+         cmdSubmit},
+        {"config", "",
+         "print the Table 1 experiment configuration",
+         "  Prints the baseline GTX 480 configuration every\n"
+         "  experiment starts from.\n",
+         cmdConfig},
+        {"list", "",
+         "list benchmark abbreviations",
+         "  Prints the Table 2 workload abbreviations accepted by\n"
+         "  run/disasm/trace/submit.\n",
+         cmdList},
+    };
+    return table;
 }
 
 } // namespace
@@ -383,6 +662,12 @@ main(int argc, char **argv)
         return usage();
     const std::string cmd = argv[1];
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        if (argc >= 3) {
+            if (const Command *c = findCommand(argv[2])) {
+                printCommandHelp(*c, std::cout);
+                return 0;
+            }
+        }
         printUsage(std::cout);
         return 0;
     }
@@ -398,28 +683,17 @@ main(int argc, char **argv)
                      "' is not a valid worker count "
                      "(want an integer in [1, 4096])");
     }
-    if (cmd == "run")
-        return cmdRun(argc, argv);
-    if (cmd == "suite")
-        return cmdSuite(argc, argv);
-    if (cmd == "disasm")
-        return cmdDisasm(argc, argv);
-    if (cmd == "trace")
-        return cmdTrace(argc, argv);
-    if (cmd == "experiment")
-        return cmdExperiment(argc, argv);
-    if (cmd == "serve")
-        return cmdServe(argc, argv);
-    if (cmd == "submit")
-        return cmdSubmit(argc, argv);
-    if (cmd == "config") {
-        std::cout << experimentConfig().describe();
-        return 0;
+    const Command *c = findCommand(cmd);
+    if (!c) {
+        std::cerr << "gscalar: unknown command '" << cmd << "'\n\n";
+        return usage();
     }
-    if (cmd == "list") {
-        for (const auto &n : workloadNames())
-            std::cout << n << "\n";
-        return 0;
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            printCommandHelp(*c, std::cout);
+            return 0;
+        }
     }
-    return usage();
+    return c->run(argc, argv);
 }

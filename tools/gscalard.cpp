@@ -35,7 +35,9 @@ printUsage(std::ostream &os)
         "Serves simulation requests from gscalar submit /\n"
         "GscalarClient over a unix-domain socket, sharing one\n"
         "experiment engine (worker pool + run cache) across every\n"
-        "client. SIGINT/SIGTERM drain in-flight requests, then exit.\n"
+        "client. `gscalar submit --stats` reports live counters\n"
+        "(uptime, requests, cache state, per-workload latency).\n"
+        "SIGINT/SIGTERM drain in-flight requests, then exit.\n"
         "\n"
         "  --socket PATH   listen here (default $GS_SOCKET, else\n"
         "                  $XDG_RUNTIME_DIR/gscalard.sock, else\n"
