@@ -1,0 +1,51 @@
+#include "health.hpp"
+
+#include <sstream>
+
+namespace gs
+{
+
+HealthCounts
+HealthCounters::snapshot() const
+{
+    HealthCounts out;
+#define GS_HEALTH_SNAP(member, name, unit, doc)                              \
+    out.member = member.load(std::memory_order_relaxed);
+    GS_HEALTH_COUNT_FIELDS(GS_HEALTH_SNAP)
+#undef GS_HEALTH_SNAP
+    return out;
+}
+
+void
+HealthCounters::reset()
+{
+#define GS_HEALTH_RESET(member, name, unit, doc)                             \
+    member.store(0, std::memory_order_relaxed);
+    GS_HEALTH_COUNT_FIELDS(GS_HEALTH_RESET)
+#undef GS_HEALTH_RESET
+}
+
+HealthCounters &
+healthCounters()
+{
+    static HealthCounters counters;
+    return counters;
+}
+
+std::string
+healthSummary()
+{
+    const HealthCounts c = healthCounters().snapshot();
+    std::ostringstream out;
+    bool any = false;
+#define GS_HEALTH_PRINT(member, name, unit, doc)                             \
+    if (c.member != 0) {                                                     \
+        out << (any ? "  " : "health: ") << name << ' ' << c.member;         \
+        any = true;                                                          \
+    }
+    GS_HEALTH_COUNT_FIELDS(GS_HEALTH_PRINT)
+#undef GS_HEALTH_PRINT
+    return out.str();
+}
+
+} // namespace gs

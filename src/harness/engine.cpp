@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <utility>
 
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 
 namespace gs
 {
@@ -119,67 +123,148 @@ ExperimentEngine::submit(const Workload &w, const ArchConfig &cfg)
 {
     const std::string key = cacheKey(w.name, cfg);
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-        ++stats_.hits;
-        return it->second;
+    std::shared_ptr<std::promise<RunResult>> promise;
+    std::shared_future<RunResult> future;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++stats_.hits;
+            return it->second;
+        }
+        ++stats_.misses;
+
+        promise = std::make_shared<std::promise<RunResult>>();
+        future = promise->get_future().share();
+        cache_.emplace(key, future);
     }
-    ++stats_.misses;
 
-    auto promise = std::make_shared<std::promise<RunResult>>();
-    std::shared_future<RunResult> future = promise->get_future().share();
-    cache_.emplace(key, future);
+    if (degraded()) {
+        // Last rung of the degradation ladder: the pool has produced
+        // kDegradeThreshold consecutive failures, so run inline on the
+        // caller thread — slower, but a suite still completes.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.serialFallbacks;
+        }
+        healthCounters().serialFallbacks.fetch_add(
+            1, std::memory_order_relaxed);
+        executeRun(w, cfg, promise);
+    } else {
+        pool_.submit([this, promise, w, cfg] {
+            executeRun(w, cfg, promise);
+        });
+    }
+    return future;
+}
 
-    pool_.submit([this, promise, w, cfg] {
-        try {
-            // The persistent cache is consulted on the worker, off the
-            // submit path; a hit skips the simulation entirely and
-            // returns the stored counters bit-for-bit.
-            if (disk_) {
-                std::optional<RunResult> r;
-                {
-                    ScopedPhase phase(phases_, "disk-cache-load");
-                    r = disk_->load(w.name, cfg);
-                }
-                if (r) {
-                    {
-                        std::lock_guard<std::mutex> statsLock(mutex_);
-                        ++stats_.diskHits;
-                    }
-                    if (verbose_)
-                        noteRun(w.name, cfg, r->wallSeconds,
-                                "disk-cache");
-                    promise->set_value(std::move(*r));
-                    return;
-                }
-            }
-            RunResult r;
-            {
-                ScopedPhase phase(phases_, "simulate");
-                r = runWorkload(w, cfg);
-            }
-            bool stored = false;
-            if (disk_) {
-                ScopedPhase phase(phases_, "disk-cache-store");
-                stored = disk_->store(w.name, cfg, r);
-            }
+RunResult
+ExperimentEngine::simulateOnce(const Workload &w, const ArchConfig &cfg)
+{
+    if (injectFault("engine", FaultKind::Slow))
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (injectFault("engine", FaultKind::Throw))
+        throw std::runtime_error("injected engine fault");
+    ScopedPhase phase(phases_, "simulate");
+    return runWorkload(w, cfg);
+}
+
+void
+ExperimentEngine::executeRun(
+    const Workload &w, const ArchConfig &cfg,
+    const std::shared_ptr<std::promise<RunResult>> &promise)
+{
+    // The persistent cache is consulted on the worker, off the submit
+    // path; a hit skips the simulation entirely and returns the stored
+    // counters bit-for-bit.
+    if (disk_) {
+        std::optional<RunResult> r;
+        {
+            ScopedPhase phase(phases_, "disk-cache-load");
+            r = disk_->load(w.name, cfg);
+        }
+        if (r) {
             {
                 std::lock_guard<std::mutex> statsLock(mutex_);
-                if (stored)
-                    ++stats_.diskStores;
-                wallSumSeconds_ += r.wallSeconds;
-                simCycles_ += r.ev.cycles;
-                warpInsts_ += r.ev.warpInsts;
+                ++stats_.diskHits;
             }
             if (verbose_)
-                noteRun(w.name, cfg, r.wallSeconds, "simulate");
-            promise->set_value(std::move(r));
-        } catch (...) {
-            promise->set_exception(std::current_exception());
+                noteRun(w.name, cfg, r->wallSeconds, "disk-cache");
+            promise->set_value(std::move(*r));
+            return;
         }
-    });
-    return future;
+    }
+
+    auto attempt = [&](std::string *err) -> std::optional<RunResult> {
+        try {
+            return simulateOnce(w, cfg);
+        } catch (const std::exception &e) {
+            *err = e.what();
+        } catch (...) {
+            *err = "unknown exception";
+        }
+        return std::nullopt;
+    };
+
+    std::string err;
+    std::optional<RunResult> r = attempt(&err);
+    if (!r) {
+        {
+            std::lock_guard<std::mutex> statsLock(mutex_);
+            ++stats_.runRetries;
+        }
+        healthCounters().runRetries.fetch_add(1,
+                                              std::memory_order_relaxed);
+        GS_WARN("run ", w.name, " failed (", err, "); retrying once");
+        // Injected faults are transient by contract: the retry runs
+        // exempt from injection so a single armed fault class is
+        // absorbed deterministically. Real faults may well recur.
+        FaultInjector::Suppress guard;
+        r = attempt(&err);
+    }
+
+    if (!r) {
+        // Capture per-run instead of poisoning the shared future: the
+        // rest of the suite still completes, callers see ok()==false.
+        {
+            std::lock_guard<std::mutex> statsLock(mutex_);
+            ++stats_.runFailures;
+        }
+        healthCounters().runFailures.fetch_add(1,
+                                               std::memory_order_relaxed);
+        const unsigned fails =
+            consecutiveFailures_.fetch_add(1, std::memory_order_relaxed) +
+            1;
+        if (fails >= kDegradeThreshold &&
+            !degraded_.exchange(true, std::memory_order_relaxed))
+            GS_WARN("degrading to serial execution after ", fails,
+                    " consecutive run failures");
+        GS_WARN("run ", w.name, " failed after retry: ", err);
+        RunResult failed;
+        failed.workload = w.name;
+        failed.mode = cfg.mode;
+        failed.error = err;
+        promise->set_value(std::move(failed));
+        return;
+    }
+    consecutiveFailures_.store(0, std::memory_order_relaxed);
+
+    bool stored = false;
+    if (disk_) {
+        ScopedPhase phase(phases_, "disk-cache-store");
+        stored = disk_->store(w.name, cfg, *r);
+    }
+    {
+        std::lock_guard<std::mutex> statsLock(mutex_);
+        if (stored)
+            ++stats_.diskStores;
+        wallSumSeconds_ += r->wallSeconds;
+        simCycles_ += r->ev.cycles;
+        warpInsts_ += r->ev.warpInsts;
+    }
+    if (verbose_)
+        noteRun(w.name, cfg, r->wallSeconds, "simulate");
+    promise->set_value(std::move(*r));
 }
 
 std::shared_future<RunResult>
@@ -243,6 +328,7 @@ ExperimentEngine::snapshot() const
     s.jobs = pool_.jobs();
     s.queueDepth = pool_.queueDepth();
     s.peakQueueDepth = pool_.peakQueueDepth();
+    s.degraded = degraded();
     {
         std::lock_guard<std::mutex> lock(mutex_);
         s.cache = stats_;
@@ -306,6 +392,14 @@ ExperimentEngine::statsSummary() const
                << Table::num(e.seconds, 2) << "s/" << e.samples;
             first = false;
         }
+    }
+    if (s.cache.runRetries || s.cache.runFailures ||
+        s.cache.serialFallbacks) {
+        os << "; reliability: " << s.cache.runRetries << " retries, "
+           << s.cache.runFailures << " failures, "
+           << s.cache.serialFallbacks << " serial fallbacks";
+        if (s.degraded)
+            os << " (degraded)";
     }
     return os.str();
 }
@@ -381,8 +475,22 @@ initHarness(int argc, char **argv)
             setDefaultJobs(*v);
         } else if (a == "--cache") {
             setDefaultCacheEnabled(true);
+        } else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
+            std::string spec;
+            if (a == "--fault") {
+                if (i + 1 >= argc)
+                    GS_FATAL("--fault needs site:kind:rate[:seed]");
+                spec = argv[++i];
+            } else {
+                spec = a.substr(8);
+            }
+            std::string err;
+            if (!faultInjector().configure(spec, &err))
+                GS_FATAL("--fault='", spec, "': ", err);
         }
     }
+    // Force GS_FAULT validation now, not at the first I/O seam.
+    faultInjector();
 }
 
 } // namespace gs

@@ -13,6 +13,7 @@
 #ifndef GSCALAR_HARNESS_ENGINE_HPP
 #define GSCALAR_HARNESS_ENGINE_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -90,6 +91,10 @@ struct CacheStats
      *  cache instead of a simulation. */
     std::uint64_t diskHits = 0;
     std::uint64_t diskStores = 0; ///< fresh results persisted to disk
+    std::uint64_t runRetries = 0;  ///< runs retried after a failure
+    std::uint64_t runFailures = 0; ///< runs failed even after the retry
+    /** Runs executed inline on the caller after the pool degraded. */
+    std::uint64_t serialFallbacks = 0;
 };
 
 /**
@@ -103,6 +108,7 @@ struct EngineSnapshot
     unsigned jobs = 0;
     std::size_t queueDepth = 0;
     std::size_t peakQueueDepth = 0;
+    bool degraded = false; ///< pool bypassed after repeated failures
     CacheStats cache;
     double wallSumSeconds = 0; ///< summed per-run simulate wall clock
     std::uint64_t simCycles = 0;
@@ -123,6 +129,9 @@ struct EngineSnapshot
 class ExperimentEngine
 {
   public:
+    /** Consecutive run failures before degrading to serial execution. */
+    static constexpr unsigned kDegradeThreshold = 3;
+
     /** @param jobs worker threads; 0 selects WorkerPool::defaultJobs(). */
     explicit ExperimentEngine(unsigned jobs = 0);
 
@@ -183,6 +192,18 @@ class ExperimentEngine
     unsigned jobs() const { return pool_.jobs(); }
 
     /**
+     * Whether the engine has degraded to serial execution: after
+     * kDegradeThreshold consecutive run failures, new submissions run
+     * inline on the caller thread instead of the pool for the rest of
+     * the process (the last rung of the degradation ladder — prefer a
+     * slow answer over a wedged pool).
+     */
+    bool degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
+
+    /**
      * One-line observability report: simulations run, cache hits,
      * aggregate simulated cycles and warp instructions, and the
      * throughput achieved (sim-cycles/sec and warp-insts/sec of CPU
@@ -196,8 +217,24 @@ class ExperimentEngine
     void noteRun(const std::string &workload, const ArchConfig &cfg,
                  double seconds, const char *how) const;
 
+    /**
+     * The whole lifecycle of one scheduled run: disk-cache probe,
+     * simulation with retry-once (the retry under a fault-injection
+     * Suppress guard — injected faults are transient by contract),
+     * error capture into the RunResult, and write-back. Never lets an
+     * exception escape into the promise: one bad run must not poison
+     * the suite.
+     */
+    void executeRun(const Workload &w, const ArchConfig &cfg,
+                    const std::shared_ptr<std::promise<RunResult>> &promise);
+
+    /** One simulation attempt, with the engine fault hooks applied. */
+    RunResult simulateOnce(const Workload &w, const ArchConfig &cfg);
+
     WorkerPool pool_;
     std::unique_ptr<DiskRunCache> disk_;
+    std::atomic<unsigned> consecutiveFailures_{0};
+    std::atomic<bool> degraded_{false};
 
     mutable std::mutex mutex_;
     std::unordered_map<std::string, std::shared_future<RunResult>> cache_;

@@ -55,6 +55,16 @@ struct RunResult
     /** Host wall-clock seconds spent simulating (setup + launches). */
     double wallSeconds = 0;
 
+    /**
+     * Empty on success. A run that still failed after the engine's
+     * retry carries the exception text here instead of aborting the
+     * whole suite; counters and power are default-initialized then.
+     */
+    std::string error;
+
+    /** Whether the run produced usable counters. */
+    bool ok() const { return error.empty(); }
+
     /** Simulator throughput: simulated cycles per host second. */
     double simCyclesPerSec() const
     {

@@ -92,4 +92,19 @@ powerMetrics()
     return registry;
 }
 
+const std::array<HealthMetricDef, kHealthCountFields> &
+healthMetrics()
+{
+    // Expanded from GS_HEALTH_COUNT_FIELDS, so the registry tracks
+    // HealthCounts by construction (static_assert in health.hpp).
+    static const std::array<HealthMetricDef, kHealthCountFields>
+        registry = {{
+#define GS_HEALTH_METRIC(member, name, unit, doc)                            \
+    {name, unit, doc, &HealthCounts::member},
+            GS_HEALTH_COUNT_FIELDS(GS_HEALTH_METRIC)
+#undef GS_HEALTH_METRIC
+        }};
+    return registry;
+}
+
 } // namespace gs

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/events.hpp"
+#include "fault/health.hpp"
 #include "power/energy_model.hpp"
 
 namespace gs
@@ -83,6 +84,29 @@ struct PowerMetricDef
 
 /** Power components in report order (8 watt fields + ipc_per_watt). */
 const std::array<PowerMetricDef, 9> &powerMetrics();
+
+/** One registered reliability counter of fault/health.hpp. */
+struct HealthMetricDef
+{
+    const char *name;
+    const char *unit;
+    const char *doc;
+    std::uint64_t HealthCounts::*field = nullptr;
+
+    std::uint64_t
+    value(const HealthCounts &c) const
+    {
+        return c.*field;
+    }
+};
+
+/**
+ * The full reliability-counter registry, in HealthCounts declaration
+ * order — exactly kHealthCountFields entries, so every retry/timeout/
+ * quarantine counter the hardened request path bumps is enumerable
+ * (the registry completeness test covers it like eventMetrics()).
+ */
+const std::array<HealthMetricDef, kHealthCountFields> &healthMetrics();
 
 } // namespace gs
 

@@ -1,18 +1,55 @@
 #include "client.hpp"
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <thread>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "fault/health.hpp"
+
 namespace gs
 {
 
-GscalarClient::GscalarClient(std::string socketPath)
+ClientOptions
+ClientOptions::fromEnv()
+{
+    ClientOptions opts;
+    if (const char *env = std::getenv("GS_CONNECT_TIMEOUT_MS");
+        env && *env) {
+        char *end = nullptr;
+        const double ms = std::strtod(env, &end);
+        if (end && *end == '\0' && ms >= 0)
+            opts.connectTimeoutSec = ms / 1000.0;
+        else
+            GS_WARN("ignoring GS_CONNECT_TIMEOUT_MS='", env,
+                    "' (want a non-negative number of milliseconds)");
+    }
+    if (const char *env = std::getenv("GS_RETRIES"); env && *env) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v >= 1 && v <= 100)
+            opts.attempts = unsigned(v);
+        else
+            GS_WARN("ignoring GS_RETRIES='", env,
+                    "' (want an integer in [1, 100])");
+    }
+    return opts;
+}
+
+GscalarClient::GscalarClient(std::string socketPath,
+                             std::optional<ClientOptions> opts)
     : path_(socketPath.empty() ? defaultSocketPath()
-                               : std::move(socketPath))
+                               : std::move(socketPath)),
+      opts_(opts ? *opts : ClientOptions::fromEnv())
 {
 }
 
@@ -50,37 +87,114 @@ GscalarClient::connect(std::string *error)
             *error = std::string("socket: ") + std::strerror(errno);
         return false;
     }
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
+
+    auto fail = [&](const std::string &why) {
         if (error)
-            *error = "cannot reach gscalard at " + path_ + ": " +
-                     std::strerror(errno) +
+            *error = "cannot reach gscalard at " + path_ + ": " + why +
                      " (start one with `gscalar serve`)";
         close();
         return false;
+    };
+
+    const bool bounded = opts_.connectTimeoutSec > 0;
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    if (bounded)
+        ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (!bounded || (errno != EINPROGRESS && errno != EAGAIN))
+            return fail(std::strerror(errno));
+
+        // Connect in flight (e.g. the daemon's backlog is full): poll
+        // for writability until the deadline, never forever.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(opts_.connectTimeoutSec);
+        for (;;) {
+            const auto left = std::chrono::duration_cast<
+                std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+            if (left.count() <= 0) {
+                healthCounters().clientConnectTimeouts.fetch_add(
+                    1, std::memory_order_relaxed);
+                return fail("connect timed out after " +
+                            std::to_string(opts_.connectTimeoutSec) +
+                            "s");
+            }
+            pollfd pfd{fd_, POLLOUT, 0};
+            const int rc = ::poll(&pfd, 1, int(left.count()));
+            if (rc < 0) {
+                if (errno == EINTR)
+                    continue;
+                return fail(std::string("poll: ") +
+                            std::strerror(errno));
+            }
+            if (rc > 0)
+                break;
+            // rc == 0: poll timed out; loop re-checks the deadline.
+        }
+        int soErr = 0;
+        socklen_t len = sizeof(soErr);
+        if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soErr, &len) != 0)
+            return fail(std::string("getsockopt: ") +
+                        std::strerror(errno));
+        if (soErr != 0)
+            return fail(std::strerror(soErr));
     }
+
+    if (bounded)
+        ::fcntl(fd_, F_SETFL, flags); // back to blocking I/O
     return true;
+}
+
+void
+GscalarClient::backoffBeforeRetry(unsigned attempt)
+{
+    healthCounters().clientRetries.fetch_add(1,
+                                             std::memory_order_relaxed);
+    double delay = opts_.backoffBaseSec;
+    for (unsigned i = 0; i < attempt && delay < opts_.backoffMaxSec; ++i)
+        delay *= 2;
+    if (delay > opts_.backoffMaxSec)
+        delay = opts_.backoffMaxSec;
+    // Jitter decorrelates clients without losing reproducibility: the
+    // factor for retry n is a pure function of (jitterSeed, n).
+    Rng rng(opts_.jitterSeed ^ (std::uint64_t(attempt) + 1));
+    delay *= 0.5 + 0.5 * rng.uniform();
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
 }
 
 bool
 GscalarClient::ping(std::string *error)
 {
-    if (fd_ < 0 && !connect(error))
-        return false;
-    if (!writeFrame(fd_, serializePing())) {
-        if (error)
-            *error = "cannot send ping";
-        return false;
+    for (unsigned attempt = 0;; ++attempt) {
+        std::string err;
+        bool ok = false;
+        if (fd_ >= 0 || connect(&err)) {
+            ok = writeFrame(fd_, serializePing());
+            if (!ok)
+                err = "cannot send ping";
+            if (ok) {
+                std::vector<std::uint8_t> payload;
+                ok = readFrame(fd_, payload, &err) == 1;
+                if (ok && peekKind(payload.data(), payload.size()) !=
+                              BlobKind::Pong) {
+                    err = "unexpected reply to ping";
+                    ok = false;
+                }
+            }
+        }
+        if (ok)
+            return true;
+        close(); // the connection state is unknown; start fresh
+        if (attempt + 1 >= opts_.attempts) {
+            if (error)
+                *error = err;
+            return false;
+        }
+        backoffBeforeRetry(attempt);
     }
-    std::vector<std::uint8_t> payload;
-    if (readFrame(fd_, payload, error) != 1)
-        return false;
-    if (peekKind(payload.data(), payload.size()) != BlobKind::Pong) {
-        if (error)
-            *error = "unexpected reply to ping";
-        return false;
-    }
-    return true;
 }
 
 std::optional<RunResponse>
@@ -91,6 +205,7 @@ GscalarClient::exchange(const RunRequest &req, std::string *error)
     if (!writeFrame(fd_, serializeRequest(req))) {
         if (error)
             *error = "cannot send request (daemon gone?)";
+        close();
         return std::nullopt;
     }
     std::vector<std::uint8_t> payload;
@@ -98,6 +213,7 @@ GscalarClient::exchange(const RunRequest &req, std::string *error)
     if (rc != 1) {
         if (rc == 0 && error)
             *error = "daemon closed the connection before responding";
+        close();
         return std::nullopt;
     }
     return deserializeResponse(payload.data(), payload.size(), error);
@@ -106,28 +222,38 @@ GscalarClient::exchange(const RunRequest &req, std::string *error)
 std::optional<DaemonStats>
 GscalarClient::stats(std::string *error)
 {
-    if (fd_ < 0 && !connect(error))
-        return std::nullopt;
-    if (!writeFrame(fd_, serializeStatsRequest())) {
-        if (error)
-            *error = "cannot send stats request (daemon gone?)";
-        return std::nullopt;
+    for (unsigned attempt = 0;; ++attempt) {
+        std::string err;
+        std::optional<DaemonStats> out;
+        if (fd_ >= 0 || connect(&err)) {
+            if (!writeFrame(fd_, serializeStatsRequest())) {
+                err = "cannot send stats request (daemon gone?)";
+            } else {
+                std::vector<std::uint8_t> payload;
+                const int rc = readFrame(fd_, payload, &err);
+                if (rc == 0)
+                    err = "daemon closed the connection before "
+                          "responding";
+                if (rc == 1) {
+                    if (peekKind(payload.data(), payload.size()) !=
+                        BlobKind::StatsResponse)
+                        err = "unexpected reply to stats request";
+                    else
+                        out = deserializeStatsResponse(
+                            payload.data(), payload.size(), &err);
+                }
+            }
+        }
+        if (out)
+            return out;
+        close();
+        if (attempt + 1 >= opts_.attempts) {
+            if (error)
+                *error = err;
+            return std::nullopt;
+        }
+        backoffBeforeRetry(attempt);
     }
-    std::vector<std::uint8_t> payload;
-    const int rc = readFrame(fd_, payload, error);
-    if (rc != 1) {
-        if (rc == 0 && error)
-            *error = "daemon closed the connection before responding";
-        return std::nullopt;
-    }
-    if (peekKind(payload.data(), payload.size()) !=
-        BlobKind::StatsResponse) {
-        if (error)
-            *error = "unexpected reply to stats request";
-        return std::nullopt;
-    }
-    return deserializeStatsResponse(payload.data(), payload.size(),
-                                    error);
 }
 
 std::optional<RunResult>
@@ -137,16 +263,29 @@ GscalarClient::run(const std::string &workload, const ArchConfig &cfg,
     RunRequest req;
     req.workload = workload;
     req.cfg = cfg;
-    const std::optional<RunResponse> resp = exchange(req, error);
-    if (!resp)
-        return std::nullopt;
-    if (resp->status != ResponseStatus::Ok) {
-        if (error)
-            *error = std::string(responseStatusName(resp->status)) +
-                     ": " + resp->error;
-        return std::nullopt;
+
+    for (unsigned attempt = 0;; ++attempt) {
+        std::string err;
+        const std::optional<RunResponse> resp = exchange(req, &err);
+        bool retryable = !resp; // transport failure
+        if (resp) {
+            if (resp->status == ResponseStatus::Ok)
+                return resp->result;
+            err = std::string(responseStatusName(resp->status)) + ": " +
+                  resp->error;
+            retryable = retryableStatus(resp->status);
+            // A non-Ok response leaves the stream positioned between
+            // frames, but reconnecting is cheaper than reasoning about
+            // which statuses also closed the connection server-side.
+            close();
+        }
+        if (!retryable || attempt + 1 >= opts_.attempts) {
+            if (error)
+                *error = err;
+            return std::nullopt;
+        }
+        backoffBeforeRetry(attempt);
     }
-    return resp->result;
 }
 
 } // namespace gs

@@ -4,11 +4,19 @@
  * socket and submit experiment requests. Used by `gscalar submit` and
  * by sweep scripts that want machine-wide run sharing without linking
  * the whole simulator.
+ *
+ * Hardened for a flaky daemon: connects are deadline-bounded
+ * (non-blocking connect + poll, so a wedged daemon can never hang a
+ * client forever), and run/ping/stats retry transport failures and
+ * retryable statuses (ShuttingDown, Overloaded) with exponential
+ * backoff whose jitter is deterministic given ClientOptions::jitterSeed
+ * — a failing sweep replays identically.
  */
 
 #ifndef GSCALAR_SERVE_CLIENT_HPP
 #define GSCALAR_SERVE_CLIENT_HPP
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -17,48 +25,97 @@
 namespace gs
 {
 
+/** Retry/timeout knobs of one GscalarClient. */
+struct ClientOptions
+{
+    /** Connect deadline; <= 0 restores a blocking connect. */
+    double connectTimeoutSec = 5.0;
+
+    /** Total tries per operation (1 = no retries). */
+    unsigned attempts = 3;
+
+    double backoffBaseSec = 0.01; ///< first retry delay (doubles after)
+    double backoffMaxSec = 1.0;   ///< backoff ceiling
+
+    /** Seed of the deterministic backoff jitter. */
+    std::uint64_t jitterSeed = 0;
+
+    /**
+     * Defaults with environment overrides applied:
+     * $GS_CONNECT_TIMEOUT_MS (connect deadline, 0 disables) and
+     * $GS_RETRIES (total attempts, >= 1). Malformed values warn and
+     * keep the default.
+     */
+    static ClientOptions fromEnv();
+};
+
 class GscalarClient
 {
   public:
-    /** @param socketPath empty selects defaultSocketPath(). */
-    explicit GscalarClient(std::string socketPath = {});
+    /**
+     * @param socketPath empty selects defaultSocketPath().
+     * @param opts retry/timeout knobs; defaulted from the environment
+     *        (ClientOptions::fromEnv()) when not given.
+     */
+    explicit GscalarClient(std::string socketPath = {},
+                           std::optional<ClientOptions> opts = std::nullopt);
 
     ~GscalarClient();
 
     GscalarClient(const GscalarClient &) = delete;
     GscalarClient &operator=(const GscalarClient &) = delete;
 
-    /** Connect to the daemon; false (with reason) when none answers. */
+    /**
+     * Connect to the daemon; false (with reason) when none answers
+     * within the connect deadline. One attempt, no retries — the
+     * request entry points below do the retrying.
+     */
     bool connect(std::string *error = nullptr);
 
-    /** Liveness probe: Ping and wait for Pong. */
+    /** Liveness probe: Ping and wait for Pong. Retries transport
+     *  failures per ClientOptions. */
     bool ping(std::string *error = nullptr);
 
     /**
      * Submit one run and block for the response. Empty optional on
      * transport failure or non-Ok status (reason in *error).
+     * Transport failures and retryable statuses (ShuttingDown,
+     * Overloaded) are retried with exponential backoff before giving
+     * up.
      */
     std::optional<RunResult> run(const std::string &workload,
                                  const ArchConfig &cfg,
                                  std::string *error = nullptr);
 
-    /** Raw request/response exchange (tests use this for bad inputs). */
+    /** Raw request/response exchange: one attempt, no retries (tests
+     *  use this for bad inputs and shed connections). */
     std::optional<RunResponse> exchange(const RunRequest &req,
                                         std::string *error = nullptr);
 
     /**
      * Fetch the daemon's live counters (`gscalar submit --stats`).
-     * Empty optional on transport failure or malformed reply.
+     * Empty optional on transport failure or malformed reply; retries
+     * like run().
      */
     std::optional<DaemonStats> stats(std::string *error = nullptr);
 
     bool connected() const { return fd_ >= 0; }
     const std::string &socketPath() const { return path_; }
+    const ClientOptions &options() const { return opts_; }
 
     void close();
 
   private:
+    /**
+     * Sleep before retry @p attempt (0-based): exponential backoff
+     * from backoffBaseSec capped at backoffMaxSec, scaled by a
+     * deterministic jitter factor in [0.5, 1.0) drawn from jitterSeed.
+     * Counts the retry in the health counters.
+     */
+    void backoffBeforeRetry(unsigned attempt);
+
     std::string path_;
+    ClientOptions opts_;
     int fd_ = -1;
 };
 

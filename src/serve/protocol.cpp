@@ -2,11 +2,15 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include "fault/fault.hpp"
 
 namespace gs
 {
@@ -38,6 +42,9 @@ constexpr std::uint16_t kStatSimWall = 11;
 constexpr std::uint16_t kStatSimCycles = 12;
 constexpr std::uint16_t kStatWarpInsts = 13;
 constexpr std::uint16_t kStatWorkload = 14; ///< repeated nested blob
+constexpr std::uint16_t kStatOverloads = 15;
+constexpr std::uint16_t kStatIdleCloses = 16;
+constexpr std::uint16_t kStatFrameRejects = 17;
 
 // WorkloadStats (nested) field tags.
 constexpr std::uint16_t kWlName = 1;
@@ -111,8 +118,16 @@ responseStatusName(ResponseStatus s)
       case ResponseStatus::Timeout: return "timeout";
       case ResponseStatus::ShuttingDown: return "shutting-down";
       case ResponseStatus::InternalError: return "internal-error";
+      case ResponseStatus::Overloaded: return "overloaded";
     }
     return "unknown";
+}
+
+bool
+retryableStatus(ResponseStatus s)
+{
+    return s == ResponseStatus::ShuttingDown ||
+           s == ResponseStatus::Overloaded;
 }
 
 std::vector<std::uint8_t>
@@ -175,7 +190,7 @@ deserializeResponse(const std::uint8_t *data, std::size_t size,
     std::uint32_t status = 0;
     r.get(kRespStatus, status);
     r.get(kRespError, resp.error);
-    if (status > static_cast<std::uint32_t>(ResponseStatus::InternalError)) {
+    if (status > static_cast<std::uint32_t>(ResponseStatus::Overloaded)) {
         if (error)
             *error = "response status " + std::to_string(status) +
                      " out of range";
@@ -239,6 +254,9 @@ serializeStatsResponse(const DaemonStats &s)
     w.field(kStatSimWall, s.simWallSeconds);
     w.field(kStatSimCycles, s.simCycles);
     w.field(kStatWarpInsts, s.warpInsts);
+    w.field(kStatOverloads, s.overloads);
+    w.field(kStatIdleCloses, s.idleCloses);
+    w.field(kStatFrameRejects, s.frameRejects);
     for (const WorkloadLatency &wl : s.workloads)
         w.fieldBlob(kStatWorkload, serializeWorkloadLatency(wl));
     return w.finish();
@@ -263,6 +281,9 @@ deserializeStatsResponse(const std::uint8_t *data, std::size_t size,
     r.get(kStatSimWall, s.simWallSeconds);
     r.get(kStatSimCycles, s.simCycles);
     r.get(kStatWarpInsts, s.warpInsts);
+    r.get(kStatOverloads, s.overloads);
+    r.get(kStatIdleCloses, s.idleCloses);
+    r.get(kStatFrameRejects, s.frameRejects);
     const std::vector<ByteReader::BlobView> blobs =
         r.getBlobs(kStatWorkload);
     if (!r.ok()) {
@@ -292,18 +313,36 @@ peekKind(const std::uint8_t *data, std::size_t size)
     return static_cast<BlobKind>(data[6]);
 }
 
+namespace
+{
+/** Injected-EINTR storms are bounded so rate 1.0 cannot livelock. */
+constexpr int kMaxInjectedEintr = 16;
+} // namespace
+
 bool
 writeFrame(int fd, const std::vector<std::uint8_t> &payload)
 {
     if (payload.size() > kMaxFrameBytes)
         return false;
+    if (injectFault("serve", FaultKind::ConnReset)) {
+        errno = ECONNRESET;
+        return false;
+    }
     const std::uint32_t len = std::uint32_t(payload.size());
     std::uint8_t header[4] = {
         std::uint8_t(len), std::uint8_t(len >> 8),
         std::uint8_t(len >> 16), std::uint8_t(len >> 24)};
 
-    auto writeAll = [fd](const std::uint8_t *p, std::size_t n) {
+    int eintrBudget = kMaxInjectedEintr;
+    auto writeAll = [fd, &eintrBudget](const std::uint8_t *p,
+                                       std::size_t n) {
         while (n > 0) {
+            if (eintrBudget > 0 &&
+                injectFault("serve", FaultKind::Eintr)) {
+                // Simulated spurious wakeup: retry like a real EINTR.
+                --eintrBudget;
+                continue;
+            }
             // MSG_NOSIGNAL: a vanished peer must error out, not raise
             // SIGPIPE and kill the daemon.
             const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
@@ -322,12 +361,32 @@ writeFrame(int fd, const std::vector<std::uint8_t> &payload)
 }
 
 int
-readFrame(int fd, std::vector<std::uint8_t> &payload, std::string *error)
+readFrame(int fd, std::vector<std::uint8_t> &payload, std::string *error,
+          std::uint32_t maxFrame)
 {
-    auto readAll = [fd](std::uint8_t *p, std::size_t n,
-                        bool *sawAnyByte) {
+    if (maxFrame > kMaxFrameBytes)
+        maxFrame = kMaxFrameBytes;
+    if (injectFault("serve", FaultKind::ConnReset)) {
+        if (error)
+            *error = "connection reset by peer (injected)";
+        return -1;
+    }
+    if (injectFault("serve", FaultKind::Stall)) {
+        // A peer that stops sending: the reader must survive the gap
+        // (or its read timeout must fire), never wedge forever.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    int eintrBudget = kMaxInjectedEintr;
+    auto readAll = [fd, &eintrBudget](std::uint8_t *p, std::size_t n,
+                                      bool *sawAnyByte) {
         std::size_t got = 0;
         while (got < n) {
+            if (eintrBudget > 0 &&
+                injectFault("serve", FaultKind::Eintr)) {
+                --eintrBudget;
+                continue;
+            }
             const ssize_t r = ::recv(fd, p + got, n - got, 0);
             if (r < 0) {
                 if (errno == EINTR)
@@ -356,11 +415,19 @@ readFrame(int fd, std::vector<std::uint8_t> &payload, std::string *error)
                               (std::uint32_t(header[1]) << 8) |
                               (std::uint32_t(header[2]) << 16) |
                               (std::uint32_t(header[3]) << 24);
-    if (len > kMaxFrameBytes) {
+    if (len > maxFrame) {
         if (error)
             *error = "frame of " + std::to_string(len) +
-                     " bytes exceeds the " +
-                     std::to_string(kMaxFrameBytes) + " byte limit";
+                     " bytes exceeds the " + std::to_string(maxFrame) +
+                     " byte limit";
+        return -2;
+    }
+    if (len > 0 && injectFault("serve", FaultKind::ShortRead)) {
+        // Model the peer dying mid-frame; the caller must treat the
+        // connection as unusable from here on.
+        if (error)
+            *error = "connection dropped inside a frame payload "
+                     "(injected)";
         return -1;
     }
     payload.resize(len);

@@ -54,10 +54,18 @@ enum class ResponseStatus : std::uint32_t
     Timeout = 2,       ///< simulation exceeded the per-request budget
     ShuttingDown = 3,  ///< server is draining; retry elsewhere/later
     InternalError = 4, ///< simulation failed server-side
+    Overloaded = 5,    ///< connection cap reached; retry with backoff
 };
 
 /** Human-readable name of a status (for logs and CLI errors). */
 std::string_view responseStatusName(ResponseStatus s);
+
+/**
+ * Whether a client should retry a request that drew this status.
+ * ShuttingDown and Overloaded are transient by definition; the rest
+ * describe the request (BadRequest) or the work itself.
+ */
+bool retryableStatus(ResponseStatus s);
 
 struct RunResponse
 {
@@ -94,6 +102,9 @@ struct DaemonStats
     double simWallSeconds = 0; ///< summed simulate wall clock
     std::uint64_t simCycles = 0;
     std::uint64_t warpInsts = 0;
+    std::uint64_t overloads = 0;    ///< connections shed at the cap
+    std::uint64_t idleCloses = 0;   ///< connections idle-timed-out
+    std::uint64_t frameRejects = 0; ///< frames over the size guard
     std::vector<WorkloadLatency> workloads; ///< sorted by name
 };
 
@@ -128,12 +139,15 @@ std::optional<BlobKind> peekKind(const std::uint8_t *data,
 bool writeFrame(int fd, const std::vector<std::uint8_t> &payload);
 
 /**
- * Read one frame into @p payload.
+ * Read one frame into @p payload. @p maxFrame caps the accepted
+ * payload size (never above kMaxFrameBytes).
  * @return 1 on success, 0 on clean EOF before any byte of a frame,
- *         -1 on I/O error, oversized frame, or mid-frame EOF.
+ *         -1 on I/O error or mid-frame EOF, -2 on an oversized frame
+ *         (so servers can count guard rejections separately).
  */
 int readFrame(int fd, std::vector<std::uint8_t> &payload,
-              std::string *error = nullptr);
+              std::string *error = nullptr,
+              std::uint32_t maxFrame = kMaxFrameBytes);
 
 } // namespace gs
 

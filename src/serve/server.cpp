@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include "common/log.hpp"
+#include "fault/health.hpp"
 #include "workloads/workload.hpp"
 
 namespace gs
@@ -176,6 +177,33 @@ GscalarServer::acceptLoop()
             break;
         }
         reapFinishedConns();
+        if (opts_.maxConnections > 0 &&
+            activeConnections() >= opts_.maxConnections) {
+            // Shed load instead of queueing unboundedly: tell the peer
+            // why (it retries with backoff) and close. Whatever it was
+            // about to send, an Overloaded response frame is a legible
+            // answer.
+            RunResponse resp;
+            resp.status = ResponseStatus::Overloaded;
+            resp.error = "connection cap (" +
+                         std::to_string(opts_.maxConnections) +
+                         ") reached; retry with backoff";
+            writeFrame(fd, serializeResponse(resp));
+            ::close(fd);
+            overloads_.fetch_add(1);
+            healthCounters().daemonOverloads.fetch_add(
+                1, std::memory_order_relaxed);
+            continue;
+        }
+        if (opts_.idleTimeoutSec > 0) {
+            // A peer stalling mid-frame trips this receive timeout;
+            // stalls *between* frames are the connection loop's poll.
+            timeval tv{};
+            tv.tv_sec = long(opts_.idleTimeoutSec);
+            tv.tv_usec =
+                long((opts_.idleTimeoutSec - double(tv.tv_sec)) * 1e6);
+            ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        }
         auto conn = std::make_unique<Conn>();
         conn->fd = fd;
         Conn &ref = *conn;
@@ -255,6 +283,15 @@ GscalarServer::handleRequest(const std::uint8_t *data, std::size_t size)
     }
     try {
         resp.result = future.get();
+        if (!resp.result.ok()) {
+            // The engine retried and still failed; the error rides the
+            // result rather than an exception (engine.cpp), so map it
+            // to a status here.
+            resp.status = ResponseStatus::InternalError;
+            resp.error = resp.result.error;
+            resp.result = RunResult{};
+            return resp;
+        }
         resp.status = ResponseStatus::Ok;
         served_.fetch_add(1);
         const auto dt = std::chrono::steady_clock::now() - begin;
@@ -288,6 +325,9 @@ GscalarServer::stats() const
     s.simWallSeconds = snap.wallSumSeconds;
     s.simCycles = snap.simCycles;
     s.warpInsts = snap.warpInsts;
+    s.overloads = overloads_.load();
+    s.idleCloses = idleCloses_.load();
+    s.frameRejects = frameRejects_.load();
     std::lock_guard<std::mutex> lock(latencyMutex_);
     for (const auto &[name, hist] : latency_)
         s.workloads.push_back({name, hist}); // std::map: sorted by name
@@ -299,7 +339,40 @@ GscalarServer::connectionLoop(Conn &conn)
 {
     std::vector<std::uint8_t> payload;
     for (;;) {
-        const int rc = readFrame(conn.fd, payload);
+        if (opts_.idleTimeoutSec > 0) {
+            // Idle guard between frames: a silent peer must not pin a
+            // connection slot (and its thread) forever.
+            pollfd pfd{conn.fd, POLLIN, 0};
+            const int prc =
+                ::poll(&pfd, 1, int(opts_.idleTimeoutSec * 1000));
+            if (prc < 0) {
+                if (errno == EINTR)
+                    continue;
+                break;
+            }
+            if (prc == 0) {
+                idleCloses_.fetch_add(1);
+                healthCounters().daemonIdleCloses.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+            }
+        }
+        const int rc =
+            readFrame(conn.fd, payload, nullptr, opts_.maxFrameBytes);
+        if (rc == -2) {
+            // Size-guard trip: answer before hanging up so the peer
+            // learns the limit instead of diagnosing a dead socket.
+            frameRejects_.fetch_add(1);
+            healthCounters().daemonFrameRejects.fetch_add(
+                1, std::memory_order_relaxed);
+            RunResponse resp;
+            resp.status = ResponseStatus::BadRequest;
+            resp.error = "frame exceeds the " +
+                         std::to_string(opts_.maxFrameBytes) +
+                         " byte limit";
+            writeFrame(conn.fd, serializeResponse(resp));
+            break;
+        }
         if (rc <= 0)
             break; // EOF or framing error: drop the connection
 
@@ -323,9 +396,12 @@ GscalarServer::connectionLoop(Conn &conn)
         if (!sent)
             break;
     }
-    // The fd is closed by the reaper (reapFinishedConns/wait) after the
-    // join: closing here would race the drain path's shutdown(SHUT_RD)
-    // against kernel fd reuse.
+    // Make the hangup visible to the peer now: the fd itself is closed
+    // by the reaper (reapFinishedConns/wait) after the join — closing
+    // here would race the drain path's shutdown(SHUT_RD) against kernel
+    // fd reuse — but the reaper only runs on a later accept, so without
+    // this FIN an idle-closed peer would block forever on its next read.
+    ::shutdown(conn.fd, SHUT_RDWR);
     conn.done.store(true);
 }
 

@@ -47,6 +47,15 @@ class GscalarServer
          *  simulation itself is not cancelled on timeout; the slot is
          *  simply answered with ResponseStatus::Timeout. */
         double requestTimeoutSec = 600.0;
+        /** Close a connection after this long without a frame — and
+         *  (as SO_RCVTIMEO) after stalling this long mid-frame.
+         *  <= 0 disables both. */
+        double idleTimeoutSec = 300.0;
+        /** Connection cap: further accepts are answered with
+         *  ResponseStatus::Overloaded and closed. 0 = unlimited. */
+        std::uint32_t maxConnections = 64;
+        /** Per-frame payload limit (never above kMaxFrameBytes). */
+        std::uint32_t maxFrameBytes = kMaxFrameBytes;
     };
 
     explicit GscalarServer(ExperimentEngine &engine)
@@ -132,6 +141,9 @@ class GscalarServer
     std::atomic<bool> stopping_{false};
     std::atomic<bool> running_{false};
     std::atomic<std::uint64_t> served_{0};
+    std::atomic<std::uint64_t> overloads_{0};    ///< connections shed
+    std::atomic<std::uint64_t> idleCloses_{0};   ///< idle timeouts
+    std::atomic<std::uint64_t> frameRejects_{0}; ///< oversized frames
 
     std::chrono::steady_clock::time_point startTime_{};
     mutable std::mutex latencyMutex_;

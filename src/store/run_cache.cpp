@@ -10,6 +10,8 @@
 #include <unistd.h>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "serial.hpp"
 
 namespace fs = std::filesystem;
@@ -107,9 +109,7 @@ DiskRunCache::load(const std::string &abbr, const ArchConfig &cfg)
     }
 
     auto reject = [&](const std::string &why) {
-        GS_WARN("discarding cache record ", path.string(), ": ", why);
-        std::error_code ec;
-        fs::remove(path, ec);
+        quarantine(path, why);
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.rejects;
         ++stats_.misses;
@@ -165,20 +165,44 @@ DiskRunCache::store(const std::string &abbr, const ArchConfig &cfg,
     const fs::path tmp =
         fs::path(schemaDir_) / (".tmp-" + std::to_string(::getpid()) + "-" +
                                 std::to_string(nonce));
+    const bool shortWrite = injectFault("store", FaultKind::ShortWrite);
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
-            return false;
+            return publishFailed(tmp, "cannot open " + tmp.string());
+        const std::size_t n = shortWrite ? blob.size() / 2 : blob.size();
         out.write(reinterpret_cast<const char *>(blob.data()),
-                  std::streamsize(blob.size()));
+                  std::streamsize(n));
         if (!out.good())
-            return false;
+            return publishFailed(tmp, "write to " + tmp.string() +
+                                          " failed");
     }
+    if (shortWrite)
+        return publishFailed(tmp, "short write to " + tmp.string() +
+                                      " (injected)");
+
+    if (injectFault("store", FaultKind::BitFlip)) {
+        // Corrupt one payload bit post-write: the published record must
+        // later trip the FNV-1a checksum and land in quarantine.
+        std::fstream flip(tmp,
+                          std::ios::binary | std::ios::in | std::ios::out);
+        char byte = 0;
+        const std::streamoff off = std::streamoff(blob.size() / 2);
+        flip.seekg(off);
+        flip.get(byte);
+        byte = char(byte ^ 0x01);
+        flip.seekp(off);
+        flip.put(byte);
+    }
+
     std::error_code ec;
-    fs::rename(tmp, path, ec); // atomic within one directory
+    if (injectFault("store", FaultKind::RenameFail))
+        ec = std::make_error_code(std::errc::io_error);
+    else
+        fs::rename(tmp, path, ec); // atomic within one directory
     if (ec) {
-        fs::remove(tmp, ec);
-        return false;
+        return publishFailed(tmp, "rename " + tmp.string() + " -> " +
+                                      path.string() + ": " + ec.message());
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -186,6 +210,61 @@ DiskRunCache::store(const std::string &abbr, const ArchConfig &cfg,
     }
     sweep();
     return true;
+}
+
+std::string
+DiskRunCache::quarantineDir() const
+{
+    return (fs::path(dir_) / "quarantine").string();
+}
+
+void
+DiskRunCache::quarantine(const fs::path &path, const std::string &why)
+{
+    const fs::path qdir = quarantineDir();
+    std::error_code ec;
+    fs::create_directories(qdir, ec);
+    const fs::path dest = qdir / path.filename();
+    if (!ec)
+        fs::rename(path, dest, ec);
+    if (ec) {
+        // Can't move it aside; removal still protects future loads.
+        std::error_code rmEc;
+        fs::remove(path, rmEc);
+        GS_WARN("discarding cache record ", path.string(), ": ", why,
+                " (quarantine failed: ", ec.message(), ")");
+    } else {
+        GS_WARN("quarantined cache record ", path.string(), " -> ",
+                dest.string(), ": ", why);
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.quarantined;
+    }
+    healthCounters().cacheQuarantines.fetch_add(1,
+                                                std::memory_order_relaxed);
+}
+
+bool
+DiskRunCache::publishFailed(const fs::path &tmp, const std::string &why)
+{
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    bool firstFailure = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.publishFailures;
+        firstFailure = !warnedPublish_;
+        warnedPublish_ = true;
+    }
+    // One line per cache, not per failure: a full disk would otherwise
+    // turn every store into a log line.
+    if (firstFailure)
+        GS_WARN("cache publish failed: ", why,
+                " (counted; further failures on this cache are silent)");
+    healthCounters().cachePublishFailures.fetch_add(
+        1, std::memory_order_relaxed);
+    return false;
 }
 
 void

@@ -11,8 +11,10 @@
  * load compares it byte-for-byte against the requested configuration —
  * a fingerprint collision or a stale hash function can therefore never
  * return the wrong result. Records are serial.hpp blobs, so truncation
- * or bit rot fails the checksum and the file is silently discarded and
- * deleted (a cache may always miss; it must never lie).
+ * or bit rot fails the checksum and the record is rejected — moved to
+ * `<dir>/quarantine/` for post-mortem rather than silently unlinked —
+ * and the caller recomputes (a cache may always miss; it must never
+ * lie).
  *
  * Writes go to a temp file in the same directory followed by an atomic
  * rename, so concurrent processes never observe half-written records.
@@ -24,6 +26,7 @@
 #define GSCALAR_STORE_RUN_CACHE_HPP
 
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -43,6 +46,8 @@ struct DiskCacheStats
     std::uint64_t stores = 0;
     std::uint64_t rejects = 0;   ///< corrupt/mismatched records discarded
     std::uint64_t evictions = 0; ///< files removed by the LRU sweep
+    std::uint64_t quarantined = 0; ///< rejected records moved aside
+    std::uint64_t publishFailures = 0; ///< stores that failed to land
 };
 
 class DiskRunCache
@@ -78,12 +83,16 @@ class DiskRunCache
 
     /**
      * Load the cached result for (abbr, cfg). Returns nullopt on miss
-     * or on any malformed/mismatched record (which is deleted).
+     * or on any malformed/mismatched record (which is quarantined).
      */
     std::optional<RunResult> load(const std::string &abbr,
                                   const ArchConfig &cfg);
 
-    /** Persist @p result for (abbr, cfg); returns false on I/O error. */
+    /**
+     * Persist @p result for (abbr, cfg); returns false on I/O error.
+     * Failed publishes are counted (stats().publishFailures) and the
+     * first one per cache is logged; the cache stays usable.
+     */
     bool store(const std::string &abbr, const ArchConfig &cfg,
                const RunResult &result);
 
@@ -96,11 +105,22 @@ class DiskRunCache
     /** Root directory (as given, before the schema subdirectory). */
     const std::string &dir() const { return dir_; }
 
+    /** Where rejected records are moved: `<dir>/quarantine`. */
+    std::string quarantineDir() const;
+
     DiskCacheStats stats() const;
 
   private:
     std::string recordPath(const std::string &abbr,
                            const ArchConfig &cfg) const;
+
+    /** Move a rejected record into quarantineDir() (remove on error). */
+    void quarantine(const std::filesystem::path &path,
+                    const std::string &why);
+
+    /** Count (and log once) a store that failed to land. */
+    bool publishFailed(const std::filesystem::path &tmp,
+                       const std::string &why);
 
     std::string dir_;       ///< cache root
     std::string schemaDir_; ///< dir_/v<kSchemaVersion>
@@ -109,6 +129,7 @@ class DiskRunCache
     mutable std::mutex mutex_; ///< guards stats_ and tmp naming
     DiskCacheStats stats_;
     std::uint64_t tmpCounter_ = 0;
+    bool warnedPublish_ = false; ///< first publish failure logs; rest count
 };
 
 } // namespace gs

@@ -1,8 +1,9 @@
 /**
  * @file
  * Disk run-cache tests (store/run_cache.hpp): store/load round trips in
- * a throwaway directory, corrupt-record rejection (with deletion), the
- * embedded-config authority check, LRU eviction and fromEnv plumbing.
+ * a throwaway directory, corrupt-record rejection (with quarantine),
+ * the embedded-config authority check, LRU eviction and fromEnv
+ * plumbing.
  */
 
 #include <gtest/gtest.h>
@@ -56,15 +57,35 @@ makeResult(const std::string &abbr, std::uint64_t cycles)
     return r;
 }
 
+/** Live .run records under @p root, excluding the quarantine dir. */
 std::vector<fs::path>
 recordFiles(const std::string &root)
 {
     std::vector<fs::path> out;
     std::error_code ec;
-    for (const auto &e : fs::recursive_directory_iterator(root, ec))
-        if (e.is_regular_file() && e.path().extension() == ".run")
+    for (const auto &e : fs::recursive_directory_iterator(root, ec)) {
+        if (!e.is_regular_file() || e.path().extension() != ".run")
+            continue;
+        bool quarantined = false;
+        for (const auto &part : e.path())
+            if (part == "quarantine")
+                quarantined = true;
+        if (!quarantined)
             out.push_back(e.path());
+    }
     return out;
+}
+
+std::size_t
+quarantinedFiles(const DiskRunCache &cache)
+{
+    std::error_code ec;
+    std::size_t n = 0;
+    for (const auto &e :
+         fs::directory_iterator(cache.quarantineDir(), ec))
+        if (e.is_regular_file())
+            ++n;
+    return n;
 }
 
 } // namespace
@@ -118,7 +139,7 @@ TEST(DiskRunCache, DifferentConfigsMiss)
     EXPECT_FALSE(cache.load("HS", a).has_value());
 }
 
-TEST(DiskRunCache, CorruptRecordIsRejectedAndDeleted)
+TEST(DiskRunCache, CorruptRecordIsRejectedAndQuarantined)
 {
     TempDir tmp;
     DiskRunCache cache(tmp.path);
@@ -129,7 +150,8 @@ TEST(DiskRunCache, CorruptRecordIsRejectedAndDeleted)
     ASSERT_EQ(files.size(), 1u);
 
     // Flip one payload byte: the checksum must catch it, the load must
-    // miss, and the poisoned file must be removed.
+    // miss, and the poisoned file must move to quarantine/ (kept for
+    // post-mortems, out of the lookup path).
     {
         std::fstream f(files[0],
                        std::ios::in | std::ios::out | std::ios::binary);
@@ -142,7 +164,14 @@ TEST(DiskRunCache, CorruptRecordIsRejectedAndDeleted)
     }
     EXPECT_FALSE(cache.load("BT", cfg).has_value());
     EXPECT_GE(cache.stats().rejects, 1u);
+    EXPECT_GE(cache.stats().quarantined, 1u);
     EXPECT_TRUE(recordFiles(tmp.path).empty());
+    EXPECT_EQ(quarantinedFiles(cache), 1u);
+
+    // A clean re-store repairs the entry; the quarantined copy stays.
+    ASSERT_TRUE(cache.store("BT", cfg, makeResult("BT", 42)));
+    EXPECT_TRUE(cache.load("BT", cfg).has_value());
+    EXPECT_EQ(quarantinedFiles(cache), 1u);
 }
 
 TEST(DiskRunCache, TruncatedRecordIsRejected)
@@ -155,7 +184,9 @@ TEST(DiskRunCache, TruncatedRecordIsRejected)
     ASSERT_EQ(files.size(), 1u);
     fs::resize_file(files[0], fs::file_size(files[0]) / 2);
     EXPECT_FALSE(cache.load("BT", cfg).has_value());
+    EXPECT_GE(cache.stats().quarantined, 1u);
     EXPECT_TRUE(recordFiles(tmp.path).empty());
+    EXPECT_EQ(quarantinedFiles(cache), 1u);
 }
 
 TEST(DiskRunCache, EmbeddedConfigIsAuthoritative)

@@ -19,6 +19,8 @@
 
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "harness/engine.hpp"
 #include "harness/experiments.hpp"
 #include "harness/report.hpp"
@@ -73,7 +75,9 @@ printUsage(std::ostream &os)
           "  --jobs/-j N (or GS_JOBS=N) sets the simulation worker\n"
           "  pool size; --cache (or GS_CACHE_DIR=DIR) persists runs\n"
           "  on disk; GS_TRACE=path[:1/N] streams a sampled JSONL\n"
-          "  event trace; GS_VERBOSE=1 prints per-run timing lines.\n"
+          "  event trace; GS_VERBOSE=1 prints per-run timing lines;\n"
+          "  GS_FAULT=site:kind:rate[:seed] (or --fault) injects\n"
+          "  deterministic faults (see docs/RELIABILITY.md).\n"
           "modes: baseline alu-scalar warped-compression\n"
           "       gscalar-compress gscalar-nodiv gscalar\n"
           "experiments (see `gscalar bench --list`):";
@@ -160,7 +164,13 @@ parseFlags(int argc, char **argv, int first, Options &opt)
             opt.socket = need("--socket");
         else if (a == "--cache")
             setDefaultCacheEnabled(true);
-        else if (a == "--jobs" || a == "-j") {
+        else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
+            const std::string spec =
+                a == "--fault" ? need("--fault") : a.substr(8);
+            std::string ferr;
+            if (!faultInjector().configure(spec, &ferr))
+                GS_FATAL("--fault='", spec, "': ", ferr);
+        } else if (a == "--jobs" || a == "-j") {
             const std::string v = need("--jobs");
             const std::optional<unsigned> jobs = parseJobsValue(v);
             if (!jobs)
@@ -170,6 +180,16 @@ parseFlags(int argc, char **argv, int first, Options &opt)
         } else
             GS_FATAL("unknown option '", a, "'");
     }
+}
+
+/** Print the reliability counters to stderr when anything fired;
+ *  stdout stays byte-identical to a fault-free run. */
+void
+printHealthSummary()
+{
+    const std::string h = healthSummary();
+    if (!h.empty())
+        stderrSink().writeLine(h);
 }
 
 /** Shared run/submit output: plain, --csv, --json, optional --power. */
@@ -201,9 +221,12 @@ cmdRun(int argc, char **argv)
     // Through the shared engine so --cache / GS_CACHE_DIR can answer
     // repeat invocations from disk instead of re-simulating.
     const RunResult r = defaultEngine().run(argv[2], opt.cfg);
+    if (!r.ok())
+        GS_FATAL("run ", r.workload, " failed: ", r.error);
     printResult(r, opt);
     std::cerr << throughputSummary({r}) << "\n"
               << defaultEngine().statsSummary() << "\n";
+    printHealthSummary();
     return 0;
 }
 
@@ -219,13 +242,20 @@ cmdSuite(int argc, char **argv)
     if (opt.csv) {
         std::cout << toCsv(results);
     } else {
-        for (const RunResult &r : results)
+        for (const RunResult &r : results) {
+            if (!r.ok()) {
+                std::cout << r.workload << ": FAILED (" << r.error
+                          << ")\n";
+                continue;
+            }
             std::cout << r.workload << ": cycles=" << r.ev.cycles
                       << " IPC=" << r.ev.ipc()
                       << " IPC/W=" << r.power.ipcPerWatt() << "\n";
+        }
     }
     std::cerr << throughputSummary(results) << "\n"
               << defaultEngine().statsSummary() << "\n";
+    printHealthSummary();
     return 0;
 }
 
@@ -270,7 +300,9 @@ cmdBench(int argc, char **argv)
             setFormat(need("--format"));
         else if (a == "--cache")
             continue; // consumed by initHarness
-        else if (a == "--jobs" || a == "-j")
+        else if (a.rfind("--fault=", 0) == 0)
+            continue; // consumed by initHarness
+        else if (a == "--fault" || a == "--jobs" || a == "-j")
             ++i; // value consumed by initHarness
         else
             GS_FATAL("unknown option '", a,
@@ -309,6 +341,7 @@ cmdBench(int argc, char **argv)
     for (const Experiment *e : selected)
         e->run(defaultEngine(), cfg, *sink);
     stderrSink().writeLine(defaultEngine().statsSummary());
+    printHealthSummary();
     return 0;
 }
 
@@ -375,11 +408,11 @@ cmdExperiment(int argc, char **argv)
     std::vector<std::string> names;
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
-        if (a == "--jobs" || a == "-j") {
+        if (a == "--jobs" || a == "-j" || a == "--fault") {
             ++i; // value consumed by initHarness
             continue;
         }
-        if (a == "--cache")
+        if (a == "--cache" || a.rfind("--fault=", 0) == 0)
             continue;
         if (a == "all") {
             for (const Experiment &e : experiments())
@@ -416,9 +449,23 @@ cmdServe(int argc, char **argv)
             sopt.socketPath = need("--socket");
         else if (a == "--timeout")
             sopt.requestTimeoutSec = std::stod(need("--timeout"));
+        else if (a == "--idle-timeout")
+            sopt.idleTimeoutSec = std::stod(need("--idle-timeout"));
+        else if (a == "--max-connections")
+            sopt.maxConnections =
+                std::uint32_t(std::stoul(need("--max-connections")));
+        else if (a == "--max-frame-bytes")
+            sopt.maxFrameBytes =
+                std::uint32_t(std::stoul(need("--max-frame-bytes")));
         else if (a == "--cache")
             setDefaultCacheEnabled(true);
-        else if (a == "--jobs" || a == "-j") {
+        else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
+            const std::string spec =
+                a == "--fault" ? need("--fault") : a.substr(8);
+            std::string ferr;
+            if (!faultInjector().configure(spec, &ferr))
+                GS_FATAL("--fault='", spec, "': ", ferr);
+        } else if (a == "--jobs" || a == "-j") {
             const std::string v = need("--jobs");
             const std::optional<unsigned> jobs = parseJobsValue(v);
             if (!jobs)
@@ -442,6 +489,7 @@ cmdServe(int argc, char **argv)
     std::cerr << "gscalard: served " << server.requestsServed()
               << " request(s)\n"
               << defaultEngine().statsSummary() << "\n";
+    printHealthSummary();
     return 0;
 }
 
@@ -465,6 +513,9 @@ printDaemonStats(const DaemonStats &s, bool json)
            << ", \"sim_wall_seconds\": " << s.simWallSeconds
            << ", \"sim_cycles\": " << s.simCycles
            << ", \"warp_insts\": " << s.warpInsts
+           << ", \"overloads\": " << s.overloads
+           << ", \"idle_closes\": " << s.idleCloses
+           << ", \"frame_rejects\": " << s.frameRejects
            << ", \"workloads\": [";
         bool first = true;
         for (const WorkloadLatency &wl : s.workloads) {
@@ -494,6 +545,11 @@ printDaemonStats(const DaemonStats &s, bool json)
               << s.warpInsts << " warp-insts in "
               << Table::num(s.simWallSeconds, 2)
               << "s of simulate time\n";
+    if (s.overloads || s.idleCloses || s.frameRejects)
+        std::cout << "shed load: " << s.overloads
+                  << " overloaded connection(s), " << s.idleCloses
+                  << " idle close(s), " << s.frameRejects
+                  << " oversized frame(s)\n";
     if (s.workloads.empty()) {
         std::cout << "request latency: (no requests served yet)\n";
         return;
@@ -589,6 +645,8 @@ commands()
          "                  json (one document per experiment) or csv\n"
          "  --jobs/-j N     worker pool size\n"
          "  --cache         persist runs on disk\n"
+         "  --fault SPEC    inject faults (site:kind:rate[:seed],\n"
+         "                  comma-separated; same as $GS_FAULT)\n"
          "\n"
          "  With no --only the full registry runs in reference order,\n"
          "  so `gscalar bench` reproduces docs/bench_reference_output\n"
@@ -615,13 +673,22 @@ commands()
          "  --jobs/-j N  worker pool size\n"
          "  --cache      persist runs on disk\n",
          cmdExperiment},
-        {"serve", "[--socket PATH] [--timeout SEC]",
+        {"serve", "[--socket PATH] [--timeout SEC] [limits]",
          "run the gscalard simulation daemon",
-         "  --socket PATH  unix socket (default $GS_SOCKET or\n"
-         "                 $XDG_RUNTIME_DIR/gscalard.sock)\n"
-         "  --timeout SEC  per-request engine budget (default 600)\n"
-         "  --jobs/-j N    worker pool size\n"
-         "  --cache        persist runs on disk\n"
+         "  --socket PATH          unix socket (default $GS_SOCKET or\n"
+         "                         $XDG_RUNTIME_DIR/gscalard.sock)\n"
+         "  --timeout SEC          per-request engine budget\n"
+         "                         (default 600)\n"
+         "  --idle-timeout SEC     close connections idle this long\n"
+         "                         (default 300; <= 0 disables)\n"
+         "  --max-connections N    shed further connections with an\n"
+         "                         `overloaded` response (default 64;\n"
+         "                         0 = unlimited)\n"
+         "  --max-frame-bytes N    reject request frames above N bytes\n"
+         "                         (default and ceiling 16 MiB)\n"
+         "  --fault SPEC           inject faults (same as $GS_FAULT)\n"
+         "  --jobs/-j N            worker pool size\n"
+         "  --cache                persist runs on disk\n"
          "\n"
          "  Clients reach it with `gscalar submit`; `gscalar submit\n"
          "  --stats` reports its live counters.\n",
@@ -683,6 +750,8 @@ main(int argc, char **argv)
                      "' is not a valid worker count "
                      "(want an integer in [1, 4096])");
     }
+    // Likewise force GS_FAULT validation before any work starts.
+    faultInjector();
     const Command *c = findCommand(cmd);
     if (!c) {
         std::cerr << "gscalar: unknown command '" << cmd << "'\n\n";

@@ -4,15 +4,20 @@
  * `gscalar serve` but as its own binary so deployments can ship the
  * service without the experiment drivers.
  *
- *   gscalard [--socket PATH] [--timeout SEC] [--jobs N] [--cache]
+ *   gscalard [--socket PATH] [--timeout SEC] [--idle-timeout SEC]
+ *            [--max-connections N] [--max-frame-bytes N] [--jobs N]
+ *            [--cache] [--fault SPEC]
  */
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "harness/engine.hpp"
 #include "serve/server.hpp"
 
@@ -30,7 +35,9 @@ printUsage(std::ostream &os)
 {
     os <<
         "usage: gscalard [--socket PATH] [--timeout SEC] [--jobs N]\n"
-        "                [--cache]\n"
+        "                [--idle-timeout SEC] [--max-connections N]\n"
+        "                [--max-frame-bytes N] [--cache]\n"
+        "                [--fault SPEC]\n"
         "\n"
         "Serves simulation requests from gscalar submit /\n"
         "GscalarClient over a unix-domain socket, sharing one\n"
@@ -39,13 +46,24 @@ printUsage(std::ostream &os)
         "(uptime, requests, cache state, per-workload latency).\n"
         "SIGINT/SIGTERM drain in-flight requests, then exit.\n"
         "\n"
-        "  --socket PATH   listen here (default $GS_SOCKET, else\n"
-        "                  $XDG_RUNTIME_DIR/gscalard.sock, else\n"
-        "                  /tmp/gscalard-<uid>.sock)\n"
-        "  --timeout SEC   per-request engine budget (default 600)\n"
-        "  --jobs/-j N     worker pool size (or GS_JOBS=N)\n"
-        "  --cache         persist runs at $GS_CACHE_DIR or the\n"
-        "                  default cache directory\n";
+        "  --socket PATH        listen here (default $GS_SOCKET, else\n"
+        "                       $XDG_RUNTIME_DIR/gscalard.sock, else\n"
+        "                       /tmp/gscalard-<uid>.sock)\n"
+        "  --timeout SEC        per-request engine budget (default\n"
+        "                       600)\n"
+        "  --idle-timeout SEC   close connections idle this long\n"
+        "                       (default 300; <= 0 disables)\n"
+        "  --max-connections N  shed further connections with an\n"
+        "                       `overloaded` response (default 64;\n"
+        "                       0 = unlimited)\n"
+        "  --max-frame-bytes N  reject request frames above N bytes\n"
+        "                       (default and ceiling 16 MiB)\n"
+        "  --fault SPEC         inject deterministic faults\n"
+        "                       (site:kind:rate[:seed], comma-\n"
+        "                       separated; same as $GS_FAULT)\n"
+        "  --jobs/-j N          worker pool size (or GS_JOBS=N)\n"
+        "  --cache              persist runs at $GS_CACHE_DIR or the\n"
+        "                       default cache directory\n";
 }
 
 } // namespace
@@ -72,9 +90,23 @@ main(int argc, char **argv)
             sopt.socketPath = need("--socket");
         else if (a == "--timeout")
             sopt.requestTimeoutSec = std::stod(need("--timeout"));
+        else if (a == "--idle-timeout")
+            sopt.idleTimeoutSec = std::stod(need("--idle-timeout"));
+        else if (a == "--max-connections")
+            sopt.maxConnections =
+                std::uint32_t(std::stoul(need("--max-connections")));
+        else if (a == "--max-frame-bytes")
+            sopt.maxFrameBytes =
+                std::uint32_t(std::stoul(need("--max-frame-bytes")));
         else if (a == "--cache")
             setDefaultCacheEnabled(true);
-        else if (a == "--jobs" || a == "-j") {
+        else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
+            const std::string spec =
+                a == "--fault" ? need("--fault") : a.substr(8);
+            std::string ferr;
+            if (!faultInjector().configure(spec, &ferr))
+                GS_FATAL("--fault='", spec, "': ", ferr);
+        } else if (a == "--jobs" || a == "-j") {
             const std::string v = need("--jobs");
             const std::optional<unsigned> jobs = parseJobsValue(v);
             if (!jobs)
@@ -92,6 +124,8 @@ main(int argc, char **argv)
                      "' is not a valid worker count "
                      "(want an integer in [1, 4096])");
     }
+    // Validate $GS_FAULT now rather than at the first injected seam.
+    faultInjector();
 
     GscalarServer server(defaultEngine(), sopt);
     std::string err;
@@ -106,5 +140,8 @@ main(int argc, char **argv)
     std::cerr << "gscalard: served " << server.requestsServed()
               << " request(s)\n"
               << defaultEngine().statsSummary() << "\n";
+    const std::string health = healthSummary();
+    if (!health.empty())
+        std::cerr << health << "\n";
     return 0;
 }
