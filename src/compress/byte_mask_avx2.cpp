@@ -1,0 +1,177 @@
+#include "byte_mask_simd.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define GS_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#else
+#define GS_HAVE_AVX2_KERNELS 0
+#endif
+
+namespace gs
+{
+namespace detail
+{
+
+#if GS_HAVE_AVX2_KERNELS
+
+bool
+cpuHasAvx2()
+{
+    return __builtin_cpu_supports("avx2") != 0;
+}
+
+namespace
+{
+
+/** OR all four 32-bit elements of the accumulated diff together. */
+__attribute__((target("avx2"))) std::uint32_t
+horizontalOr(__m256i acc)
+{
+    __m128i h = _mm_or_si128(_mm256_castsi256_si128(acc),
+                             _mm256_extracti128_si256(acc, 1));
+    h = _mm_or_si128(h, _mm_shuffle_epi32(h, 0x4E));
+    h = _mm_or_si128(h, _mm_shuffle_epi32(h, 0xB1));
+    return std::uint32_t(_mm_cvtsi128_si32(h));
+}
+
+/**
+ * Per-prefix-count shuffle masks (the classic compress mask-table
+ * idiom): for common-MSB count c, each dword of a 16-byte group keeps
+ * its low 4-c bytes emitted most-significant-first; 0x80 lanes clear
+ * the rest. kPackBytesPerQuad[c] bytes of output per 4 input words.
+ */
+alignas(16) constexpr std::uint8_t kPackShuffle[4][16] = {
+    {3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12}, // c = 0
+    {2, 1, 0, 6, 5, 4, 10, 9, 8, 14, 13, 12,
+     0x80, 0x80, 0x80, 0x80},                               // c = 1
+    {1, 0, 5, 4, 9, 8, 13, 12, 0x80, 0x80, 0x80, 0x80,
+     0x80, 0x80, 0x80, 0x80},                               // c = 2
+    {0, 4, 8, 12, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+     0x80, 0x80, 0x80, 0x80, 0x80},                         // c = 3
+};
+
+constexpr unsigned kPackBytesPerQuad[4] = {16, 12, 8, 4};
+
+} // namespace
+
+__attribute__((target("avx2"))) std::uint32_t
+diffAvx2(const Word *values, unsigned lanes, Word base)
+{
+    const __m256i vbase = _mm256_set1_epi32(int(base));
+    const __m256i msb = _mm256_set1_epi32(int(0xFF00'0000u));
+    __m256i acc = _mm256_setzero_si256();
+
+    unsigned lane = 0;
+    bool msbDiffers = false;
+    for (; lane + 8 <= lanes; lane += 8) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + lane));
+        acc = _mm256_or_si256(acc, _mm256_xor_si256(v, vbase));
+        // Same early exit as the SWAR sweep: once any MSB byte
+        // differs the common count is 0 whatever the rest holds.
+        if (!_mm256_testz_si256(acc, msb)) {
+            msbDiffers = true;
+            break;
+        }
+    }
+    std::uint32_t diff = horizontalOr(acc);
+    if (!msbDiffers)
+        for (; lane < lanes; ++lane)
+            diff |= values[lane] ^ base;
+    return diff;
+}
+
+__attribute__((target("avx2"))) std::uint32_t
+diffMaskedAvx2(const Word *values, unsigned lanes, LaneMask active,
+               Word base)
+{
+    const __m256i vbase = _mm256_set1_epi32(int(base));
+    const __m256i msb = _mm256_set1_epi32(int(0xFF00'0000u));
+    const __m256i vbits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+    __m256i acc = _mm256_setzero_si256();
+
+    unsigned lane = 0;
+    bool msbDiffers = false;
+    for (; lane + 8 <= lanes; lane += 8) {
+        const unsigned bits = unsigned((active >> lane) & 0xFFu);
+        if (bits == 0)
+            continue;
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(values + lane));
+        const __m256i m = _mm256_cmpeq_epi32(
+            _mm256_and_si256(_mm256_set1_epi32(int(bits)), vbits), vbits);
+        acc = _mm256_or_si256(
+            acc, _mm256_and_si256(_mm256_xor_si256(v, vbase), m));
+        if (!_mm256_testz_si256(acc, msb)) {
+            msbDiffers = true;
+            break;
+        }
+    }
+    std::uint32_t diff = horizontalOr(acc);
+    if (!msbDiffers)
+        for (; lane < lanes; ++lane)
+            if (active & (LaneMask{1} << lane))
+                diff |= values[lane] ^ base;
+    return diff;
+}
+
+__attribute__((target("avx2"))) void
+packAvx2(const Word *values, unsigned lanes, unsigned commonMsbs,
+         std::uint8_t *out)
+{
+    GS_ASSERT(commonMsbs <= 4, "bad prefix count");
+    if (commonMsbs == 4)
+        return; // scalar value: no per-lane bytes
+    const __m128i shuf = _mm_load_si128(
+        reinterpret_cast<const __m128i *>(kPackShuffle[commonMsbs]));
+    const unsigned quadBytes = kPackBytesPerQuad[commonMsbs];
+
+    unsigned lane = 0;
+    for (; lane + 4 <= lanes; lane += 4) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(values + lane));
+        alignas(16) std::uint8_t staged[16];
+        _mm_store_si128(reinterpret_cast<__m128i *>(staged),
+                        _mm_shuffle_epi8(v, shuf));
+        std::memcpy(out, staged, quadBytes);
+        out += quadBytes;
+    }
+    for (; lane < lanes; ++lane)
+        for (unsigned b = commonMsbs; b < 4; ++b)
+            *out++ = std::uint8_t(values[lane] >> (8 * (3 - b)));
+}
+
+#else // !GS_HAVE_AVX2_KERNELS
+
+bool
+cpuHasAvx2()
+{
+    return false;
+}
+
+std::uint32_t
+diffAvx2(const Word *, unsigned, Word)
+{
+    GS_PANIC("avx2 kernel called on a non-x86 build");
+}
+
+std::uint32_t
+diffMaskedAvx2(const Word *, unsigned, LaneMask, Word)
+{
+    GS_PANIC("avx2 kernel called on a non-x86 build");
+}
+
+void
+packAvx2(const Word *, unsigned, unsigned, std::uint8_t *)
+{
+    GS_PANIC("avx2 kernel called on a non-x86 build");
+}
+
+#endif // GS_HAVE_AVX2_KERNELS
+
+} // namespace detail
+} // namespace gs

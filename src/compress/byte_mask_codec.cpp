@@ -1,10 +1,31 @@
 #include "byte_mask_codec.hpp"
 
+#include "byte_mask_simd.hpp"
 #include "common/bit_utils.hpp"
 #include "common/log.hpp"
+#include "simd.hpp"
 
 namespace gs
 {
+
+namespace
+{
+
+/** Portable reference sweep: one lane at a time, no SWAR tricks. */
+std::uint32_t
+diffScalar(std::span<const Word> values, LaneMask active, Word base)
+{
+    std::uint32_t diff = 0;
+    for (unsigned lane = 0; lane < unsigned(values.size()); ++lane) {
+        if (active & (LaneMask{1} << lane))
+            diff |= values[lane] ^ base;
+        if (diff & 0xFF00'0000u)
+            break; // common count is already 0
+    }
+    return diff;
+}
+
+} // namespace
 
 unsigned
 encBitsFor(unsigned common_msbs)
@@ -38,8 +59,23 @@ analyzeByteMask(std::span<const Word> values, LaneMask active)
     // software model reduce two lanes per 64-bit word instead of
     // looping over bytes.
     const unsigned lanes = unsigned(values.size());
+    const bool allActive =
+        (active & laneMaskLow(lanes)) == laneMaskLow(lanes);
+    // Dispatch to the fastest enabled inner loop (simd.hpp). Every
+    // level's diff agrees in the bits that decide the common-MSB
+    // count: an early exit only ever happens once an MSB byte differs,
+    // which pins the count to 0 regardless of the skipped lanes.
+    SimdLevel level = activeSimdLevel();
+    if (level == SimdLevel::Avx2 && lanes < 8)
+        level = SimdLevel::Swar; // narrow groups: vector setup loses
+
     std::uint32_t diff = 0;
-    if ((active & laneMaskLow(lanes)) == laneMaskLow(lanes)) {
+    if (level == SimdLevel::Avx2) {
+        diff = allActive
+                   ? detail::diffAvx2(values.data(), lanes, base)
+                   : detail::diffMaskedAvx2(values.data(), lanes,
+                                            active, base);
+    } else if (level == SimdLevel::Swar && allActive) {
         // All lanes active: SWAR sweep, two lanes per iteration. Once
         // either half's most-significant byte differs no byte can be
         // common, so stop early (incompressible values are the hot
@@ -57,12 +93,7 @@ analyzeByteMask(std::span<const Word> values, LaneMask active)
         if (lane + 1 == lanes) // odd tail lane
             diff |= values[lane] ^ base;
     } else {
-        for (unsigned lane = 0; lane < lanes; ++lane) {
-            if (active & (LaneMask{1} << lane))
-                diff |= values[lane] ^ base;
-            if (diff & 0xFF00'0000u)
-                break; // common count is already 0
-        }
+        diff = diffScalar(values, active, base);
     }
 
     ByteMaskEncoding e;
@@ -92,9 +123,18 @@ byteMaskCompress(std::span<const Word> values)
         out.push_back(byteOf(enc.base, 3 - i));
 
     // Per-lane differing low bytes, lane-major, most significant first.
-    for (const Word v : values)
-        for (unsigned b = enc.commonMsbs; b < 4; ++b)
-            out.push_back(byteOf(v, 3 - b));
+    const unsigned lanes = unsigned(values.size());
+    if (activeSimdLevel() == SimdLevel::Avx2 && lanes >= 4 &&
+        enc.commonMsbs < 4) {
+        const std::size_t at = out.size();
+        out.resize(at + std::size_t(4 - enc.commonMsbs) * lanes);
+        detail::packAvx2(values.data(), lanes, enc.commonMsbs,
+                         out.data() + at);
+    } else {
+        for (const Word v : values)
+            for (unsigned b = enc.commonMsbs; b < 4; ++b)
+                out.push_back(byteOf(v, 3 - b));
+    }
 
     return out;
 }

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * AVX2 kernels behind the codec dispatch seam (simd.hpp). Each kernel
+ * mirrors one scalar/SWAR inner loop of byte_mask_codec.cpp exactly;
+ * callers pick a level, never semantics. Compiled for x86-64 via
+ * per-function target attributes so the rest of the library needs no
+ * special flags; on other architectures the functions exist but
+ * cpuHasAvx2() is false and they are never reached.
+ */
+
+#ifndef GSCALAR_COMPRESS_BYTE_MASK_SIMD_HPP
+#define GSCALAR_COMPRESS_BYTE_MASK_SIMD_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace gs
+{
+namespace detail
+{
+
+/** AVX2 available at compile time and on this CPU. */
+bool cpuHasAvx2();
+
+/**
+ * OR of (values[lane] ^ base) over all @p lanes lanes.
+ * Early-exits once an MSB byte difference is certain, like the SWAR
+ * sweep; the resulting diff differs only in bits that cannot change
+ * the common-MSB count.
+ */
+std::uint32_t diffAvx2(const Word *values, unsigned lanes, Word base);
+
+/** Masked variant: inactive lanes contribute nothing. */
+std::uint32_t diffMaskedAvx2(const Word *values, unsigned lanes,
+                             LaneMask active, Word base);
+
+/**
+ * Pack the per-lane differing low bytes: for each lane emit bytes
+ * [3-commonMsbs .. 0] of values[lane], most significant first —
+ * byte-identical to byteMaskCompress()'s per-lane loop. Writes
+ * exactly (4 - commonMsbs) * lanes bytes at @p out.
+ */
+void packAvx2(const Word *values, unsigned lanes, unsigned commonMsbs,
+              std::uint8_t *out);
+
+} // namespace detail
+} // namespace gs
+
+#endif // GSCALAR_COMPRESS_BYTE_MASK_SIMD_HPP

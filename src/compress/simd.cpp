@@ -1,0 +1,97 @@
+#include "simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "byte_mask_simd.hpp"
+#include "common/log.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+constexpr int kNoOverride = -1;
+
+std::atomic<int> g_override{kNoOverride};
+
+/** Resolve $GS_SIMD / auto once; the environment cannot change. */
+SimdLevel
+resolveEnvOrAuto()
+{
+    if (const char *env = std::getenv("GS_SIMD")) {
+        const std::optional<SimdLevel> v = parseSimdLevel(env);
+        if (!v)
+            GS_FATAL("GS_SIMD='", env,
+                     "' is not a valid codec level (want off, swar or "
+                     "avx2)");
+        if (!simdLevelSupported(*v))
+            GS_FATAL("GS_SIMD='", env,
+                     "' is not supported on this CPU");
+        return *v;
+    }
+    return simdLevelSupported(SimdLevel::Avx2) ? SimdLevel::Avx2
+                                               : SimdLevel::Swar;
+}
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Off: return "off";
+      case SimdLevel::Swar: return "swar";
+      case SimdLevel::Avx2: return "avx2";
+    }
+    return "?";
+}
+
+std::optional<SimdLevel>
+parseSimdLevel(std::string_view name)
+{
+    if (name == "off")
+        return SimdLevel::Off;
+    if (name == "swar")
+        return SimdLevel::Swar;
+    if (name == "avx2")
+        return SimdLevel::Avx2;
+    return std::nullopt;
+}
+
+bool
+simdLevelSupported(SimdLevel level)
+{
+    if (level == SimdLevel::Avx2)
+        return detail::cpuHasAvx2();
+    return true;
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    const int ov = g_override.load(std::memory_order_relaxed);
+    if (ov != kNoOverride)
+        return SimdLevel(ov);
+    static const SimdLevel resolved = resolveEnvOrAuto();
+    return resolved;
+}
+
+void
+setSimdLevel(SimdLevel level)
+{
+    if (!simdLevelSupported(level))
+        GS_FATAL("codec level '", simdLevelName(level),
+                 "' is not supported on this CPU");
+    g_override.store(int(level), std::memory_order_relaxed);
+}
+
+void
+clearSimdLevelOverride()
+{
+    g_override.store(kNoOverride, std::memory_order_relaxed);
+}
+
+} // namespace gs

@@ -31,7 +31,8 @@ constexpr KindName kKindNames[] = {
     {FaultKind::Slow, "slow"},
 };
 
-constexpr std::string_view kSites[] = {"store", "serve", "engine"};
+constexpr std::string_view kSites[] = {"store", "serve", "engine",
+                                       "sim"};
 
 /** SplitMix64: decorrelates (seed, occurrence) into uniform bits. */
 std::uint64_t
@@ -110,7 +111,7 @@ FaultInjector::configure(const std::string &specList, std::string *error)
             knownSite = knownSite || site == s.site;
         if (!knownSite)
             return fail("unknown fault site '" + s.site +
-                        "' (want store, serve or engine)");
+                        "' (want store, serve, engine or sim)");
 
         const std::optional<FaultKind> kind = parseFaultKind(parts[1]);
         if (!kind)

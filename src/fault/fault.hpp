@@ -24,6 +24,7 @@
  *   store    short-write, rename-fail, bit-flip   (store/run_cache.cpp)
  *   serve    conn-reset, short-read, eintr, stall (serve/protocol.cpp)
  *   engine   throw, slow                          (harness/engine.cpp)
+ *   sim      slow                                 (sim/parallel.cpp)
  *
  * All hooks are no-ops (one relaxed atomic load) when nothing is
  * armed, so production binaries pay nothing for carrying them.
@@ -67,7 +68,7 @@ std::optional<FaultKind> parseFaultKind(std::string_view name);
 /** One armed fault: where, what, how often, and the decision seed. */
 struct FaultSpec
 {
-    std::string site;   ///< "store", "serve" or "engine"
+    std::string site;   ///< "store", "serve", "engine" or "sim"
     FaultKind kind = FaultKind::Throw;
     double rate = 0;    ///< firing probability per occurrence, [0, 1]
     std::uint64_t seed = 0;

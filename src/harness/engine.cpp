@@ -10,8 +10,10 @@
 
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "compress/simd.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
+#include "sim/parallel.hpp"
 
 namespace gs
 {
@@ -463,6 +465,12 @@ initHarness(int argc, char **argv)
                      "' is not a valid worker count (want an integer in "
                      "[1, 4096])");
     }
+    if (const char *env = std::getenv("GS_SIM_THREADS")) {
+        if (!parseSimThreadsValue(env))
+            GS_FATAL("GS_SIM_THREADS='", env,
+                     "' is not a valid thread count (want an integer in "
+                     "[1, 4096])");
+    }
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--jobs" || a == "-j") {
@@ -473,6 +481,15 @@ initHarness(int argc, char **argv)
                 GS_FATAL(a, " wants an integer in [1, 4096], got '",
                          argv[i], "'");
             setDefaultJobs(*v);
+        } else if (a == "--sim-threads") {
+            if (i + 1 >= argc)
+                GS_FATAL(a, " needs a value");
+            const std::optional<unsigned> v =
+                parseSimThreadsValue(argv[++i]);
+            if (!v)
+                GS_FATAL(a, " wants an integer in [1, 4096], got '",
+                         argv[i], "'");
+            setSimThreads(*v);
         } else if (a == "--cache") {
             setDefaultCacheEnabled(true);
         } else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
@@ -489,8 +506,10 @@ initHarness(int argc, char **argv)
                 GS_FATAL("--fault='", spec, "': ", err);
         }
     }
-    // Force GS_FAULT validation now, not at the first I/O seam.
+    // Force GS_FAULT / GS_SIMD validation now, not at the first
+    // injected seam or compressed write-back.
     faultInjector();
+    activeSimdLevel();
 }
 
 } // namespace gs

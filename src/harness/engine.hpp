@@ -277,10 +277,12 @@ std::optional<unsigned> parseJobsValue(const std::string &s);
 
 /**
  * Standard harness-binary prologue: silence warn()/inform(), validate
- * GS_JOBS, and honour trailing `--jobs N` / `-j N` (worker-pool size)
- * and `--cache` (persistent run cache at $GS_CACHE_DIR or the default
- * cache directory) flags. Malformed values are fatal with a clear
- * message, never silently defaulted.
+ * GS_JOBS / GS_SIM_THREADS / GS_SIMD / GS_FAULT, and honour trailing
+ * `--jobs N` / `-j N` (worker-pool size), `--sim-threads N` (intra-run
+ * SM threads; sim/parallel.hpp), `--cache` (persistent run cache at
+ * $GS_CACHE_DIR or the default cache directory) and `--fault SPEC`
+ * flags. Malformed values are fatal with a clear message, never
+ * silently defaulted.
  */
 void initHarness(int argc, char **argv);
 

@@ -158,7 +158,7 @@ sregValue(SReg s, unsigned lane, const SregContext &ctx)
 
 ExecResult
 executeFunctional(const Instruction &inst, WarpState &warp, LaneMask mask,
-                  const SregContext &ctx, GlobalMemory &gmem,
+                  const SregContext &ctx, GmemTxn &gmem,
                   std::span<Word> shared)
 {
     ExecResult r;

@@ -1,8 +1,10 @@
 #include "gpu.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/log.hpp"
+#include "parallel.hpp"
 #include "sm.hpp"
 
 namespace gs
@@ -34,24 +36,50 @@ Gpu::launch(const Kernel &kernel, LaunchDims dims)
                                            dims, gmem_, memsys,
                                            dispatcher, tracer_));
 
-    Cycle now = 0;
-    for (; now < cfg_.maxCycles; ++now) {
-        bool all_idle = true;
+    // More threads than SMs buys nothing; a tracer observes the exact
+    // serial interleaving, so tracing forces the serial path.
+    unsigned threads = std::min<unsigned>(resolveSimThreads(),
+                                          cfg_.numSms);
+    if (tracer_ != nullptr)
+        threads = 1;
+
+    Cycle cycles = 0;
+    bool watchdog = false;
+    if (threads > 1 && cfg_.maxCycles > 0) {
+        std::vector<Sm *> raw;
+        raw.reserve(sms.size());
         for (auto &sm : sms) {
-            sm->tick(now);
-            all_idle &= sm->idle();
+            sm->setDeferredGmem(true);
+            raw.push_back(sm.get());
         }
-        if (all_idle)
-            break;
+        const ParallelLaunchOutcome out =
+            runSmsParallel(raw, cfg_.maxCycles, threads, kernel.name);
+        cycles = out.cycles;
+        watchdog = out.watchdog;
+    } else {
+        Cycle now = 0;
+        for (; now < cfg_.maxCycles; ++now) {
+            bool all_idle = true;
+            for (auto &sm : sms) {
+                sm->tick(now);
+                all_idle &= sm->idle();
+            }
+            if (all_idle)
+                break;
+        }
+        watchdog = now >= cfg_.maxCycles;
+        // On a watchdog stop the loop counter has already run past the
+        // last simulated cycle; report only cycles actually simulated.
+        cycles = watchdog ? cfg_.maxCycles : now + 1;
     }
-    if (now >= cfg_.maxCycles)
+    if (watchdog)
         GS_WARN("kernel '", kernel.name, "' hit the ", cfg_.maxCycles,
                 "-cycle watchdog; results are partial");
 
     EventCounts total;
     for (auto &sm : sms)
         total += sm->events();
-    total.cycles = now + 1;
+    total.cycles = cycles;
     return total;
 }
 

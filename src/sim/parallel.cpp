@@ -1,0 +1,185 @@
+#include "parallel.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+
+#include "common/log.hpp"
+#include "fault/fault.hpp"
+#include "sm.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+std::atomic<unsigned> g_sim_threads{0}; ///< 0 = consult the environment
+
+/** Spin on a monotonic sequence counter until it reaches @p target. */
+void
+waitSeq(const std::atomic<std::uint64_t> &seq, std::uint64_t target)
+{
+    unsigned spins = 0;
+    while (seq.load(std::memory_order_acquire) < target)
+        if (++spins >= 128)
+            std::this_thread::yield();
+}
+
+} // namespace
+
+std::optional<unsigned>
+parseSimThreadsValue(const std::string &s)
+{
+    if (s.empty() || s.size() > 4)
+        return std::nullopt;
+    unsigned v = 0;
+    for (const char c : s) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        v = v * 10 + unsigned(c - '0');
+    }
+    if (v == 0 || v > 4096)
+        return std::nullopt;
+    return v;
+}
+
+void
+setSimThreads(unsigned threads)
+{
+    g_sim_threads.store(threads, std::memory_order_relaxed);
+}
+
+unsigned
+resolveSimThreads()
+{
+    const unsigned set = g_sim_threads.load(std::memory_order_relaxed);
+    if (set > 0)
+        return set;
+    if (const char *env = std::getenv("GS_SIM_THREADS")) {
+        const std::optional<unsigned> v = parseSimThreadsValue(env);
+        if (!v)
+            GS_FATAL("GS_SIM_THREADS='", env,
+                     "' is not a valid thread count (want an integer "
+                     "in [1, 4096])");
+        return *v;
+    }
+    return 1;
+}
+
+ParallelLaunchOutcome
+runSmsParallel(const std::vector<Sm *> &sms, Cycle maxCycles,
+               unsigned threads, const std::string &kernelName)
+{
+    const unsigned numSms = unsigned(sms.size());
+    GS_ASSERT(threads >= 2 && threads <= numSms && maxCycles >= 1,
+              "bad parallel launch shape");
+
+    detail::SpinBarrier barrier(threads);
+    // Rolling SM-order handoffs: a thread may run phase P for its SM
+    // range only once the counter reaches cycle*numSms + firstSm, and
+    // releases cycle*numSms + lastSm+1 when done. This reproduces the
+    // exact serial visit order at the MemorySystem (memSeq) and
+    // dispatcher/commit (commitSeq) seams without a full barrier.
+    std::atomic<std::uint64_t> memSeq{0};
+    std::atomic<std::uint64_t> commitSeq{0};
+    std::vector<std::uint8_t> idle(numSms, 0);
+    std::vector<Addr> cycleWrites; ///< commit-ordered; cleared by SM 0
+    bool overlapWarned = false;
+    ParallelLaunchOutcome outcome;
+
+    auto body = [&](unsigned t) {
+        const unsigned lo = numSms * t / threads;
+        const unsigned hi = numSms * (t + 1) / threads;
+        for (Cycle now = 0;; ++now) {
+            const std::uint64_t base = std::uint64_t(now) * numSms;
+
+            for (unsigned s = lo; s < hi; ++s)
+                sms[s]->phaseWriteback(now);
+
+            waitSeq(memSeq, base + lo);
+            for (unsigned s = lo; s < hi; ++s)
+                sms[s]->phaseDispatch(now);
+            memSeq.store(base + hi, std::memory_order_release);
+
+            for (unsigned s = lo; s < hi; ++s)
+                sms[s]->phaseIssueRetire(now);
+
+            // Chaos seam: a firing thread straggles into the barrier;
+            // the phase schedule must absorb it without changing a
+            // single output byte.
+            if (injectFault("sim", FaultKind::Slow))
+                std::this_thread::sleep_for(std::chrono::milliseconds(2));
+
+            barrier.wait();
+
+            waitSeq(commitSeq, base + lo);
+            if (lo == 0)
+                cycleWrites.clear();
+            for (unsigned s = lo; s < hi; ++s) {
+                const GmemTxn &txn = sms[s]->gmemTxn();
+                if (!cycleWrites.empty() && !overlapWarned) {
+                    for (const Addr a : txn.readLog()) {
+                        if (std::find(cycleWrites.begin(),
+                                      cycleWrites.end(),
+                                      a) != cycleWrites.end()) {
+                            overlapWarned = true;
+                            GS_WARN("kernel '", kernelName,
+                                    "': cross-SM same-cycle global-"
+                                    "memory read/write overlap at 0x",
+                                    std::hex, a, std::dec, " (cycle ",
+                                    now,
+                                    "); parallel ticking may diverge "
+                                    "from serial");
+                            break;
+                        }
+                    }
+                }
+                for (const auto &[a, v] : txn.writeLog()) {
+                    (void)v;
+                    cycleWrites.push_back(a);
+                }
+                sms[s]->phaseCommitLaunch(now);
+                idle[s] = sms[s]->idle() ? 1 : 0;
+            }
+            commitSeq.store(base + hi, std::memory_order_release);
+
+            barrier.wait();
+
+            // Every thread evaluates the same flags and exits on the
+            // same cycle; no further synchronisation needed.
+            const bool allIdle =
+                std::all_of(idle.begin(), idle.end(),
+                            [](std::uint8_t f) { return f != 0; });
+            if (allIdle || now + 1 >= maxCycles) {
+                if (t == 0) {
+                    outcome.watchdog = !allIdle;
+                    outcome.cycles = allIdle ? now + 1 : maxCycles;
+                }
+                return;
+            }
+        }
+    };
+
+    auto run = [&](unsigned t) {
+        try {
+            body(t);
+        } catch (const std::exception &e) {
+            // The sim core does not throw in normal operation; an
+            // escape here would deadlock the barrier crew.
+            GS_PANIC("sim worker ", t, " threw: ", e.what());
+        }
+    };
+
+    std::vector<std::thread> crew;
+    crew.reserve(threads - 1);
+    for (unsigned t = 1; t < threads; ++t)
+        crew.emplace_back(run, t);
+    run(0);
+    for (std::thread &th : crew)
+        th.join();
+    return outcome;
+}
+
+} // namespace gs

@@ -22,8 +22,8 @@ Sm::Sm(const ArchConfig &cfg, unsigned sm_id, const Kernel &kernel,
        GlobalMemory &gmem, MemorySystem &memsys,
        CtaDispatcher &dispatcher, Tracer *tracer)
     : cfg_(cfg), smId_(sm_id), kernel_(kernel), analysis_(analysis),
-      dims_(dims), tracer_(tracer), gmem_(gmem), memsys_(memsys),
-      dispatcher_(dispatcher),
+      dims_(dims), tracer_(tracer), gmem_(gmem), gtxn_(gmem),
+      memsys_(memsys), dispatcher_(dispatcher),
       geo_{cfg.warpSize, cfg.checkGranularity},
       l1_(cfg.l1Bytes, cfg.l1Assoc, cfg.lineBytes)
 {
@@ -588,7 +588,7 @@ Sm::issueWarp(unsigned w, Cycle now)
         shared = std::span<Word>(slots_[unsigned(ws.ctaSlot)].shared);
 
     const ExecResult res =
-        executeFunctional(inst, ws, exec_mask, sctx, gmem_, shared);
+        executeFunctional(inst, ws, exec_mask, sctx, gtxn_, shared);
 
     // ---- bookkeeping ---------------------------------------------------------
     ++ev_.issuedInsts;

@@ -19,6 +19,7 @@
 
 #include "common/log.hpp"
 #include "common/table.hpp"
+#include "compress/simd.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
 #include "harness/engine.hpp"
@@ -31,6 +32,7 @@
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "sim/gpu.hpp"
+#include "sim/parallel.hpp"
 #include "sim/trace.hpp"
 
 #ifndef GS_VERSION
@@ -73,11 +75,15 @@ printUsage(std::ostream &os)
     os << "\n"
           "  gscalar <command> --help shows the command's options.\n"
           "  --jobs/-j N (or GS_JOBS=N) sets the simulation worker\n"
-          "  pool size; --cache (or GS_CACHE_DIR=DIR) persists runs\n"
-          "  on disk; GS_TRACE=path[:1/N] streams a sampled JSONL\n"
+          "  pool size; --sim-threads N (or GS_SIM_THREADS=N) ticks\n"
+          "  one run's SMs on N threads (byte-identical to serial);\n"
+          "  GS_SIMD=off|swar|avx2 pins the codec kernels; --cache\n"
+          "  (or GS_CACHE_DIR=DIR) persists runs on disk;\n"
+          "  GS_TRACE=path[:1/N] streams a sampled JSONL\n"
           "  event trace; GS_VERBOSE=1 prints per-run timing lines;\n"
           "  GS_FAULT=site:kind:rate[:seed] (or --fault) injects\n"
-          "  deterministic faults (see docs/RELIABILITY.md).\n"
+          "  deterministic faults (see docs/RELIABILITY.md and\n"
+          "  docs/PERFORMANCE.md).\n"
           "modes: baseline alu-scalar warped-compression\n"
           "       gscalar-compress gscalar-nodiv gscalar\n"
           "experiments (see `gscalar bench --list`):";
@@ -177,6 +183,14 @@ parseFlags(int argc, char **argv, int first, Options &opt)
                 GS_FATAL("invalid ", a, " value '", v,
                          "' (want an integer in [1, 4096])");
             setDefaultJobs(*jobs);
+        } else if (a == "--sim-threads") {
+            const std::string v = need("--sim-threads");
+            const std::optional<unsigned> threads =
+                parseSimThreadsValue(v);
+            if (!threads)
+                GS_FATAL("invalid ", a, " value '", v,
+                         "' (want an integer in [1, 4096])");
+            setSimThreads(*threads);
         } else
             GS_FATAL("unknown option '", a, "'");
     }
@@ -302,7 +316,8 @@ cmdBench(int argc, char **argv)
             continue; // consumed by initHarness
         else if (a.rfind("--fault=", 0) == 0)
             continue; // consumed by initHarness
-        else if (a == "--fault" || a == "--jobs" || a == "-j")
+        else if (a == "--fault" || a == "--jobs" || a == "-j" ||
+                 a == "--sim-threads")
             ++i; // value consumed by initHarness
         else
             GS_FATAL("unknown option '", a,
@@ -408,7 +423,8 @@ cmdExperiment(int argc, char **argv)
     std::vector<std::string> names;
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
-        if (a == "--jobs" || a == "-j" || a == "--fault") {
+        if (a == "--jobs" || a == "-j" || a == "--fault" ||
+            a == "--sim-threads") {
             ++i; // value consumed by initHarness
             continue;
         }
@@ -472,6 +488,14 @@ cmdServe(int argc, char **argv)
                 GS_FATAL("invalid ", a, " value '", v,
                          "' (want an integer in [1, 4096])");
             setDefaultJobs(*jobs);
+        } else if (a == "--sim-threads") {
+            const std::string v = need("--sim-threads");
+            const std::optional<unsigned> threads =
+                parseSimThreadsValue(v);
+            if (!threads)
+                GS_FATAL("invalid ", a, " value '", v,
+                         "' (want an integer in [1, 4096])");
+            setSimThreads(*threads);
         } else
             GS_FATAL("unknown option '", a, "'");
     }
@@ -627,6 +651,7 @@ commands()
          "  --json       flat JSON object of every metric\n"
          "  --power      append the power breakdown\n"
          "  --jobs/-j N  worker pool size\n"
+         "  --sim-threads N  intra-run SM threads (GS_SIM_THREADS)\n"
          "  --cache      persist runs on disk (GS_CACHE_DIR)\n",
          cmdRun},
         {"suite", "[options]",
@@ -634,6 +659,7 @@ commands()
          "  --mode M     architecture (default baseline)\n"
          "  --csv        full counter matrix as CSV\n"
          "  --jobs/-j N  worker pool size\n"
+         "  --sim-threads N  intra-run SM threads (GS_SIM_THREADS)\n"
          "  --cache      persist runs on disk\n",
          cmdSuite},
         {"bench", "[--list] [--only=NAME[,NAME]] [--format=F]",
@@ -644,6 +670,7 @@ commands()
          "  --format=F      text (default; golden reference bytes),\n"
          "                  json (one document per experiment) or csv\n"
          "  --jobs/-j N     worker pool size\n"
+         "  --sim-threads N intra-run SM threads (GS_SIM_THREADS)\n"
          "  --cache         persist runs on disk\n"
          "  --fault SPEC    inject faults (site:kind:rate[:seed],\n"
          "                  comma-separated; same as $GS_FAULT)\n"
@@ -688,6 +715,7 @@ commands()
          "                         (default and ceiling 16 MiB)\n"
          "  --fault SPEC           inject faults (same as $GS_FAULT)\n"
          "  --jobs/-j N            worker pool size\n"
+         "  --sim-threads N        intra-run SM threads per request\n"
          "  --cache                persist runs on disk\n"
          "\n"
          "  Clients reach it with `gscalar submit`; `gscalar submit\n"
@@ -750,8 +778,16 @@ main(int argc, char **argv)
                      "' is not a valid worker count "
                      "(want an integer in [1, 4096])");
     }
-    // Likewise force GS_FAULT validation before any work starts.
+    if (const char *env = std::getenv("GS_SIM_THREADS")) {
+        if (!parseSimThreadsValue(env))
+            GS_FATAL("GS_SIM_THREADS='", env,
+                     "' is not a valid thread count "
+                     "(want an integer in [1, 4096])");
+    }
+    // Likewise force GS_FAULT / GS_SIMD validation before any work
+    // starts.
     faultInjector();
+    activeSimdLevel();
     const Command *c = findCommand(cmd);
     if (!c) {
         std::cerr << "gscalar: unknown command '" << cmd << "'\n\n";

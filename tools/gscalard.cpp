@@ -16,10 +16,12 @@
 #include <string>
 
 #include "common/log.hpp"
+#include "compress/simd.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
 #include "harness/engine.hpp"
 #include "serve/server.hpp"
+#include "sim/parallel.hpp"
 
 #ifndef GS_VERSION
 #define GS_VERSION "0.0.0-dev"
@@ -62,6 +64,8 @@ printUsage(std::ostream &os)
         "                       (site:kind:rate[:seed], comma-\n"
         "                       separated; same as $GS_FAULT)\n"
         "  --jobs/-j N          worker pool size (or GS_JOBS=N)\n"
+        "  --sim-threads N      intra-run SM threads per request\n"
+        "                       (or GS_SIM_THREADS=N)\n"
         "  --cache              persist runs at $GS_CACHE_DIR or the\n"
         "                       default cache directory\n";
 }
@@ -113,6 +117,14 @@ main(int argc, char **argv)
                 GS_FATAL("invalid ", a, " value '", v,
                          "' (want an integer in [1, 4096])");
             setDefaultJobs(*jobs);
+        } else if (a == "--sim-threads") {
+            const std::string v = need("--sim-threads");
+            const std::optional<unsigned> threads =
+                parseSimThreadsValue(v);
+            if (!threads)
+                GS_FATAL("invalid ", a, " value '", v,
+                         "' (want an integer in [1, 4096])");
+            setSimThreads(*threads);
         } else {
             printUsage(std::cerr);
             return 2;
@@ -124,8 +136,16 @@ main(int argc, char **argv)
                      "' is not a valid worker count "
                      "(want an integer in [1, 4096])");
     }
-    // Validate $GS_FAULT now rather than at the first injected seam.
+    if (const char *env = std::getenv("GS_SIM_THREADS")) {
+        if (!parseSimThreadsValue(env))
+            GS_FATAL("GS_SIM_THREADS='", env,
+                     "' is not a valid thread count "
+                     "(want an integer in [1, 4096])");
+    }
+    // Validate $GS_FAULT / $GS_SIMD now rather than at the first
+    // injected seam or compressed write-back.
     faultInjector();
+    activeSimdLevel();
 
     GscalarServer server(defaultEngine(), sopt);
     std::string err;
