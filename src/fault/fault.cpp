@@ -29,10 +29,11 @@ constexpr KindName kKindNames[] = {
     {FaultKind::Stall, "stall"},
     {FaultKind::Throw, "throw"},
     {FaultKind::Slow, "slow"},
+    {FaultKind::Miscompare, "miscompare"},
 };
 
 constexpr std::string_view kSites[] = {"store", "serve", "engine",
-                                       "sim"};
+                                       "sim", "gen"};
 
 /** SplitMix64: decorrelates (seed, occurrence) into uniform bits. */
 std::uint64_t
@@ -111,7 +112,7 @@ FaultInjector::configure(const std::string &specList, std::string *error)
             knownSite = knownSite || site == s.site;
         if (!knownSite)
             return fail("unknown fault site '" + s.site +
-                        "' (want store, serve, engine or sim)");
+                        "' (want store, serve, engine, sim or gen)");
 
         const std::optional<FaultKind> kind = parseFaultKind(parts[1]);
         if (!kind)

@@ -25,6 +25,7 @@
  *   serve    conn-reset, short-read, eintr, stall (serve/protocol.cpp)
  *   engine   throw, slow                          (harness/engine.cpp)
  *   sim      slow                                 (sim/parallel.cpp)
+ *   gen      miscompare                           (gen/diff.cpp)
  *
  * All hooks are no-ops (one relaxed atomic load) when nothing is
  * armed, so production binaries pay nothing for carrying them.
@@ -57,6 +58,7 @@ enum class FaultKind : std::uint8_t
     Stall,      ///< serve: the peer stops sending for a while
     Throw,      ///< engine: the simulation throws
     Slow,       ///< engine: the simulation takes extra wall clock
+    Miscompare, ///< gen: corrupt a differential comparison
 };
 
 /** Canonical spec name of a kind ("short-write", "throw", ...). */
@@ -68,7 +70,7 @@ std::optional<FaultKind> parseFaultKind(std::string_view name);
 /** One armed fault: where, what, how often, and the decision seed. */
 struct FaultSpec
 {
-    std::string site;   ///< "store", "serve", "engine" or "sim"
+    std::string site;   ///< "store", "serve", "engine", "sim" or "gen"
     FaultKind kind = FaultKind::Throw;
     double rate = 0;    ///< firing probability per occurrence, [0, 1]
     std::uint64_t seed = 0;

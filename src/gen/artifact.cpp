@@ -1,0 +1,379 @@
+#include "artifact.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+
+#include "store/serial.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+// Kernel blob tags.
+constexpr std::uint16_t kTagName = 1;
+constexpr std::uint16_t kTagNumRegs = 2;
+constexpr std::uint16_t kTagNumPreds = 3;
+constexpr std::uint16_t kTagSharedBytes = 4;
+constexpr std::uint16_t kTagCode = 5;
+constexpr std::uint16_t kTagRegions = 6;
+constexpr std::uint16_t kTagEnclosing = 7;
+
+// Reproducer blob tags.
+constexpr std::uint16_t kTagSpec = 1;
+constexpr std::uint16_t kTagKernel = 2;
+constexpr std::uint16_t kTagMode = 3;
+constexpr std::uint16_t kTagIndex = 4;
+constexpr std::uint16_t kTagWant = 5;
+constexpr std::uint16_t kTagGot = 6;
+constexpr std::uint16_t kTagNote = 7;
+
+/** Fixed 45-byte little-endian packing of one Instruction. */
+constexpr std::size_t kInstBytes = 45;
+
+void
+put32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(std::uint8_t(v));
+    out.push_back(std::uint8_t(v >> 8));
+    out.push_back(std::uint8_t(v >> 16));
+    out.push_back(std::uint8_t(v >> 24));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    return std::uint32_t(p[0]) | (std::uint32_t(p[1]) << 8) |
+           (std::uint32_t(p[2]) << 16) | (std::uint32_t(p[3]) << 24);
+}
+
+void
+packInstruction(std::vector<std::uint8_t> &out, const Instruction &inst)
+{
+    out.push_back(std::uint8_t(inst.op));
+    put32(out, std::uint32_t(inst.dst));
+    for (const RegIdx s : inst.src)
+        put32(out, std::uint32_t(s));
+    put32(out, inst.imm);
+    out.push_back(inst.hasImm ? 1 : 0);
+    put32(out, std::uint32_t(inst.pdst));
+    put32(out, std::uint32_t(inst.psrc));
+    out.push_back(std::uint8_t(inst.cmp));
+    put32(out, std::uint32_t(inst.guard));
+    out.push_back(inst.guardNeg ? 1 : 0);
+    out.push_back(std::uint8_t(inst.sreg));
+    put32(out, std::uint32_t(inst.target));
+    put32(out, std::uint32_t(inst.reconv));
+}
+
+/**
+ * Decode one packed instruction. Enum *selectors* are range-checked
+ * here (cmp, sreg); an out-of-range opcode byte is representable in
+ * the Instruction and left for Kernel::check() to reject, keeping one
+ * authority for what a well-formed kernel is.
+ */
+bool
+unpackInstruction(const std::uint8_t *p, Instruction &inst,
+                  std::string *why)
+{
+    std::size_t off = 0;
+    inst.op = Opcode(p[off]);
+    off += 1;
+    inst.dst = RegIdx(get32(p + off));
+    off += 4;
+    for (RegIdx &s : inst.src) {
+        s = RegIdx(get32(p + off));
+        off += 4;
+    }
+    inst.imm = get32(p + off);
+    off += 4;
+    inst.hasImm = p[off] != 0;
+    off += 1;
+    inst.pdst = PredIdx(get32(p + off));
+    off += 4;
+    inst.psrc = PredIdx(get32(p + off));
+    off += 4;
+    if (p[off] > std::uint8_t(CmpOp::GE)) {
+        *why = "instruction cmp byte " + std::to_string(p[off]) +
+               " out of range";
+        return false;
+    }
+    inst.cmp = CmpOp(p[off]);
+    off += 1;
+    inst.guard = PredIdx(get32(p + off));
+    off += 4;
+    inst.guardNeg = p[off] != 0;
+    off += 1;
+    if (p[off] > std::uint8_t(SReg::WarpId)) {
+        *why = "instruction sreg byte " + std::to_string(p[off]) +
+               " out of range";
+        return false;
+    }
+    inst.sreg = SReg(p[off]);
+    off += 1;
+    inst.target = int(get32(p + off));
+    off += 4;
+    inst.reconv = int(get32(p + off));
+    return true;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serializeKernel(const Kernel &kernel)
+{
+    ByteWriter w(BlobKind::Kernel);
+    w.field(kTagName, kernel.name);
+    w.field(kTagNumRegs, std::uint32_t(kernel.numRegs));
+    w.field(kTagNumPreds, std::uint32_t(kernel.numPreds));
+    w.field(kTagSharedBytes, std::uint32_t(kernel.sharedBytes));
+
+    std::vector<std::uint8_t> code;
+    code.reserve(kernel.code.size() * kInstBytes);
+    for (const Instruction &inst : kernel.code)
+        packInstruction(code, inst);
+    w.fieldBlob(kTagCode, code);
+
+    std::vector<std::uint8_t> regions;
+    put32(regions, std::uint32_t(kernel.regions.size()));
+    for (const Kernel::Region &r : kernel.regions) {
+        put32(regions, std::uint32_t(r.start));
+        put32(regions, std::uint32_t(r.end));
+        put32(regions, std::uint32_t(r.checkPc));
+    }
+    w.fieldBlob(kTagRegions, regions);
+
+    // Enclosing-pred lists: per-pc count followed by the pred indexes.
+    std::vector<std::uint8_t> enclosing;
+    put32(enclosing, std::uint32_t(kernel.enclosingPreds.size()));
+    for (const std::vector<PredIdx> &preds : kernel.enclosingPreds) {
+        put32(enclosing, std::uint32_t(preds.size()));
+        for (const PredIdx p : preds)
+            put32(enclosing, std::uint32_t(p));
+    }
+    w.fieldBlob(kTagEnclosing, enclosing);
+
+    return w.finish();
+}
+
+std::optional<Kernel>
+deserializeKernel(const std::uint8_t *data, std::size_t size,
+                  std::string *error)
+{
+    ByteReader r(data, size, BlobKind::Kernel);
+    Kernel k;
+    std::uint32_t numRegs = 0, numPreds = 0, sharedBytes = 0;
+    r.get(kTagName, k.name);
+    r.get(kTagNumRegs, numRegs);
+    r.get(kTagNumPreds, numPreds);
+    r.get(kTagSharedBytes, sharedBytes);
+    k.numRegs = numRegs;
+    k.numPreds = numPreds;
+    k.sharedBytes = sharedBytes;
+
+    const std::uint8_t *p = nullptr;
+    std::size_t n = 0;
+    if (r.ok() && r.getBlob(kTagCode, p, n)) {
+        if (n % kInstBytes != 0) {
+            r.fail("kernel code blob of " + std::to_string(n) +
+                   " bytes is not a whole number of instructions");
+        } else {
+            k.code.resize(n / kInstBytes);
+            std::string why;
+            for (std::size_t i = 0; i < k.code.size(); ++i) {
+                if (!unpackInstruction(p + i * kInstBytes, k.code[i],
+                                       &why)) {
+                    r.fail("pc " + std::to_string(i) + ": " + why);
+                    break;
+                }
+            }
+        }
+    }
+
+    if (r.ok() && r.getBlob(kTagRegions, p, n)) {
+        if (n < 4 || (n - 4) % 12 != 0 ||
+            get32(p) != (n - 4) / 12) {
+            r.fail("kernel regions blob is malformed");
+        } else {
+            const std::uint32_t count = get32(p);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                Kernel::Region region;
+                region.start = int(get32(p + 4 + i * 12));
+                region.end = int(get32(p + 4 + i * 12 + 4));
+                region.checkPc = int(get32(p + 4 + i * 12 + 8));
+                k.regions.push_back(region);
+            }
+        }
+    }
+
+    if (r.ok() && r.getBlob(kTagEnclosing, p, n)) {
+        std::size_t off = 4;
+        bool bad = n < 4;
+        const std::uint32_t count = bad ? 0 : get32(p);
+        for (std::uint32_t i = 0; !bad && i < count; ++i) {
+            if (off + 4 > n) {
+                bad = true;
+                break;
+            }
+            const std::uint32_t len = get32(p + off);
+            off += 4;
+            if (len > (n - off) / 4) {
+                bad = true;
+                break;
+            }
+            std::vector<PredIdx> preds(len);
+            for (std::uint32_t j = 0; j < len; ++j) {
+                preds[j] = PredIdx(get32(p + off));
+                off += 4;
+            }
+            k.enclosingPreds.push_back(std::move(preds));
+        }
+        if (bad || (!bad && off != n))
+            r.fail("kernel enclosing-pred blob is malformed");
+    }
+
+    // The per-pc control-dependence table must stay aligned with the
+    // code; the simulators index it by pc without re-checking.
+    if (r.ok() && k.enclosingPreds.size() != k.code.size())
+        r.fail("kernel enclosing-pred count " +
+               std::to_string(k.enclosingPreds.size()) +
+               " does not match " + std::to_string(k.code.size()) +
+               " instructions");
+
+    if (r.ok())
+        if (const std::string why = k.check(); !why.empty())
+            r.fail(why);
+
+    if (!r.ok()) {
+        if (error)
+            *error = r.error();
+        return std::nullopt;
+    }
+    return k;
+}
+
+std::vector<std::uint8_t>
+serializeReproducer(const Reproducer &r)
+{
+    ByteWriter w(BlobKind::Reproducer);
+    w.fieldBlob(kTagSpec, serializeGenSpec(r.spec));
+    w.fieldBlob(kTagKernel, serializeKernel(r.kernel));
+    w.field(kTagMode, std::uint32_t(r.mode));
+    w.field(kTagIndex, std::uint64_t(r.index));
+    w.field(kTagWant, std::uint32_t(r.want));
+    w.field(kTagGot, std::uint32_t(r.got));
+    w.field(kTagNote, r.note);
+    return w.finish();
+}
+
+std::optional<Reproducer>
+deserializeReproducer(const std::uint8_t *data, std::size_t size,
+                      std::string *error)
+{
+    ByteReader r(data, size, BlobKind::Reproducer);
+    Reproducer out;
+
+    const std::uint8_t *p = nullptr;
+    std::size_t n = 0;
+    if (r.ok() && r.getBlob(kTagSpec, p, n)) {
+        std::string why;
+        if (std::optional<GenSpec> spec = deserializeGenSpec(p, n, &why))
+            out.spec = *spec;
+        else
+            r.fail("nested spec: " + why);
+    }
+    if (r.ok() && r.getBlob(kTagKernel, p, n)) {
+        std::string why;
+        if (std::optional<Kernel> kernel = deserializeKernel(p, n, &why))
+            out.kernel = std::move(*kernel);
+        else
+            r.fail("nested kernel: " + why);
+    }
+    if (out.kernel.code.empty() && r.ok())
+        r.fail("reproducer is missing its kernel");
+
+    std::uint32_t mode = 0;
+    r.get(kTagMode, mode);
+    if (r.ok() && mode > std::uint32_t(ArchMode::GScalarFull))
+        r.fail("reproducer mode " + std::to_string(mode) +
+               " out of range");
+    out.mode = ArchMode(mode);
+    r.get(kTagIndex, out.index);
+    r.get(kTagWant, out.want);
+    r.get(kTagGot, out.got);
+    r.get(kTagNote, out.note);
+
+    if (!r.ok()) {
+        if (error)
+            *error = r.error();
+        return std::nullopt;
+    }
+    return out;
+}
+
+std::string
+reproducerFileName(const std::vector<std::uint8_t> &blob)
+{
+    const std::uint64_t h = fnv1a(blob.data(), blob.size());
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string("repro-") + hex + ".gsr";
+}
+
+std::string
+writeReproducer(const Reproducer &r, const std::string &dir,
+                std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return std::string();
+    };
+
+    const std::vector<std::uint8_t> blob = serializeReproducer(r);
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return fail("cannot create corpus dir '" + dir +
+                    "': " + ec.message());
+
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / reproducerFileName(blob);
+    const std::filesystem::path tmp = path.string() + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return fail("cannot open '" + tmp.string() + "' for write");
+        out.write(reinterpret_cast<const char *>(blob.data()),
+                  std::streamsize(blob.size()));
+        if (!out)
+            return fail("short write to '" + tmp.string() + "'");
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        return fail("cannot publish '" + path.string() +
+                    "': " + ec.message());
+    return path.string();
+}
+
+std::optional<Reproducer>
+loadReproducer(const std::string &path, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return std::nullopt;
+    }
+    std::vector<std::uint8_t> blob(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    return deserializeReproducer(blob.data(), blob.size(), error);
+}
+
+} // namespace gs

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fuzz reproducer artifacts: a miscomparing (minimized) kernel, the
+ * GenSpec that supplies its data and launch geometry, and the recorded
+ * mismatch, serialized in the store wire format so a corpus file from
+ * one machine replays anywhere. Deserialization treats files as
+ * hostile: a corrupt artifact is a load error, never a crash.
+ */
+
+#ifndef GSCALAR_GEN_ARTIFACT_HPP
+#define GSCALAR_GEN_ARTIFACT_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/kernel.hpp"
+
+#include "diff.hpp"
+#include "spec.hpp"
+
+namespace gs
+{
+
+// ---- kernel round trip ---------------------------------------------------
+
+std::vector<std::uint8_t> serializeKernel(const Kernel &kernel);
+
+/**
+ * Decode and structurally validate (Kernel::check) a serialized
+ * kernel. Empty optional with *error on any malformed input.
+ */
+std::optional<Kernel> deserializeKernel(const std::uint8_t *data,
+                                        std::size_t size,
+                                        std::string *error = nullptr);
+
+inline std::optional<Kernel>
+deserializeKernel(const std::vector<std::uint8_t> &buf,
+                  std::string *error = nullptr)
+{
+    return deserializeKernel(buf.data(), buf.size(), error);
+}
+
+// ---- reproducer ----------------------------------------------------------
+
+/** Everything needed to replay one miscompare. */
+struct Reproducer
+{
+    GenSpec spec;     ///< data + launch geometry (and original seed)
+    Kernel kernel;    ///< minimized miscomparing kernel
+    ArchMode mode = ArchMode::Baseline; ///< mode that disagreed
+    std::uint64_t index = 0;            ///< first differing output word
+    std::uint32_t want = 0;             ///< reference value
+    std::uint32_t got = 0;              ///< cycle-sim value
+    std::string note;                   ///< free-form provenance
+};
+
+std::vector<std::uint8_t> serializeReproducer(const Reproducer &r);
+std::optional<Reproducer>
+deserializeReproducer(const std::uint8_t *data, std::size_t size,
+                      std::string *error = nullptr);
+
+/**
+ * Content-addressed corpus filename: "repro-<16 hex of fnv1a(blob)>.gsr".
+ * Identical reproducers collapse to one file, so re-running a campaign
+ * never litters the corpus with duplicates.
+ */
+std::string reproducerFileName(const std::vector<std::uint8_t> &blob);
+
+/**
+ * Write @p r under its content-addressed name in @p dir (created if
+ * missing), via temp-file + rename so a crash never leaves a torn
+ * artifact. Returns the full path, or empty string with *error.
+ */
+std::string writeReproducer(const Reproducer &r, const std::string &dir,
+                            std::string *error = nullptr);
+
+/** Load and validate an artifact file. */
+std::optional<Reproducer> loadReproducer(const std::string &path,
+                                         std::string *error = nullptr);
+
+} // namespace gs
+
+#endif // GSCALAR_GEN_ARTIFACT_HPP

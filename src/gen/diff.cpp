@@ -1,0 +1,133 @@
+#include "diff.hpp"
+
+#include "common/config.hpp"
+#include "fault/fault.hpp"
+#include "sim/gpu.hpp"
+#include "sim/reference.hpp"
+
+#include "generator.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+/** Reference (oracle) outputs; empty optional when the budget runs out. */
+std::optional<std::vector<Word>>
+referenceOutputs(const Kernel &kernel, const GenSpec &spec,
+                 const DiffOptions &opt)
+{
+    GlobalMemory mem;
+    fillGenInput(mem, spec);
+    const LaunchDims dims{spec.ctas, spec.tpc};
+    if (!referenceExecuteBounded(kernel, dims, mem, opt.maxRefSteps))
+        return std::nullopt;
+    return mem.readWords(kGenOut, genOutputWords(spec));
+}
+
+/** Cycle-sim outputs under one architecture mode. */
+std::vector<Word>
+simtOutputs(const Kernel &kernel, const GenSpec &spec, ArchMode mode,
+            const DiffOptions &opt, bool &injected)
+{
+    ArchConfig cfg;
+    cfg.mode = mode;
+    cfg.numSms = opt.numSms;
+    cfg.maxCycles = opt.maxCycles;
+    Gpu gpu(cfg);
+    fillGenInput(gpu.memory(), spec);
+    gpu.launch(kernel, {spec.ctas, spec.tpc});
+    std::vector<Word> got =
+        gpu.memory().readWords(kGenOut, genOutputWords(spec));
+    // Chaos hook: a fired gen:miscompare corrupts the observed output,
+    // exercising the minimize/artifact/replay path end to end without
+    // needing a real simulator bug on tap.
+    injected = false;
+    if (!got.empty() && injectFault("gen", FaultKind::Miscompare)) {
+        got[0] ^= 1;
+        injected = true;
+    }
+    return got;
+}
+
+std::optional<DiffMismatch>
+firstDifference(const std::vector<Word> &want, const std::vector<Word> &got,
+                ArchMode mode)
+{
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        if (got[i] == want[i])
+            continue;
+        DiffMismatch m;
+        m.mode = mode;
+        m.index = i;
+        m.want = want[i];
+        m.got = got[i];
+        return m;
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+DiffOutcome
+diffKernel(const Kernel &kernel, const GenSpec &spec,
+           const DiffOptions &opt)
+{
+    DiffOutcome outcome;
+    const std::optional<std::vector<Word>> want =
+        referenceOutputs(kernel, spec, opt);
+    if (!want) {
+        outcome.refAborted = true;
+        return outcome;
+    }
+    for (const ArchMode mode : opt.modes) {
+        bool injected = false;
+        const std::vector<Word> got =
+            simtOutputs(kernel, spec, mode, opt, injected);
+        if (std::optional<DiffMismatch> m =
+                firstDifference(*want, got, mode)) {
+            m->injected = injected;
+            outcome.mismatches.push_back(*m);
+        }
+    }
+    return outcome;
+}
+
+bool
+diffOneMode(const Kernel &kernel, const GenSpec &spec, ArchMode mode,
+            const DiffOptions &opt, DiffMismatch *first)
+{
+    const std::optional<std::vector<Word>> want =
+        referenceOutputs(kernel, spec, opt);
+    if (!want)
+        return false;
+    bool injected = false;
+    const std::vector<Word> got =
+        simtOutputs(kernel, spec, mode, opt, injected);
+    std::optional<DiffMismatch> m = firstDifference(*want, got, mode);
+    if (m) {
+        m->injected = injected;
+        if (first)
+            *first = *m;
+    }
+    return m.has_value();
+}
+
+std::string
+describeMismatch(const DiffMismatch &m)
+{
+    std::string out = "mode=";
+    out += archModeName(m.mode);
+    out += " word ";
+    out += std::to_string(m.index);
+    out += ": want ";
+    out += std::to_string(m.want);
+    out += " got ";
+    out += std::to_string(m.got);
+    if (m.injected)
+        out += " (injected)";
+    return out;
+}
+
+} // namespace gs

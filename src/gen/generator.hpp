@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The kernel generator: expands a GenSpec into a random-but-valid
+ * Kernel through KernelBuilder. Determinism is the contract — all
+ * randomness flows through gs::Rng (SplitMix64-seeded xorshift128+)
+ * with integer-only rolls, so a spec generates byte-identical kernels
+ * on every platform and compiler. Generated kernels deliberately mix
+ * warp-uniform, affine and varying dataflow, structured divergence,
+ * predication, shared-memory exchanges and strided/indirect global
+ * access — the exact axes the G-Scalar architecture modes disagree on
+ * when one of them is wrong, which is what the differential fuzzer
+ * (diff.hpp) exists to catch.
+ */
+
+#ifndef GSCALAR_GEN_GENERATOR_HPP
+#define GSCALAR_GEN_GENERATOR_HPP
+
+#include <cstdint>
+
+#include "isa/kernel.hpp"
+#include "sim/gmem.hpp"
+#include "workloads/workload.hpp"
+
+#include "spec.hpp"
+
+namespace gs
+{
+
+/** Base byte address of the generated kernel's input array. */
+inline constexpr std::uint64_t kGenIn = 0x100000;
+
+/** Base byte address of the generated kernel's output array. */
+inline constexpr std::uint64_t kGenOut = 0x400000;
+
+/** Register-pool values every generated kernel stores on exit. */
+inline constexpr std::uint32_t kGenStoredRegs = 16;
+
+/** Words in the input array: power of two ≥ max(256, threads*stride),
+ *  so indirect accesses can be masked into range with a single AND. */
+std::uint64_t genInputWords(const GenSpec &spec);
+
+/** Words in the output array: kGenStoredRegs per thread. */
+std::uint64_t genOutputWords(const GenSpec &spec);
+
+/** Deterministically fill the input array from spec.seed. */
+void fillGenInput(GlobalMemory &mem, const GenSpec &spec);
+
+/** Expand @p spec into a kernel. GS_FATAL on an invalid spec. */
+Kernel generateKernel(const GenSpec &spec);
+
+/**
+ * Wrap @p spec as a harness Workload: name = spec.toName(), setup =
+ * fillGenInput (the workload seed parameter is ignored — the spec's
+ * own seed decides the data, keeping name → result a pure function),
+ * one launch of {ctas, tpc}.
+ */
+Workload makeGenWorkload(const GenSpec &spec);
+
+/**
+ * Install the "gen:..." workload resolver (workload.hpp) so generated
+ * specs resolve anywhere a Table 2 abbreviation does. Idempotent;
+ * binaries call it from main() — explicit registration instead of a
+ * static initializer, which a static library would dead-strip.
+ */
+void registerGenWorkloads();
+
+} // namespace gs
+
+#endif // GSCALAR_GEN_GENERATOR_HPP

@@ -1,0 +1,111 @@
+#include "minimize.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace gs
+{
+
+namespace
+{
+
+/**
+ * Remove instructions [lo, hi) and remap every PC reference. PCs
+ * inside the deleted range collapse to lo (the instruction that now
+ * sits where the range began); PCs past it shift down. Regions that
+ * become empty are dropped.
+ */
+Kernel
+removeRange(const Kernel &k, int lo, int hi)
+{
+    const int cut = hi - lo;
+    const auto map = [lo, hi, cut](int pc) {
+        if (pc < lo)
+            return pc;
+        if (pc >= hi)
+            return pc - cut;
+        return lo;
+    };
+
+    Kernel out;
+    out.name = k.name;
+    out.numRegs = k.numRegs;
+    out.numPreds = k.numPreds;
+    out.sharedBytes = k.sharedBytes;
+
+    out.code.reserve(k.code.size() - std::size_t(cut));
+    for (std::size_t pc = 0; pc < k.code.size(); ++pc) {
+        if (int(pc) >= lo && int(pc) < hi)
+            continue;
+        Instruction inst = k.code[pc];
+        if (inst.target >= 0)
+            inst.target = map(inst.target);
+        if (inst.reconv >= 0)
+            inst.reconv = map(inst.reconv);
+        out.code.push_back(inst);
+        out.enclosingPreds.push_back(
+            pc < k.enclosingPreds.size() ? k.enclosingPreds[pc]
+                                         : std::vector<PredIdx>{});
+    }
+
+    for (Kernel::Region r : k.regions) {
+        r.start = map(r.start);
+        r.end = map(r.end);
+        r.checkPc = map(r.checkPc);
+        if (r.start < r.end)
+            out.regions.push_back(r);
+    }
+    return out;
+}
+
+} // namespace
+
+MinimizeResult
+minimizeKernel(const Kernel &kernel,
+               const std::function<bool(const Kernel &)> &stillBad,
+               std::uint64_t maxProbes)
+{
+    MinimizeResult result;
+    result.kernel = kernel;
+
+    GS_ASSERT(!kernel.code.empty(), "minimize: empty kernel");
+
+    auto probe = [&](const Kernel &candidate) {
+        ++result.probes;
+        return candidate.check().empty() && stillBad(candidate);
+    };
+
+    // Never delete the trailing EXIT: check() requires it, so every
+    // removal window ranges over [0, n-1) only.
+    bool shrunk = true;
+    while (shrunk) {
+        shrunk = false;
+        const int n = int(result.kernel.code.size()) - 1;
+        if (n <= 0)
+            break;
+        for (int chunk = std::max(1, n / 2); chunk >= 1; chunk /= 2) {
+            for (int lo = 0;;) {
+                // Re-read the size: every accepted removal shrinks it.
+                const int limit = int(result.kernel.code.size()) - 1;
+                if (lo + chunk > limit)
+                    break;
+                if (maxProbes != 0 && result.probes >= maxProbes)
+                    return result;
+                const Kernel candidate =
+                    removeRange(result.kernel, lo, lo + chunk);
+                if (probe(candidate)) {
+                    result.kernel = candidate;
+                    result.removed += std::uint64_t(chunk);
+                    shrunk = true;
+                    // Same lo now names the next window.
+                } else {
+                    lo += chunk;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace gs

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Delta-debugging minimizer for miscomparing kernels. Greedy chunked
+ * removal (ddmin-style): try deleting halves, then quarters, down to
+ * single instructions, keeping any candidate that (a) still passes
+ * Kernel::check() after PC remapping and (b) still trips the caller's
+ * badness predicate. The result is a small reproducer a human can read
+ * in one sitting instead of a 500-instruction haystack.
+ */
+
+#ifndef GSCALAR_GEN_MINIMIZE_HPP
+#define GSCALAR_GEN_MINIMIZE_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "isa/kernel.hpp"
+
+namespace gs
+{
+
+/** Outcome of one minimization run. */
+struct MinimizeResult
+{
+    Kernel kernel;              ///< smallest still-bad kernel found
+    std::uint64_t probes = 0;   ///< candidate evaluations spent
+    std::uint64_t removed = 0;  ///< instructions deleted from the input
+};
+
+/**
+ * Shrink @p kernel while @p stillBad holds. The predicate receives a
+ * structurally valid candidate (check() passed) and must return true
+ * when the candidate still exhibits the failure. Deterministic: the
+ * same kernel and predicate always produce the same reproducer.
+ * @p maxProbes bounds predicate evaluations (0 = unbounded).
+ */
+MinimizeResult
+minimizeKernel(const Kernel &kernel,
+               const std::function<bool(const Kernel &)> &stillBad,
+               std::uint64_t maxProbes = 0);
+
+} // namespace gs
+
+#endif // GSCALAR_GEN_MINIMIZE_HPP

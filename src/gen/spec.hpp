@@ -1,0 +1,115 @@
+/**
+ * @file
+ * GenSpec: the knob set of the kernel generator. A spec fully
+ * determines one generated kernel (generator.hpp) — same spec, same
+ * bytes, on every platform — so a spec is also a *name*: its canonical
+ * text form ("gen:seed=1,ops=24,...") is a workload name the harness
+ * resolves like a Table 2 abbreviation, and its fingerprint content-
+ * addresses generated runs in the engine and disk caches the same way
+ * ArchConfig::fingerprint() addresses configurations.
+ */
+
+#ifndef GSCALAR_GEN_SPEC_HPP
+#define GSCALAR_GEN_SPEC_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gs
+{
+
+/**
+ * Knobs of one generated kernel. All integers: the generator must be
+ * byte-stable across platforms, so no knob is ever a float.
+ * Percentage knobs are in [0, 100] and bias the per-step emission
+ * rolls; they are biases, not guarantees.
+ */
+struct GenSpec
+{
+    /** Generator RNG seed (also seeds the kernel's input data). */
+    std::uint64_t seed = 1;
+    /** Top-level emission steps (a step expands to 1-6 instructions). */
+    std::uint32_t ops = 24;
+    /** CTAs in the launch grid. */
+    std::uint32_t ctas = 2;
+    /** Threads per CTA (need not be a warp-size multiple). */
+    std::uint32_t tpc = 64;
+    /** % of steps that emit structured control flow (divergence). */
+    std::uint32_t div = 30;
+    /** % of steps that emit a guarded (predicated) block. */
+    std::uint32_t pred = 15;
+    /** % of value ops with warp-uniform destination and sources. */
+    std::uint32_t scalar = 25;
+    /** % of value ops shaped as affine (base + tid * stride) updates. */
+    std::uint32_t affine = 20;
+    /** Words between consecutive threads' strided loads. */
+    std::uint32_t stride = 1;
+    /** % of loads that are data-dependent (indirect) accesses. */
+    std::uint32_t ind = 10;
+    /** % of varying value ops drawn from the FP/SFU families. */
+    std::uint32_t sfu = 15;
+    /** % of top-level steps that emit an STS/BAR/LDS exchange. */
+    std::uint32_t shared = 10;
+
+    /** First out-of-range knob, or empty when the spec is valid. */
+    std::string check() const;
+
+    /** GS_FATAL on an invalid spec. */
+    void validate() const;
+
+    /**
+     * Stable content hash over every knob (ArchConfig::fingerprint
+     * style). Two specs with the same fingerprint generate the same
+     * kernel. Stable within a build; not a serialization format.
+     */
+    std::uint64_t fingerprint() const;
+
+    /**
+     * Canonical workload name: "gen:seed=S,ops=N,...,shared=H" with
+     * every knob in a fixed order, so equal specs always render the
+     * same name (the engine's cache key) and parse() round-trips.
+     */
+    std::string toName() const;
+
+    bool operator==(const GenSpec &) const = default;
+};
+
+/**
+ * Parse a "gen:..." workload name. Strict: every entry must be
+ * knob=value with digits-only values, knobs must be known and unique,
+ * and the result must pass check(). Missing knobs keep their defaults.
+ * Empty optional (with *error set) on anything else.
+ */
+std::optional<GenSpec> parseGenSpec(const std::string &name,
+                                    std::string *error = nullptr);
+
+/**
+ * Set one knob by name ("ops", "seed", ...) with the same strict value
+ * rules as parseGenSpec. False (with *error) on an unknown knob or a
+ * malformed/out-of-range value.
+ */
+bool setGenKnob(GenSpec &spec, const std::string &knob,
+                const std::string &value, std::string *error = nullptr);
+
+/** Knob names accepted by setGenKnob, in canonical-name order. */
+std::vector<std::string> genKnobNames();
+
+// ---- binary round trip (store wire format, BlobKind::GenSpec) ------------
+
+std::vector<std::uint8_t> serializeGenSpec(const GenSpec &spec);
+std::optional<GenSpec> deserializeGenSpec(const std::uint8_t *data,
+                                          std::size_t size,
+                                          std::string *error = nullptr);
+
+inline std::optional<GenSpec>
+deserializeGenSpec(const std::vector<std::uint8_t> &buf,
+                   std::string *error = nullptr)
+{
+    return deserializeGenSpec(buf.data(), buf.size(), error);
+}
+
+} // namespace gs
+
+#endif // GSCALAR_GEN_SPEC_HPP

@@ -18,47 +18,80 @@ Kernel::disassemble() const
     return os.str();
 }
 
-void
-Kernel::validate() const
+std::string
+Kernel::check() const
 {
+    auto err = [&](int pc, const auto &...parts) {
+        std::ostringstream os;
+        os << "kernel '" << name << "'";
+        if (pc >= 0)
+            os << " pc " << pc;
+        os << ": ";
+        (os << ... << parts);
+        return os.str();
+    };
+
     if (code.empty())
-        GS_FATAL("kernel '", name, "' has no instructions");
+        return "kernel '" + name + "' has no instructions";
     if (code.back().op != Opcode::EXIT)
-        GS_FATAL("kernel '", name, "' does not end with EXIT");
+        return "kernel '" + name + "' does not end with EXIT";
 
     const int n = static_cast<int>(code.size());
     for (int pc = 0; pc < n; ++pc) {
         const Instruction &inst = code[pc];
+        // Deserialized kernels (fuzz reproducer artifacts) can carry
+        // arbitrary opcode bytes; reject them before any interpreter
+        // switches on the value.
+        if (inst.op >= Opcode::NumOpcodes)
+            return err(pc, "opcode byte ",
+                       unsigned(static_cast<std::uint8_t>(inst.op)),
+                       " is not an instruction");
         if (inst.op == Opcode::BRA || inst.op == Opcode::JMP) {
             if (inst.target < 0 || inst.target >= n)
-                GS_FATAL("kernel '", name, "' pc ", pc,
-                         ": branch target ", inst.target, " out of range");
+                return err(pc, "branch target ", inst.target,
+                           " out of range");
             if (inst.op == Opcode::BRA &&
                 (inst.reconv < 0 || inst.reconv > n))
-                GS_FATAL("kernel '", name, "' pc ", pc,
-                         ": reconvergence pc ", inst.reconv,
-                         " out of range");
+                return err(pc, "reconvergence pc ", inst.reconv,
+                           " out of range");
         }
         if (inst.writesDst() && inst.dst == kNoReg)
-            GS_FATAL("kernel '", name, "' pc ", pc,
-                     ": missing destination register");
+            return err(pc, "missing destination register");
         if (inst.writesDst() &&
             inst.dst >= static_cast<RegIdx>(numRegs))
-            GS_FATAL("kernel '", name, "' pc ", pc, ": register r",
-                     inst.dst, " exceeds numRegs=", numRegs);
+            return err(pc, "register r", inst.dst,
+                       " exceeds numRegs=", numRegs);
         for (unsigned s = 0; s < inst.numSrcRegs(); ++s) {
             if (inst.src[s] == kNoReg)
-                GS_FATAL("kernel '", name, "' pc ", pc,
-                         ": missing source register ", s);
+                return err(pc, "missing source register ", s);
             if (inst.src[s] >= static_cast<RegIdx>(numRegs))
-                GS_FATAL("kernel '", name, "' pc ", pc, ": register r",
-                         inst.src[s], " exceeds numRegs=", numRegs);
+                return err(pc, "register r", inst.src[s],
+                           " exceeds numRegs=", numRegs);
         }
+        if ((inst.op == Opcode::ISETP || inst.op == Opcode::FSETP) &&
+            (inst.pdst == kNoPred ||
+             inst.pdst >= static_cast<PredIdx>(numPreds)))
+            return err(pc, "predicate destination p", inst.pdst,
+                       " exceeds numPreds=", numPreds);
+        if (inst.op == Opcode::SEL &&
+            (inst.psrc == kNoPred ||
+             inst.psrc >= static_cast<PredIdx>(numPreds)))
+            return err(pc, "predicate source p", inst.psrc,
+                       " exceeds numPreds=", numPreds);
         if (inst.guard != kNoPred &&
             inst.guard >= static_cast<PredIdx>(numPreds))
-            GS_FATAL("kernel '", name, "' pc ", pc, ": guard p",
-                     inst.guard, " exceeds numPreds=", numPreds);
+            return err(pc, "guard p", inst.guard,
+                       " exceeds numPreds=", numPreds);
     }
+    return {};
+}
+
+void
+Kernel::validate() const
+{
+    const std::string why = check();
+    if (!why.empty())
+        GS_FATAL(why);
 }
 
 } // namespace gs

@@ -56,6 +56,14 @@ struct Kernel
     /** Disassemble the whole kernel. */
     std::string disassemble() const;
 
+    /**
+     * First structural error, or an empty string when the kernel is
+     * well formed. Non-fatal form of validate() for callers that must
+     * survive malformed code (the fuzz minimizer probing candidate
+     * kernels, artifact deserialization of hostile files).
+     */
+    std::string check() const;
+
     /** Structural sanity checks; GS_FATAL on malformed code. */
     void validate() const;
 };

@@ -146,6 +146,9 @@ step(Thread &t, const Kernel &k, const CtaContext &c, GlobalMemory &mem,
         return false;
     }
 
+    // Exhaustive over the opcode table — no default case, so adding an
+    // opcode without teaching the oracle about it is a compile error
+    // (-Wswitch), never a runtime abort inside a fuzz campaign.
     Word r = 0;
     bool writes = inst.writesDst();
     switch (inst.op) {
@@ -249,10 +252,20 @@ step(Thread &t, const Kernel &k, const CtaContext &c, GlobalMemory &mem,
         break;
       }
       case Opcode::SMOV:
+        // Decompress-in-place: per thread this is the identity on the
+        // destination register (the mask games only exist on the SIMT
+        // side).
         r = t.regs[std::size_t(inst.src[0])];
         break;
-      default:
-        GS_PANIC("reference: unhandled opcode ", opcodeName(inst.op));
+      case Opcode::EXIT:
+      case Opcode::BAR:
+      case Opcode::JMP:
+      case Opcode::BRA:
+      case Opcode::NumOpcodes:
+        // Control flow dispatched above; NumOpcodes is the table size,
+        // not an instruction — Kernel::check() rejects kernels that
+        // carry it before they reach any interpreter.
+        break;
     }
 
     if (writes)
@@ -263,10 +276,12 @@ step(Thread &t, const Kernel &k, const CtaContext &c, GlobalMemory &mem,
 
 } // namespace
 
-void
-referenceExecute(const Kernel &kernel, LaunchDims dims, GlobalMemory &mem)
+bool
+referenceExecuteBounded(const Kernel &kernel, LaunchDims dims,
+                        GlobalMemory &mem, std::uint64_t maxSteps)
 {
-    kernel.validate();
+    GS_ASSERT(kernel.check().empty(), "reference: malformed kernel");
+    std::uint64_t steps = 0;
     for (unsigned cta = 0; cta < dims.ctas; ++cta) {
         CtaContext ctx;
         ctx.ctaId = cta;
@@ -293,13 +308,24 @@ referenceExecute(const Kernel &kernel, LaunchDims dims, GlobalMemory &mem)
                 if (t.done)
                     continue;
                 all_done = false;
-                while (!t.done && !t.atBarrier)
+                while (!t.done && !t.atBarrier) {
+                    if (maxSteps != 0 && ++steps > maxSteps)
+                        return false;
                     step(t, kernel, ctx, mem, shared);
+                }
             }
             for (Thread &t : threads)
                 t.atBarrier = false;
         }
     }
+    return true;
+}
+
+void
+referenceExecute(const Kernel &kernel, LaunchDims dims, GlobalMemory &mem)
+{
+    kernel.validate();
+    referenceExecuteBounded(kernel, dims, mem, 0);
 }
 
 } // namespace gs

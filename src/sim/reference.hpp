@@ -11,6 +11,8 @@
 #ifndef GSCALAR_SIM_REFERENCE_HPP
 #define GSCALAR_SIM_REFERENCE_HPP
 
+#include <cstdint>
+
 #include "gmem.hpp"
 #include "isa/kernel.hpp"
 
@@ -25,6 +27,17 @@ namespace gs
  */
 void referenceExecute(const Kernel &kernel, LaunchDims dims,
                       GlobalMemory &mem);
+
+/**
+ * Like referenceExecute(), but gives up after @p maxSteps executed
+ * instructions across the whole grid (0 = unbounded) and returns false
+ * instead of spinning forever. The fuzz minimizer probes candidate
+ * kernels whose control flow may no longer terminate (a removed loop
+ * increment); a bounded oracle turns those into a rejected candidate
+ * rather than a hang. The kernel must satisfy Kernel::check().
+ */
+bool referenceExecuteBounded(const Kernel &kernel, LaunchDims dims,
+                             GlobalMemory &mem, std::uint64_t maxSteps);
 
 } // namespace gs
 

@@ -56,6 +56,9 @@ enum class BlobKind : std::uint8_t
     StatsRequest = 10, ///< gscalard stats probe (empty payload)
     StatsResponse = 11, ///< gscalard daemon counters
     WorkloadStats = 12, ///< nested per-workload latency histogram
+    GenSpec = 13,       ///< kernel-generator knob set (gen/spec.hpp)
+    Kernel = 14,        ///< one serialized Kernel (gen/artifact.hpp)
+    Reproducer = 15,    ///< fuzz miscompare artifact (spec + kernel)
 };
 
 /** Wire-format revision; bump when a field changes meaning. */

@@ -31,12 +31,33 @@ makeSuite()
     return suite;
 }
 
+namespace
+{
+
+std::vector<WorkloadResolver> &
+resolvers()
+{
+    static std::vector<WorkloadResolver> r;
+    return r;
+}
+
+} // namespace
+
+void
+registerWorkloadResolver(WorkloadResolver resolver)
+{
+    resolvers().push_back(std::move(resolver));
+}
+
 Workload
 makeWorkload(const std::string &abbr)
 {
     for (Workload &w : makeSuite())
         if (w.name == abbr)
             return std::move(w);
+    for (const WorkloadResolver &resolve : resolvers())
+        if (std::optional<Workload> w = resolve(abbr))
+            return std::move(*w);
     GS_FATAL("unknown workload '", abbr, "'");
 }
 

@@ -9,6 +9,7 @@
 #define GSCALAR_WORKLOADS_WORKLOAD_HPP
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,19 @@ std::vector<Workload> makeSuite();
 
 /** Look up one benchmark by its Table 2 abbreviation. */
 Workload makeWorkload(const std::string &abbr);
+
+/**
+ * Pluggable name resolver consulted by makeWorkload() for names the
+ * Table 2 registry does not know. Returns a Workload when the name is
+ * its to resolve, std::nullopt otherwise. The generator subsystem
+ * registers one for "gen:..." spec names (registerGenWorkloads()), so
+ * generated kernels flow through every path a Table 2 name can take —
+ * engine, disk cache, daemon, CLI. Resolvers must be registered before
+ * any concurrent makeWorkload() use (binaries do it in main()).
+ */
+using WorkloadResolver =
+    std::function<std::optional<Workload>(const std::string &name)>;
+void registerWorkloadResolver(WorkloadResolver resolver);
 
 /** Table 2 abbreviations in paper order. */
 const std::vector<std::string> &workloadNames();

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Generated workloads through the ExperimentEngine: duplicate GenSpecs
+ * must collapse onto one simulation via the fingerprint-keyed run
+ * cache (the canonical spec name carries every knob, the ArchConfig
+ * fingerprint the rest of the key), whether submitted as Workload
+ * objects or resolved from their "gen:..." names; distinct specs and
+ * distinct configurations must not collapse.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "gen/generator.hpp"
+#include "gen/spec.hpp"
+#include "harness/engine.hpp"
+
+using namespace gs;
+
+namespace
+{
+
+GenSpec
+tinySpec(std::uint64_t seed)
+{
+    GenSpec spec;
+    spec.seed = seed;
+    spec.ops = 6;
+    spec.ctas = 1;
+    spec.tpc = 16;
+    return spec;
+}
+
+ArchConfig
+tinyConfig(ArchMode mode = ArchMode::Baseline)
+{
+    ArchConfig cfg;
+    cfg.mode = mode;
+    cfg.numSms = 1;
+    cfg.maxCycles = 5'000'000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(GenEngine, DuplicateSpecsDedupeOntoOneRun)
+{
+    registerGenWorkloads();
+    ExperimentEngine engine(2);
+    const ArchConfig cfg = tinyConfig();
+
+    const GenSpec spec = tinySpec(31);
+    std::vector<std::shared_future<RunResult>> runs;
+    runs.push_back(engine.submit(makeGenWorkload(spec), cfg));
+    runs.push_back(engine.submit(makeGenWorkload(spec), cfg)); // dup
+    runs.push_back(engine.submit(spec.toName(), cfg));         // dup
+    const GenSpec other = tinySpec(32);
+    runs.push_back(engine.submit(makeGenWorkload(other), cfg));
+
+    for (const std::shared_future<RunResult> &f : runs) {
+        const RunResult r = f.get();
+        EXPECT_TRUE(r.ok()) << r.error;
+    }
+
+    const CacheStats stats = engine.cacheStats();
+    EXPECT_EQ(stats.misses, 2u); // spec and other, once each
+    EXPECT_EQ(stats.hits, 2u);   // both duplicate submissions
+    EXPECT_EQ(stats.runFailures, 0u);
+
+    // Duplicates share the one simulation's identical counters.
+    EXPECT_EQ(runs[0].get().ev.cycles, runs[1].get().ev.cycles);
+    EXPECT_EQ(runs[0].get().ev.cycles, runs[2].get().ev.cycles);
+}
+
+TEST(GenEngine, DifferentConfigurationsDoNotCollapse)
+{
+    registerGenWorkloads();
+    ExperimentEngine engine(2);
+    const GenSpec spec = tinySpec(33);
+
+    const RunResult base =
+        engine.run(makeGenWorkload(spec), tinyConfig(ArchMode::Baseline));
+    EXPECT_TRUE(base.ok()) << base.error;
+    const RunResult full = engine.run(makeGenWorkload(spec),
+                                      tinyConfig(ArchMode::GScalarFull));
+    EXPECT_TRUE(full.ok()) << full.error;
+
+    const CacheStats stats = engine.cacheStats();
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.hits, 0u);
+}
+
+TEST(GenEngine, StressManyDuplicatesFewUniques)
+{
+    registerGenWorkloads();
+    ExperimentEngine engine(4);
+    const ArchConfig cfg = tinyConfig();
+
+    constexpr unsigned kUnique = 5;
+    constexpr unsigned kRounds = 6;
+    std::vector<std::shared_future<RunResult>> runs;
+    for (unsigned round = 0; round < kRounds; ++round)
+        for (unsigned u = 0; u < kUnique; ++u)
+            runs.push_back(
+                engine.submit(makeGenWorkload(tinySpec(100 + u)), cfg));
+
+    for (const std::shared_future<RunResult> &f : runs)
+        EXPECT_TRUE(f.get().ok()) << f.get().error;
+
+    const CacheStats stats = engine.cacheStats();
+    EXPECT_EQ(stats.misses, std::uint64_t(kUnique));
+    EXPECT_EQ(stats.hits, std::uint64_t(kUnique * (kRounds - 1)));
+}
+
+TEST(GenEngine, EqualSpecsShareAFingerprintDistinctSpecsDoNot)
+{
+    const GenSpec a = tinySpec(41);
+    const GenSpec b = tinySpec(41);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_EQ(a.toName(), b.toName());
+
+    const GenSpec c = tinySpec(42);
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+    EXPECT_NE(a.toName(), c.toName());
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Kernel-generator tests (gen/generator.hpp, gen/fuzz.hpp): every
+ * generated kernel is structurally valid; generation is a pure
+ * function of the spec (byte-identical kernels across calls, and
+ * byte-identical to golden FNV fingerprints pinned here — the
+ * cross-platform seed-stability contract); generated kernels agree
+ * with the reference interpreter in every architecture mode; campaign
+ * spec drawing and the workload wrapper behave.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "gen/artifact.hpp"
+#include "gen/diff.hpp"
+#include "gen/fuzz.hpp"
+#include "gen/generator.hpp"
+#include "store/serial.hpp"
+#include "workloads/workload.hpp"
+
+using namespace gs;
+
+namespace
+{
+
+/** A spread of knob corners the generator must handle. */
+std::vector<GenSpec>
+cornerSpecs()
+{
+    std::vector<GenSpec> specs;
+
+    GenSpec defaults;
+    specs.push_back(defaults);
+
+    GenSpec divergent;
+    divergent.seed = 7;
+    divergent.div = 100;
+    divergent.pred = 50;
+    specs.push_back(divergent);
+
+    GenSpec scalarHeavy;
+    scalarHeavy.seed = 11;
+    scalarHeavy.div = 0;
+    scalarHeavy.scalar = 60;
+    scalarHeavy.affine = 40;
+    specs.push_back(scalarHeavy);
+
+    GenSpec memoryHeavy;
+    memoryHeavy.seed = 13;
+    memoryHeavy.stride = 8;
+    memoryHeavy.ind = 100;
+    memoryHeavy.shared = 60;
+    specs.push_back(memoryHeavy);
+
+    GenSpec tiny;
+    tiny.seed = 17;
+    tiny.ops = 1;
+    tiny.ctas = 1;
+    tiny.tpc = 1;
+    specs.push_back(tiny);
+
+    GenSpec wide;
+    wide.seed = 19;
+    wide.ops = 200;
+    wide.ctas = 4;
+    wide.tpc = 256;
+    wide.sfu = 80;
+    specs.push_back(wide);
+
+    return specs;
+}
+
+std::uint64_t
+kernelHash(const GenSpec &spec)
+{
+    const std::vector<std::uint8_t> blob =
+        serializeKernel(generateKernel(spec));
+    return fnv1a(blob.data(), blob.size());
+}
+
+} // namespace
+
+TEST(GenKernels, EveryCornerSpecGeneratesAValidKernel)
+{
+    for (const GenSpec &spec : cornerSpecs()) {
+        ASSERT_TRUE(spec.check().empty()) << spec.check();
+        const Kernel k = generateKernel(spec);
+        EXPECT_TRUE(k.check().empty())
+            << spec.toName() << ": " << k.check();
+        EXPECT_GE(k.code.size(), 2u) << spec.toName();
+        EXPECT_EQ(k.name, spec.toName());
+    }
+}
+
+TEST(GenKernels, GenerationIsAPureFunctionOfTheSpec)
+{
+    for (const GenSpec &spec : cornerSpecs()) {
+        const std::vector<std::uint8_t> a =
+            serializeKernel(generateKernel(spec));
+        const std::vector<std::uint8_t> b =
+            serializeKernel(generateKernel(spec));
+        EXPECT_EQ(a, b) << spec.toName();
+    }
+}
+
+/**
+ * Seed-stability goldens: fixed specs must serialize to these exact
+ * bytes on every platform and compiler. A change here means the
+ * generator's draw sequence changed — which silently invalidates every
+ * corpus artifact and recorded campaign; bump deliberately.
+ */
+TEST(GenKernels, GoldenKernelFingerprintsAreStable)
+{
+    struct Golden
+    {
+        std::uint64_t seed;
+        std::uint64_t hash;
+    };
+    const Golden goldens[] = {
+        {1, 0xe98f2525a0c47293ull},
+        {2, 0xba9b3d1001de5cb9ull},
+        {42, 0x00a8e311cf4fdde1ull},
+    };
+    for (const Golden &g : goldens) {
+        GenSpec spec;
+        spec.seed = g.seed;
+        EXPECT_EQ(kernelHash(spec), g.hash)
+            << "seed " << g.seed << ": actual 0x" << std::hex
+            << kernelHash(spec);
+    }
+}
+
+TEST(GenKernels, GeneratedKernelsAgreeWithTheReferenceEverywhere)
+{
+    DiffOptions opt;
+    opt.numSms = 2;
+    for (std::uint64_t seed : {3u, 5u, 8u}) {
+        GenSpec spec;
+        spec.seed = seed;
+        spec.ops = 16;
+        spec.ctas = 2;
+        spec.tpc = 48;
+        const Kernel k = generateKernel(spec);
+        const DiffOutcome out = diffKernel(k, spec, opt);
+        EXPECT_FALSE(out.refAborted) << spec.toName();
+        for (const DiffMismatch &m : out.mismatches)
+            ADD_FAILURE() << spec.toName() << ": "
+                          << describeMismatch(m);
+    }
+}
+
+TEST(GenKernels, DrawSpecIsDeterministicAndVaried)
+{
+    const GenSpec a = drawSpec(9, 0);
+    EXPECT_EQ(a, drawSpec(9, 0));
+    EXPECT_TRUE(a.check().empty()) << a.check();
+
+    // Different indices and campaign seeds draw different specs.
+    EXPECT_NE(a, drawSpec(9, 1));
+    EXPECT_NE(a, drawSpec(10, 0));
+
+    // Pinned knobs override the draw and survive validation.
+    const GenSpec pinned =
+        drawSpec(9, 0, {{"div", "0"}, {"scalar", "90"}});
+    EXPECT_EQ(pinned.div, 0u);
+    EXPECT_EQ(pinned.scalar, 90u);
+    EXPECT_TRUE(pinned.check().empty()) << pinned.check();
+}
+
+TEST(GenKernels, WorkloadWrapperAndResolver)
+{
+    registerGenWorkloads();
+
+    GenSpec spec;
+    spec.seed = 21;
+    spec.ops = 8;
+    spec.ctas = 1;
+    spec.tpc = 16;
+
+    const Workload w = makeGenWorkload(spec);
+    EXPECT_EQ(w.name, spec.toName());
+    EXPECT_EQ(w.suite, "generated");
+    ASSERT_EQ(w.launches.size(), 1u);
+    EXPECT_EQ(w.launches[0].dims.ctas, spec.ctas);
+    EXPECT_EQ(w.launches[0].dims.threadsPerCta, spec.tpc);
+    EXPECT_TRUE(w.launches[0].kernel.check().empty());
+
+    // The resolver turns the canonical name back into the workload.
+    const Workload resolved = makeWorkload(spec.toName());
+    EXPECT_EQ(resolved.name, w.name);
+    ASSERT_EQ(resolved.launches.size(), 1u);
+    EXPECT_EQ(serializeKernel(resolved.launches[0].kernel),
+              serializeKernel(w.launches[0].kernel));
+}
+
+TEST(GenKernels, SmallCampaignIsCleanAndDeterministic)
+{
+    FuzzOptions opt;
+    opt.count = 4;
+    opt.seed = 2;
+    opt.engineTraffic = false;
+    opt.jobs = 2;
+    opt.knobs = {{"ops", "10"}, {"ctas", "1"}, {"tpc", "24"}};
+
+    const FuzzCampaignResult a = runFuzzCampaign(opt);
+    EXPECT_TRUE(a.clean()) << a.summaryText;
+    EXPECT_EQ(a.kernels, 4u);
+    EXPECT_EQ(a.miscompares, 0u);
+    EXPECT_TRUE(a.reportLines.empty());
+    EXPECT_NE(a.summaryText.find("miscompares=0"), std::string::npos);
+
+    // Same campaign, different worker count: identical report bytes.
+    FuzzOptions serial = opt;
+    serial.jobs = 1;
+    const FuzzCampaignResult b = runFuzzCampaign(serial);
+    EXPECT_EQ(b.summaryText, a.summaryText);
+    EXPECT_EQ(b.reportLines, a.reportLines);
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Minimizer and reproducer-artifact tests (gen/minimize.hpp,
+ * gen/artifact.hpp, gen/fuzz.hpp): ddmin shrinks a kernel to the
+ * instructions the badness predicate actually needs, deterministically;
+ * the injected gen:miscompare fault drives the full
+ * diff -> minimize -> artifact -> replay loop end to end; and corpus
+ * files are treated as hostile input on load.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "gen/artifact.hpp"
+#include "gen/diff.hpp"
+#include "gen/fuzz.hpp"
+#include "gen/generator.hpp"
+#include "gen/minimize.hpp"
+#include "isa/kernel_builder.hpp"
+
+using namespace gs;
+
+namespace
+{
+
+/** Kernel with one IMUL buried in filler; the minimization target. */
+Kernel
+buildHaystack()
+{
+    KernelBuilder kb("haystack");
+    const Reg a = kb.reg();
+    kb.movi(a, 1);
+    const Reg t = kb.reg();
+    for (int i = 0; i < 14; ++i)
+        kb.iaddi(t, a, Word(i));
+    kb.emit2(Opcode::IMUL, t, a, a); // the needle
+    for (int i = 0; i < 13; ++i)
+        kb.iaddi(t, a, Word(i));
+    return kb.build();
+}
+
+bool
+containsImul(const Kernel &k)
+{
+    for (const Instruction &inst : k.code)
+        if (inst.op == Opcode::IMUL)
+            return true;
+    return false;
+}
+
+/** Small spec so each diff probe costs milliseconds. */
+GenSpec
+smallSpec()
+{
+    GenSpec spec;
+    spec.seed = 3;
+    spec.ops = 8;
+    spec.ctas = 1;
+    spec.tpc = 16;
+    return spec;
+}
+
+std::string
+freshDir(const std::string &leaf)
+{
+    const std::string dir = testing::TempDir() + leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+} // namespace
+
+TEST(GenMinimize, ShrinksToTheInstructionsThePredicateNeeds)
+{
+    const Kernel haystack = buildHaystack();
+    ASSERT_GT(haystack.code.size(), 20u);
+
+    const MinimizeResult r = minimizeKernel(haystack, containsImul);
+    // Exactly the needle and the mandatory trailing EXIT survive.
+    ASSERT_EQ(r.kernel.code.size(), 2u);
+    EXPECT_EQ(r.kernel.code[0].op, Opcode::IMUL);
+    EXPECT_EQ(r.kernel.code[1].op, Opcode::EXIT);
+    EXPECT_TRUE(r.kernel.check().empty()) << r.kernel.check();
+    EXPECT_EQ(r.removed, haystack.code.size() - 2);
+    EXPECT_GT(r.probes, 0u);
+
+    // Deterministic: a second run reproduces the same kernel bytes.
+    const MinimizeResult again = minimizeKernel(haystack, containsImul);
+    EXPECT_EQ(serializeKernel(again.kernel), serializeKernel(r.kernel));
+    EXPECT_EQ(again.probes, r.probes);
+}
+
+TEST(GenMinimize, ProbeBudgetBoundsTheSearch)
+{
+    const Kernel haystack = buildHaystack();
+    std::uint64_t calls = 0;
+    const MinimizeResult r = minimizeKernel(
+        haystack,
+        [&](const Kernel &k) {
+            ++calls;
+            return containsImul(k);
+        },
+        3);
+    EXPECT_LE(r.probes, 3u);
+    EXPECT_LE(calls, 3u);
+    EXPECT_TRUE(containsImul(r.kernel));
+}
+
+TEST(GenMinimize, InjectedMiscompareMinimizesToReplayableArtifact)
+{
+    // Arm the diff-layer fault: every simulated output gets one bit
+    // flipped, so every kernel "miscompares" deterministically.
+    std::string err;
+    ASSERT_TRUE(faultInjector().configure("gen:miscompare:1:7", &err))
+        << err;
+
+    const GenSpec spec = smallSpec();
+    DiffOptions opt;
+    opt.modes = {ArchMode::GScalarFull};
+    opt.numSms = 1;
+
+    const Kernel kernel = generateKernel(spec);
+    const DiffOutcome out = diffKernel(kernel, spec, opt);
+    ASSERT_EQ(out.mismatches.size(), 1u);
+    EXPECT_TRUE(out.mismatches.front().injected);
+
+    const DiffMismatch first = out.mismatches.front();
+    const MinimizeResult minimized = minimizeKernel(
+        kernel,
+        [&](const Kernel &candidate) {
+            return diffOneMode(candidate, spec, first.mode, opt);
+        },
+        2000);
+    EXPECT_LT(minimized.kernel.code.size(), kernel.code.size());
+
+    DiffMismatch recorded = first;
+    ASSERT_TRUE(diffOneMode(minimized.kernel, spec, first.mode, opt,
+                            &recorded));
+
+    Reproducer repro;
+    repro.spec = spec;
+    repro.kernel = minimized.kernel;
+    repro.mode = recorded.mode;
+    repro.index = recorded.index;
+    repro.want = recorded.want;
+    repro.got = recorded.got;
+    repro.note = "injected gen:miscompare";
+
+    const std::string dir = freshDir("gscalar-minimize-corpus");
+    const std::string path = writeReproducer(repro, dir, &err);
+    ASSERT_FALSE(path.empty()) << err;
+    EXPECT_TRUE(std::filesystem::exists(path));
+
+    // Round trip preserves every recorded field.
+    const std::optional<Reproducer> back = loadReproducer(path, &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(back->spec, spec);
+    EXPECT_EQ(serializeKernel(back->kernel),
+              serializeKernel(minimized.kernel));
+    EXPECT_EQ(back->index, recorded.index);
+
+    // With the fault still armed, the artifact replays exactly.
+    std::string detail;
+    EXPECT_TRUE(replayReproducer(path, opt, &detail)) << detail;
+    EXPECT_EQ(detail.rfind("reproduced:", 0), 0u) << detail;
+
+    // Disarmed, the "bug" is gone and replay says so.
+    ASSERT_TRUE(faultInjector().configure("", &err)) << err;
+    EXPECT_FALSE(replayReproducer(path, opt, &detail));
+    EXPECT_EQ(detail.rfind("no miscompare:", 0), 0u) << detail;
+}
+
+TEST(GenMinimize, CampaignWritesContentAddressedArtifacts)
+{
+    std::string err;
+    ASSERT_TRUE(faultInjector().configure("gen:miscompare:1:9", &err))
+        << err;
+
+    FuzzOptions opt;
+    opt.count = 2;
+    opt.seed = 5;
+    opt.engineTraffic = false;
+    opt.jobs = 2;
+    opt.knobs = {{"ops", "8"}, {"ctas", "1"}, {"tpc", "16"}};
+    opt.diff.modes = {ArchMode::Baseline};
+    opt.diff.numSms = 1;
+    opt.corpusDir = freshDir("gscalar-campaign-corpus");
+
+    const FuzzCampaignResult result = runFuzzCampaign(opt);
+    EXPECT_FALSE(result.clean());
+    EXPECT_EQ(result.miscompares, 2u);
+    ASSERT_EQ(result.artifacts.size(), 2u);
+    ASSERT_EQ(result.reportLines.size(), 2u);
+    for (const std::string &line : result.reportLines) {
+        EXPECT_EQ(line.rfind("MISCOMPARE kernel ", 0), 0u) << line;
+        EXPECT_NE(line.find("; artifact "), std::string::npos) << line;
+    }
+
+    // Every artifact replays while the fault is armed.
+    for (const std::string &path : result.artifacts) {
+        std::string detail;
+        EXPECT_TRUE(replayReproducer(path, opt.diff, &detail))
+            << path << ": " << detail;
+    }
+
+    // Re-running the identical campaign dedupes into the same files.
+    const FuzzCampaignResult again = runFuzzCampaign(opt);
+    EXPECT_EQ(again.artifacts, result.artifacts);
+    EXPECT_EQ(again.reportLines, result.reportLines);
+
+    ASSERT_TRUE(faultInjector().configure("", &err)) << err;
+}
+
+TEST(GenMinimize, ArtifactLoaderTreatsFilesAsHostile)
+{
+    Reproducer repro;
+    repro.spec = smallSpec();
+    repro.kernel = generateKernel(repro.spec);
+    repro.note = "hostility check";
+    const std::vector<std::uint8_t> blob = serializeReproducer(repro);
+
+    std::string err;
+    const std::optional<Reproducer> ok =
+        deserializeReproducer(blob.data(), blob.size(), &err);
+    ASSERT_TRUE(ok.has_value()) << err;
+    EXPECT_EQ(ok->spec, repro.spec);
+    EXPECT_EQ(ok->note, repro.note);
+
+    for (std::size_t n = 0; n < blob.size(); n += 7) {
+        std::string why;
+        EXPECT_FALSE(
+            deserializeReproducer(blob.data(), n, &why).has_value())
+            << "truncated to " << n;
+    }
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+        std::vector<std::uint8_t> bad = blob;
+        bad[i] ^= 0xff;
+        std::string why;
+        EXPECT_FALSE(deserializeReproducer(bad.data(), bad.size(), &why)
+                         .has_value())
+            << "flipped byte " << i;
+    }
+
+    EXPECT_FALSE(loadReproducer("/nonexistent/corpus/file.gsr", &err)
+                     .has_value());
+}

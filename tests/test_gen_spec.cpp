@@ -1,0 +1,167 @@
+/**
+ * @file
+ * GenSpec unit tests (gen/spec.hpp): canonical-name round trips,
+ * strict parse rejection, per-knob fingerprint sensitivity, the binary
+ * store-format round trip with hostile-input handling, and the strict
+ * CLI value parsers of the fuzz command.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gen/fuzz.hpp"
+#include "gen/spec.hpp"
+
+using namespace gs;
+
+TEST(GenSpec, DefaultsAreValidAndRoundTripThroughName)
+{
+    const GenSpec spec;
+    EXPECT_TRUE(spec.check().empty()) << spec.check();
+
+    const std::string name = spec.toName();
+    EXPECT_EQ(name.rfind("gen:seed=", 0), 0u) << name;
+
+    std::string err;
+    const std::optional<GenSpec> back = parseGenSpec(name, &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(*back, spec);
+    EXPECT_EQ(back->toName(), name);
+}
+
+TEST(GenSpec, PartialNamesKeepDefaultsForMissingKnobs)
+{
+    std::string err;
+    const std::optional<GenSpec> spec =
+        parseGenSpec("gen:seed=42,ops=7", &err);
+    ASSERT_TRUE(spec.has_value()) << err;
+    EXPECT_EQ(spec->seed, 42u);
+    EXPECT_EQ(spec->ops, 7u);
+    const GenSpec defaults;
+    EXPECT_EQ(spec->tpc, defaults.tpc);
+    EXPECT_EQ(spec->div, defaults.div);
+}
+
+TEST(GenSpec, ParseRejectsMalformedNames)
+{
+    for (const char *bad : {
+             "BP",                      // not a gen: name
+             "gen:",                    // empty knob list entry
+             "gen:ops",                 // missing '='
+             "gen:ops=",                // empty value
+             "gen:ops=abc",             // non-digit value
+             "gen:ops=0",               // below range
+             "gen:ops=5000",            // above range
+             "gen:bogus=1",             // unknown knob
+             "gen:ops=4,ops=5",         // duplicate knob
+             "gen:scalar=60,affine=60", // shared 100% budget blown
+             "gen:tpc=999",             // above tpc cap
+             "gen:seed=18446744073709551616", // overflows u64
+         }) {
+        std::string err;
+        EXPECT_FALSE(parseGenSpec(bad, &err).has_value()) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(GenSpec, SetKnobCoversEveryAdvertisedKnob)
+{
+    const std::vector<std::string> knobs = genKnobNames();
+    ASSERT_FALSE(knobs.empty());
+    EXPECT_EQ(std::set<std::string>(knobs.begin(), knobs.end()).size(),
+              knobs.size());
+
+    GenSpec spec;
+    for (const std::string &knob : knobs) {
+        std::string err;
+        EXPECT_TRUE(setGenKnob(spec, knob, "1", &err))
+            << knob << ": " << err;
+    }
+    EXPECT_TRUE(spec.check().empty()) << spec.check();
+
+    std::string err;
+    EXPECT_FALSE(setGenKnob(spec, "nope", "1", &err));
+    EXPECT_FALSE(setGenKnob(spec, "ops", "-3", &err));
+}
+
+TEST(GenSpec, FingerprintIsSensitiveToEveryKnob)
+{
+    const GenSpec base;
+    const std::uint64_t fp = base.fingerprint();
+    EXPECT_EQ(GenSpec{}.fingerprint(), fp); // stable for equal specs
+
+    for (const std::string &knob : genKnobNames()) {
+        GenSpec tweaked = base;
+        std::string err;
+        // 3 is a valid value for every knob and differs from every
+        // default, so each iteration really changes one knob.
+        ASSERT_TRUE(setGenKnob(tweaked, knob, "3", &err))
+            << knob << ": " << err;
+        ASSERT_NE(tweaked, base) << knob;
+        EXPECT_NE(tweaked.fingerprint(), fp) << knob;
+    }
+
+    GenSpec seeded = base;
+    seeded.seed = base.seed + 1;
+    EXPECT_NE(seeded.fingerprint(), fp);
+}
+
+TEST(GenSpec, BinaryRoundTrip)
+{
+    GenSpec spec;
+    spec.seed = 0xdeadbeefcafef00dull;
+    spec.ops = 123;
+    spec.tpc = 96;
+    spec.div = 55;
+    spec.scalar = 40;
+    spec.affine = 35;
+
+    const std::vector<std::uint8_t> blob = serializeGenSpec(spec);
+    std::string err;
+    const std::optional<GenSpec> back = deserializeGenSpec(blob, &err);
+    ASSERT_TRUE(back.has_value()) << err;
+    EXPECT_EQ(*back, spec);
+}
+
+TEST(GenSpec, DeserializeRejectsHostileBytes)
+{
+    const std::vector<std::uint8_t> blob = serializeGenSpec(GenSpec{});
+
+    // Truncations at every length must fail cleanly, never crash.
+    for (std::size_t n = 0; n < blob.size(); ++n) {
+        std::string err;
+        EXPECT_FALSE(deserializeGenSpec(blob.data(), n, &err).has_value())
+            << "truncated to " << n;
+    }
+
+    // Any single flipped byte breaks the checksum (or the structure).
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+        std::vector<std::uint8_t> bad = blob;
+        bad[i] ^= 0xff;
+        std::string err;
+        EXPECT_FALSE(deserializeGenSpec(bad, &err).has_value())
+            << "flipped byte " << i;
+    }
+}
+
+TEST(GenSpec, FuzzValueParsersAreStrict)
+{
+    EXPECT_FALSE(parseCountValue("").has_value());
+    EXPECT_FALSE(parseCountValue("0").has_value());
+    EXPECT_FALSE(parseCountValue("12x").has_value());
+    EXPECT_FALSE(parseCountValue("-1").has_value());
+    EXPECT_FALSE(parseCountValue("1000001").has_value());
+    EXPECT_EQ(parseCountValue("1").value_or(0), 1u);
+    EXPECT_EQ(parseCountValue("1000000").value_or(0), 1'000'000u);
+
+    EXPECT_FALSE(parseSeedValue("").has_value());
+    EXPECT_FALSE(parseSeedValue("seed").has_value());
+    EXPECT_FALSE(parseSeedValue("1 ").has_value());
+    EXPECT_FALSE(parseSeedValue("18446744073709551616").has_value());
+    EXPECT_EQ(parseSeedValue("0").value_or(1), 0u);
+    EXPECT_EQ(parseSeedValue("18446744073709551615").value_or(0),
+              UINT64_MAX);
+}

@@ -22,6 +22,8 @@
 #include "compress/simd.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
+#include "gen/fuzz.hpp"
+#include "gen/generator.hpp"
 #include "harness/engine.hpp"
 #include "harness/experiments.hpp"
 #include "harness/report.hpp"
@@ -623,6 +625,117 @@ cmdSubmit(int argc, char **argv)
 }
 
 int
+cmdFuzz(int argc, char **argv)
+{
+    initHarness(argc, argv); // --jobs/--sim-threads/--cache/--fault
+
+    FuzzOptions opt;
+    // Environment defaults are validated even when a flag overrides
+    // them (GS_JOBS idiom: a malformed value is a configuration error,
+    // never silently shadowed).
+    if (const char *env = std::getenv("GS_FUZZ_COUNT")) {
+        const std::optional<std::uint64_t> v = parseCountValue(env);
+        if (!v)
+            GS_FATAL("GS_FUZZ_COUNT='", env,
+                     "' is not a valid kernel count "
+                     "(want an integer in [1, 1000000])");
+        opt.count = *v;
+    }
+    if (const char *env = std::getenv("GS_FUZZ_SEED")) {
+        const std::optional<std::uint64_t> v = parseSeedValue(env);
+        if (!v)
+            GS_FATAL("GS_FUZZ_SEED='", env,
+                     "' is not a valid campaign seed "
+                     "(want a non-negative integer)");
+        opt.seed = *v;
+    }
+    if (const char *env = std::getenv("GS_FUZZ_CORPUS"); env && *env)
+        opt.corpusDir = env;
+
+    std::string replayPath;
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                GS_FATAL(what, " needs a value");
+            return argv[++i];
+        };
+        if (a == "--count") {
+            const std::string v = need("--count");
+            const std::optional<std::uint64_t> count =
+                parseCountValue(v);
+            if (!count)
+                GS_FATAL("invalid --count value '", v,
+                         "' (want an integer in [1, 1000000])");
+            opt.count = *count;
+        } else if (a == "--seed") {
+            const std::string v = need("--seed");
+            const std::optional<std::uint64_t> seed =
+                parseSeedValue(v);
+            if (!seed)
+                GS_FATAL("invalid --seed value '", v,
+                         "' (want a non-negative integer)");
+            opt.seed = *seed;
+        } else if (a == "--knob") {
+            const std::string v = need("--knob");
+            const std::size_t eq = v.find('=');
+            if (eq == std::string::npos || eq == 0)
+                GS_FATAL("--knob wants knob=value, got '", v, "'");
+            const std::string knob = v.substr(0, eq);
+            const std::string value = v.substr(eq + 1);
+            // Validate name and value now; drawSpec re-applies the pin
+            // per kernel.
+            GenSpec scratch;
+            std::string why;
+            if (!setGenKnob(scratch, knob, value, &why))
+                GS_FATAL("--knob '", v, "': ", why);
+            opt.knobs.emplace_back(knob, value);
+        } else if (a == "--corpus") {
+            opt.corpusDir = need("--corpus");
+        } else if (a == "--modes") {
+            opt.diff.modes.clear();
+            std::istringstream in(need("--modes"));
+            std::string name;
+            while (std::getline(in, name, ','))
+                if (!name.empty())
+                    opt.diff.modes.push_back(parseMode(name));
+            if (opt.diff.modes.empty())
+                GS_FATAL("--modes wants a comma-separated mode list");
+        } else if (a == "--replay") {
+            replayPath = need("--replay");
+        } else if (a == "--no-engine") {
+            opt.engineTraffic = false;
+        } else if (a == "--cache" || a.rfind("--fault=", 0) == 0) {
+            continue; // consumed by initHarness
+        } else if (a == "--fault" || a == "--jobs" || a == "-j" ||
+                   a == "--sim-threads") {
+            ++i; // value consumed by initHarness
+        } else {
+            GS_FATAL("unknown option '", a,
+                     "' (see `gscalar fuzz --help`)");
+        }
+    }
+
+    if (!replayPath.empty()) {
+        std::string detail;
+        const bool reproduced =
+            replayReproducer(replayPath, opt.diff, &detail);
+        std::cout << (reproduced ? "replay: " : "replay FAILED: ")
+                  << detail << "\n";
+        printHealthSummary();
+        return reproduced ? 0 : 1;
+    }
+
+    const FuzzCampaignResult result = runFuzzCampaign(opt);
+    for (const std::string &line : result.reportLines)
+        std::cout << line << "\n";
+    std::cout << result.summaryText << "\n";
+    std::cerr << defaultEngine().statsSummary() << "\n";
+    printHealthSummary();
+    return result.clean() ? 0 : 1;
+}
+
+int
 cmdConfig(int, char **)
 {
     std::cout << experimentConfig().describe();
@@ -733,6 +846,33 @@ commands()
          "  --json               machine-readable stats document\n"
          "  --socket PATH        daemon socket path\n",
          cmdSubmit},
+        {"fuzz", "[--count N] [--seed S] [--knob k=v]... [options]",
+         "differential-fuzz generated kernels across all modes",
+         "  --count N       kernels to generate (default 100;\n"
+         "                  GS_FUZZ_COUNT)\n"
+         "  --seed S        campaign seed (default 1; GS_FUZZ_SEED)\n"
+         "  --knob k=v      pin one generator knob for every kernel\n"
+         "                  (knobs: seed ops ctas tpc div pred scalar\n"
+         "                  affine stride ind sfu shared); repeatable\n"
+         "  --corpus DIR    write minimized reproducer artifacts here\n"
+         "                  (GS_FUZZ_CORPUS)\n"
+         "  --modes M[,M]   architecture modes to diff (default all)\n"
+         "  --replay PATH   replay one reproducer artifact instead of\n"
+         "                  running a campaign; exit 0 iff the recorded\n"
+         "                  mismatch reproduces\n"
+         "  --no-engine     skip the ExperimentEngine traffic leg\n"
+         "  --jobs/-j N     diff worker threads\n"
+         "  --sim-threads N intra-run SM threads (GS_SIM_THREADS)\n"
+         "  --fault SPEC    inject faults (gen:miscompare exercises\n"
+         "                  the minimize/artifact path end to end)\n"
+         "\n"
+         "  Every generated kernel runs through the cycle-level GPU in\n"
+         "  each mode and the per-thread reference interpreter; any\n"
+         "  disagreement is delta-debugged to a minimal reproducer.\n"
+         "  Campaigns are deterministic: same seed and knobs, same\n"
+         "  kernels and same stdout bytes, at any --jobs or\n"
+         "  --sim-threads. Exit 0 iff no kernel miscompared.\n",
+         cmdFuzz},
         {"config", "",
          "print the Table 1 experiment configuration",
          "  Prints the baseline GTX 480 configuration every\n"
@@ -788,6 +928,9 @@ main(int argc, char **argv)
     // starts.
     faultInjector();
     activeSimdLevel();
+    // "gen:..." workload names resolve everywhere (run, disasm,
+    // submit, fuzz) once the generator's resolver is installed.
+    registerGenWorkloads();
     const Command *c = findCommand(cmd);
     if (!c) {
         std::cerr << "gscalar: unknown command '" << cmd << "'\n\n";
