@@ -30,6 +30,8 @@ constexpr KindName kKindNames[] = {
     {FaultKind::Throw, "throw"},
     {FaultKind::Slow, "slow"},
     {FaultKind::Miscompare, "miscompare"},
+    {FaultKind::CoalesceLeaderCrash, "coalesce-leader-crash"},
+    {FaultKind::EpollSpurious, "epoll-spurious"},
 };
 
 constexpr std::string_view kSites[] = {"store", "serve", "engine",

@@ -23,6 +23,7 @@
  *
  *   store    short-write, rename-fail, bit-flip   (store/run_cache.cpp)
  *   serve    conn-reset, short-read, eintr, stall (serve/protocol.cpp)
+ *   serve    coalesce-leader-crash, epoll-spurious (serve/server.cpp)
  *   engine   throw, slow                          (harness/engine.cpp)
  *   sim      slow                                 (sim/parallel.cpp)
  *   gen      miscompare                           (gen/diff.cpp)
@@ -59,6 +60,8 @@ enum class FaultKind : std::uint8_t
     Throw,      ///< engine: the simulation throws
     Slow,       ///< engine: the simulation takes extra wall clock
     Miscompare, ///< gen: corrupt a differential comparison
+    CoalesceLeaderCrash, ///< serve: a coalesced flight's leader dies
+    EpollSpurious,       ///< serve: epoll_wait reports a phantom wakeup
 };
 
 /** Canonical spec name of a kind ("short-write", "throw", ...). */

@@ -45,6 +45,10 @@ namespace gs
       "connections closed by the per-connection idle timeout")               \
     X(daemonOverloads, "daemon_overloads", "events",                         \
       "connections shed with Overloaded at the connection cap")              \
+    X(daemonQueueSheds, "daemon_queue_sheds", "events",                      \
+      "queued requests shed with Overloaded by priority admission")          \
+    X(coalescePromotions, "coalesce_promotions", "events",                   \
+      "coalesced flights whose crashed leader was replaced")                 \
     X(daemonFrameRejects, "daemon_frame_rejects", "events",                  \
       "frames rejected by the max-frame-size guard")                         \
     X(cachePublishFailures, "cache_publish_failures", "events",              \

@@ -34,6 +34,13 @@ struct RunRequest
     std::string workload; ///< Table 2 abbreviation (e.g. "BP")
     ArchConfig cfg;
 
+    /**
+     * Admission priority, 0 (shed first) .. 2 (shed last). Serialized
+     * on the wire; the daemon's bounded per-priority queues shed the
+     * lowest band first under load (serve/server.hpp).
+     */
+    std::uint32_t priority = 1;
+
     /** Extra tracer attached for this run (not serialized). */
     Tracer *tracer = nullptr;
 

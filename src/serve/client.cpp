@@ -7,6 +7,9 @@
 #include <thread>
 
 #include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -53,6 +56,14 @@ GscalarClient::GscalarClient(std::string socketPath,
 {
 }
 
+GscalarClient::GscalarClient(ConnectTarget target,
+                             std::optional<ClientOptions> opts)
+    : path_("tcp://" + target.host + ":" + std::to_string(target.port)),
+      target_(std::move(target)),
+      opts_(opts ? *opts : ClientOptions::fromEnv())
+{
+}
+
 GscalarClient::~GscalarClient()
 {
     close();
@@ -71,7 +82,47 @@ bool
 GscalarClient::connect(std::string *error)
 {
     close();
+    return target_ ? connectTcp(error) : connectUnix(error);
+}
 
+std::string
+GscalarClient::awaitConnect(std::chrono::steady_clock::time_point deadline)
+{
+    // Connect in flight (e.g. the daemon's backlog is full): poll
+    // for writability until the deadline, never forever.
+    for (;;) {
+        const auto left =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+        if (left.count() <= 0) {
+            healthCounters().clientConnectTimeouts.fetch_add(
+                1, std::memory_order_relaxed);
+            return "connect timed out after " +
+                   std::to_string(opts_.connectTimeoutSec) + "s";
+        }
+        pollfd pfd{fd_, POLLOUT, 0};
+        const int rc = ::poll(&pfd, 1, int(left.count()));
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return std::string("poll: ") + std::strerror(errno);
+        }
+        if (rc > 0)
+            break;
+        // rc == 0: poll timed out; loop re-checks the deadline.
+    }
+    int soErr = 0;
+    socklen_t len = sizeof(soErr);
+    if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soErr, &len) != 0)
+        return std::string("getsockopt: ") + std::strerror(errno);
+    if (soErr != 0)
+        return std::strerror(soErr);
+    return {};
+}
+
+bool
+GscalarClient::connectUnix(std::string *error)
+{
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
     if (path_.size() >= sizeof(addr.sun_path)) {
@@ -105,47 +156,83 @@ GscalarClient::connect(std::string *error)
                   sizeof(addr)) != 0) {
         if (!bounded || (errno != EINPROGRESS && errno != EAGAIN))
             return fail(std::strerror(errno));
-
-        // Connect in flight (e.g. the daemon's backlog is full): poll
-        // for writability until the deadline, never forever.
         const auto deadline =
             std::chrono::steady_clock::now() +
-            std::chrono::duration<double>(opts_.connectTimeoutSec);
-        for (;;) {
-            const auto left = std::chrono::duration_cast<
-                std::chrono::milliseconds>(
-                deadline - std::chrono::steady_clock::now());
-            if (left.count() <= 0) {
-                healthCounters().clientConnectTimeouts.fetch_add(
-                    1, std::memory_order_relaxed);
-                return fail("connect timed out after " +
-                            std::to_string(opts_.connectTimeoutSec) +
-                            "s");
-            }
-            pollfd pfd{fd_, POLLOUT, 0};
-            const int rc = ::poll(&pfd, 1, int(left.count()));
-            if (rc < 0) {
-                if (errno == EINTR)
-                    continue;
-                return fail(std::string("poll: ") +
-                            std::strerror(errno));
-            }
-            if (rc > 0)
-                break;
-            // rc == 0: poll timed out; loop re-checks the deadline.
-        }
-        int soErr = 0;
-        socklen_t len = sizeof(soErr);
-        if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soErr, &len) != 0)
-            return fail(std::string("getsockopt: ") +
-                        std::strerror(errno));
-        if (soErr != 0)
-            return fail(std::strerror(soErr));
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(opts_.connectTimeoutSec));
+        if (std::string why = awaitConnect(deadline); !why.empty())
+            return fail(why);
     }
 
     if (bounded)
         ::fcntl(fd_, F_SETFL, flags); // back to blocking I/O
     return true;
+}
+
+bool
+GscalarClient::connectTcp(std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = "cannot reach gscalard at " + path_ + ": " + why +
+                     " (start one with `gscalar serve --tcp`)";
+        close();
+        return false;
+    };
+
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const std::string portStr = std::to_string(target_->port);
+    const int rc =
+        ::getaddrinfo(target_->host.c_str(), portStr.c_str(), &hints,
+                      &res);
+    if (rc != 0)
+        return fail(std::string("resolve: ") + ::gai_strerror(rc));
+
+    // One deadline bounds the whole connect, across every address the
+    // name resolved to — a wedged daemon can never hang a client.
+    const bool bounded = opts_.connectTimeoutSec > 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opts_.connectTimeoutSec));
+    std::string lastWhy = "no addresses";
+    for (addrinfo *ai = res; ai != nullptr; ai = ai->ai_next) {
+        fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+        if (fd_ < 0) {
+            lastWhy = std::string("socket: ") + std::strerror(errno);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        if (bounded)
+            ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+
+        int crc = ::connect(fd_, ai->ai_addr, ai->ai_addrlen);
+        if (crc != 0 && bounded &&
+            (errno == EINPROGRESS || errno == EAGAIN)) {
+            lastWhy = awaitConnect(deadline);
+            crc = lastWhy.empty() ? 0 : -1;
+        } else if (crc != 0) {
+            lastWhy = std::strerror(errno);
+        }
+        if (crc == 0) {
+            if (bounded)
+                ::fcntl(fd_, F_SETFL, flags); // back to blocking I/O
+            ::freeaddrinfo(res);
+            return true;
+        }
+        ::close(fd_);
+        fd_ = -1;
+        if (bounded && std::chrono::steady_clock::now() >= deadline)
+            break;
+    }
+    ::freeaddrinfo(res);
+    return fail(lastWhy);
 }
 
 void
@@ -258,11 +345,12 @@ GscalarClient::stats(std::string *error)
 
 std::optional<RunResult>
 GscalarClient::run(const std::string &workload, const ArchConfig &cfg,
-                   std::string *error)
+                   std::string *error, std::uint32_t priority)
 {
     RunRequest req;
     req.workload = workload;
     req.cfg = cfg;
+    req.priority = priority;
 
     for (unsigned attempt = 0;; ++attempt) {
         std::string err;

@@ -16,6 +16,7 @@
 #ifndef GSCALAR_SERVE_CLIENT_HPP
 #define GSCALAR_SERVE_CLIENT_HPP
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -60,6 +61,14 @@ class GscalarClient
     explicit GscalarClient(std::string socketPath = {},
                            std::optional<ClientOptions> opts = std::nullopt);
 
+    /**
+     * Connect over TCP instead of the unix socket (a daemon started
+     * with --tcp). The same deadline-bounded connect and retry/backoff
+     * machinery applies; socketPath() reads "tcp://host:port".
+     */
+    explicit GscalarClient(ConnectTarget target,
+                           std::optional<ClientOptions> opts = std::nullopt);
+
     ~GscalarClient();
 
     GscalarClient(const GscalarClient &) = delete;
@@ -81,11 +90,13 @@ class GscalarClient
      * transport failure or non-Ok status (reason in *error).
      * Transport failures and retryable statuses (ShuttingDown,
      * Overloaded) are retried with exponential backoff before giving
-     * up.
+     * up. @p priority picks the daemon's admission band (0 = shed
+     * first, kNumPriorities - 1 = shed last).
      */
     std::optional<RunResult> run(const std::string &workload,
                                  const ArchConfig &cfg,
-                                 std::string *error = nullptr);
+                                 std::string *error = nullptr,
+                                 std::uint32_t priority = kDefaultPriority);
 
     /** Raw request/response exchange: one attempt, no retries (tests
      *  use this for bad inputs and shed connections). */
@@ -114,7 +125,19 @@ class GscalarClient
      */
     void backoffBeforeRetry(unsigned attempt);
 
-    std::string path_;
+    bool connectUnix(std::string *error);
+    bool connectTcp(std::string *error);
+
+    /**
+     * Finish a nonblocking connect on fd_: poll for writability until
+     * @p deadline, then read SO_ERROR. Empty string on success, the
+     * failure reason otherwise.
+     */
+    std::string awaitConnect(
+        std::chrono::steady_clock::time_point deadline);
+
+    std::string path_; ///< unix path, or "tcp://host:port" diagnostic
+    std::optional<ConnectTarget> target_; ///< set for TCP clients
     ClientOptions opts_;
     int fd_ = -1;
 };

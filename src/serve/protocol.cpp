@@ -21,6 +21,7 @@ namespace
 // Request field tags.
 constexpr std::uint16_t kReqWorkload = 1;
 constexpr std::uint16_t kReqConfig = 2;
+constexpr std::uint16_t kReqPriority = 3;
 
 // Response field tags.
 constexpr std::uint16_t kRespStatus = 1;
@@ -45,6 +46,17 @@ constexpr std::uint16_t kStatWorkload = 14; ///< repeated nested blob
 constexpr std::uint16_t kStatOverloads = 15;
 constexpr std::uint16_t kStatIdleCloses = 16;
 constexpr std::uint16_t kStatFrameRejects = 17;
+// Reactor / coalescing tier (appended; old readers skip them, old
+// writers simply never emit them — either way the defaults hold).
+constexpr std::uint16_t kStatCoalesceLeaders = 18;
+constexpr std::uint16_t kStatCoalesceFollowers = 19;
+constexpr std::uint16_t kStatCoalescePromotions = 20;
+constexpr std::uint16_t kStatBatches = 21;
+constexpr std::uint16_t kStatBatchPeak = 22;
+constexpr std::uint16_t kStatQueueSheds = 23;
+constexpr std::uint16_t kStatQueueDepthBase = 24; ///< 24..24+bands-1
+constexpr std::uint16_t kStatQueuePeakBase = 28;  ///< 28..28+bands-1
+constexpr std::uint16_t kStatReactorLoop = 32;    ///< nested blob
 
 // WorkloadStats (nested) field tags.
 constexpr std::uint16_t kWlName = 1;
@@ -109,6 +121,44 @@ defaultSocketPath()
     return "/tmp/gscalard-" + std::to_string(::getuid()) + ".sock";
 }
 
+std::optional<ConnectTarget>
+parseConnectTarget(const std::string &spec, std::string *error,
+                   bool allowPortZero)
+{
+    auto fail = [&](const std::string &why) -> std::optional<ConnectTarget> {
+        if (error)
+            *error = "connect target '" + spec + "': " + why;
+        return std::nullopt;
+    };
+
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos)
+        return fail("want host:port");
+    std::string host = spec.substr(0, colon);
+    const std::string port = spec.substr(colon + 1);
+    if (host.empty())
+        return fail("empty host");
+    // Accept a bracketed IPv6 literal and strip the brackets for
+    // getaddrinfo, which wants the bare address.
+    if (host.size() >= 2 && host.front() == '[' && host.back() == ']')
+        host = host.substr(1, host.size() - 2);
+    if (host.empty())
+        return fail("empty host");
+    if (port.empty() ||
+        port.find_first_not_of("0123456789") != std::string::npos)
+        return fail("port wants digits only");
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(port.c_str(), &end, 10);
+    const unsigned long lo = allowPortZero ? 0 : 1;
+    if (!end || *end != '\0' || v < lo || v > 65535)
+        return fail("port wants an integer in [1, 65535]");
+
+    ConnectTarget t;
+    t.host = std::move(host);
+    t.port = std::uint16_t(v);
+    return t;
+}
+
 std::string_view
 responseStatusName(ResponseStatus s)
 {
@@ -136,6 +186,7 @@ serializeRequest(const RunRequest &req)
     ByteWriter w(BlobKind::Request);
     w.field(kReqWorkload, req.workload);
     w.fieldBlob(kReqConfig, serializeConfig(req.cfg));
+    w.field(kReqPriority, req.priority);
     return w.finish();
 }
 
@@ -157,6 +208,7 @@ deserializeRequest(const std::uint8_t *data, std::size_t size,
     } else {
         r.fail("request carries no configuration");
     }
+    r.get(kReqPriority, req.priority); // absent tag keeps the default
     if (!r.ok()) {
         if (error)
             *error = r.error();
@@ -165,6 +217,13 @@ deserializeRequest(const std::uint8_t *data, std::size_t size,
     if (req.workload.empty()) {
         if (error)
             *error = "request carries no workload name";
+        return std::nullopt;
+    }
+    if (req.priority >= kNumPriorities) {
+        if (error)
+            *error = "request priority " + std::to_string(req.priority) +
+                     " out of range (want 0.." +
+                     std::to_string(kNumPriorities - 1) + ")";
         return std::nullopt;
     }
     return req;
@@ -257,6 +316,22 @@ serializeStatsResponse(const DaemonStats &s)
     w.field(kStatOverloads, s.overloads);
     w.field(kStatIdleCloses, s.idleCloses);
     w.field(kStatFrameRejects, s.frameRejects);
+    w.field(kStatCoalesceLeaders, s.coalesceLeaders);
+    w.field(kStatCoalesceFollowers, s.coalesceFollowers);
+    w.field(kStatCoalescePromotions, s.coalescePromotions);
+    w.field(kStatBatches, s.batches);
+    w.field(kStatBatchPeak, s.batchPeak);
+    w.field(kStatQueueSheds, s.queueSheds);
+    for (std::size_t i = 0; i < kNumPriorities; ++i) {
+        w.field(std::uint16_t(kStatQueueDepthBase + i), s.queueDepths[i]);
+        w.field(std::uint16_t(kStatQueuePeakBase + i), s.queuePeaks[i]);
+    }
+    if (s.reactorLoop.count() > 0) {
+        WorkloadLatency loop;
+        loop.workload = "reactor-loop";
+        loop.latency = s.reactorLoop;
+        w.fieldBlob(kStatReactorLoop, serializeWorkloadLatency(loop));
+    }
     for (const WorkloadLatency &wl : s.workloads)
         w.fieldBlob(kStatWorkload, serializeWorkloadLatency(wl));
     return w.finish();
@@ -284,6 +359,27 @@ deserializeStatsResponse(const std::uint8_t *data, std::size_t size,
     r.get(kStatOverloads, s.overloads);
     r.get(kStatIdleCloses, s.idleCloses);
     r.get(kStatFrameRejects, s.frameRejects);
+    r.get(kStatCoalesceLeaders, s.coalesceLeaders);
+    r.get(kStatCoalesceFollowers, s.coalesceFollowers);
+    r.get(kStatCoalescePromotions, s.coalescePromotions);
+    r.get(kStatBatches, s.batches);
+    r.get(kStatBatchPeak, s.batchPeak);
+    r.get(kStatQueueSheds, s.queueSheds);
+    for (std::size_t i = 0; i < kNumPriorities; ++i) {
+        r.get(std::uint16_t(kStatQueueDepthBase + i), s.queueDepths[i]);
+        r.get(std::uint16_t(kStatQueuePeakBase + i), s.queuePeaks[i]);
+    }
+    {
+        const std::uint8_t *p = nullptr;
+        std::size_t n = 0;
+        if (r.getBlob(kStatReactorLoop, p, n)) {
+            std::optional<WorkloadLatency> loop =
+                deserializeWorkloadLatency(p, n, error);
+            if (!loop)
+                return std::nullopt;
+            s.reactorLoop = loop->latency;
+        }
+    }
     const std::vector<ByteReader::BlobView> blobs =
         r.getBlobs(kStatWorkload);
     if (!r.ok()) {

@@ -21,6 +21,7 @@
 #ifndef GSCALAR_SERVE_PROTOCOL_HPP
 #define GSCALAR_SERVE_PROTOCOL_HPP
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -36,11 +37,35 @@ namespace gs
 /** Largest accepted frame payload; bigger frames drop the connection. */
 inline constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
 
+/** Number of admission-priority bands carried by RunRequest::priority. */
+inline constexpr std::uint32_t kNumPriorities = 3;
+
+/** Default request priority (the middle band). */
+inline constexpr std::uint32_t kDefaultPriority = 1;
+
 /**
  * Socket path used when none is given: $GS_SOCKET, else
  * $XDG_RUNTIME_DIR/gscalard.sock, else /tmp/gscalard-<uid>.sock.
  */
 std::string defaultSocketPath();
+
+/** A parsed "host:port" TCP connect/listen target. */
+struct ConnectTarget
+{
+    std::string host;
+    std::uint16_t port = 0;
+};
+
+/**
+ * Strict-parse a "host:port" target in the --jobs idiom: the last ':'
+ * splits host from port, the port must be digits-only in [1, 65535],
+ * and the host must be non-empty (IPv6 literals may be bracketed,
+ * "[::1]:4242"). Empty optional (with *error) on anything else.
+ * @p allowPortZero admits port 0 (listen targets: ephemeral bind).
+ */
+std::optional<ConnectTarget>
+parseConnectTarget(const std::string &spec, std::string *error = nullptr,
+                   bool allowPortZero = false);
 
 // A run request on the wire is the harness RunRequest (runner.hpp);
 // only the (workload, cfg) pair is serialized — tracer and seed
@@ -105,6 +130,21 @@ struct DaemonStats
     std::uint64_t overloads = 0;    ///< connections shed at the cap
     std::uint64_t idleCloses = 0;   ///< connections idle-timed-out
     std::uint64_t frameRejects = 0; ///< frames over the size guard
+
+    // Reactor / coalescing tier (appended tags; old daemons leave the
+    // in-memory zeros, so mixed-version stats probes keep working).
+    std::uint64_t coalesceLeaders = 0;    ///< flights actually computed
+    std::uint64_t coalesceFollowers = 0;  ///< submits served by a flight
+    std::uint64_t coalescePromotions = 0; ///< leaders replaced after a crash
+    std::uint64_t batches = 0;            ///< reactor dispatch batches
+    std::uint64_t batchPeak = 0;          ///< largest batch (requests)
+    std::uint64_t queueSheds = 0;         ///< requests shed by admission
+    /** Current and peak queued flights per priority band (0 = lowest). */
+    std::array<std::uint64_t, kNumPriorities> queueDepths{};
+    std::array<std::uint64_t, kNumPriorities> queuePeaks{};
+    /** Reactor loop iteration latency (epoll wake to quiesce). */
+    LatencyHistogram reactorLoop;
+
     std::vector<WorkloadLatency> workloads; ///< sorted by name
 };
 

@@ -61,6 +61,18 @@ makeWorkload(const std::string &abbr)
     GS_FATAL("unknown workload '", abbr, "'");
 }
 
+bool
+workloadResolvable(const std::string &abbr)
+{
+    for (const std::string &name : workloadNames())
+        if (name == abbr)
+            return true;
+    for (const WorkloadResolver &resolve : resolvers())
+        if (resolve(abbr))
+            return true;
+    return false;
+}
+
 const std::vector<std::string> &
 workloadNames()
 {

@@ -59,6 +59,13 @@ void registerWorkloadResolver(WorkloadResolver resolver);
 /** Table 2 abbreviations in paper order. */
 const std::vector<std::string> &workloadNames();
 
+/**
+ * Whether @p abbr names a Table 2 workload or a registered resolver
+ * accepts it — the non-fatal probe servers use to validate request
+ * names before makeWorkload() (which is fatal on unknown names).
+ */
+bool workloadResolvable(const std::string &abbr);
+
 } // namespace gs
 
 #endif // GSCALAR_WORKLOADS_WORKLOAD_HPP

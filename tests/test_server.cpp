@@ -137,9 +137,14 @@ TEST(GscalarServer, ConcurrentClientsShareOneEngine)
     // Identical requests agree with each other.
     for (int i = 1; i + 1 < kClients; ++i)
         EXPECT_EQ(expect[i], expect[0]);
-    // Duplicates were answered by the run cache, not re-simulated.
+    // Duplicates never re-simulate: there are two unique points, so
+    // the engine computed exactly twice. Each duplicate was absorbed
+    // either in flight (a coalesced follower) or by the memo cache
+    // (it arrived after its flight had landed).
     EXPECT_EQ(engine.cacheStats().misses, 2u);
-    EXPECT_EQ(engine.cacheStats().hits, std::uint64_t(kClients) - 2);
+    EXPECT_EQ(engine.cacheStats().hits + server.coalesceFollowers(),
+              std::uint64_t(kClients) - 2);
+    EXPECT_GE(server.coalesceLeaders(), 2u);
     server.stop();
 }
 
@@ -365,6 +370,19 @@ TEST(GscalarServer, StatsSerializationSurvivesTheWire)
     s.simWallSeconds = 3.25;
     s.simCycles = 123456789;
     s.warpInsts = 987654321;
+    s.overloads = 6;
+    s.idleCloses = 2;
+    s.frameRejects = 1;
+    s.coalesceLeaders = 9;
+    s.coalesceFollowers = 33;
+    s.coalescePromotions = 1;
+    s.batches = 14;
+    s.batchPeak = 4;
+    s.queueSheds = 5;
+    s.queueDepths = {3, 2, 1};
+    s.queuePeaks = {8, 6, 4};
+    s.reactorLoop.record(0.0001);
+    s.reactorLoop.record(0.01);
     WorkloadLatency wl;
     wl.workload = "BT";
     wl.latency.record(0.005);
@@ -395,6 +413,20 @@ TEST(GscalarServer, StatsSerializationSurvivesTheWire)
     EXPECT_DOUBLE_EQ(back->simWallSeconds, 3.25);
     EXPECT_EQ(back->simCycles, 123456789u);
     EXPECT_EQ(back->warpInsts, 987654321u);
+    EXPECT_EQ(back->overloads, 6u);
+    EXPECT_EQ(back->idleCloses, 2u);
+    EXPECT_EQ(back->frameRejects, 1u);
+    EXPECT_EQ(back->coalesceLeaders, 9u);
+    EXPECT_EQ(back->coalesceFollowers, 33u);
+    EXPECT_EQ(back->coalescePromotions, 1u);
+    EXPECT_EQ(back->batches, 14u);
+    EXPECT_EQ(back->batchPeak, 4u);
+    EXPECT_EQ(back->queueSheds, 5u);
+    EXPECT_EQ(back->queueDepths, s.queueDepths);
+    EXPECT_EQ(back->queuePeaks, s.queuePeaks);
+    EXPECT_EQ(back->reactorLoop.count(), 2u);
+    EXPECT_DOUBLE_EQ(back->reactorLoop.totalSeconds(), 0.0101);
+    EXPECT_EQ(back->reactorLoop.buckets(), s.reactorLoop.buckets());
     ASSERT_EQ(back->workloads.size(), 2u);
     EXPECT_EQ(back->workloads[0].workload, "BT");
     EXPECT_EQ(back->workloads[1].workload, "MM");

@@ -137,8 +137,10 @@ struct Options
     bool csv = false;
     bool json = false;
     bool power = false;
-    bool stats = false; ///< submit: query daemon counters instead
-    std::string socket; ///< submit: daemon socket path override
+    bool stats = false;  ///< submit: query daemon counters instead
+    std::string socket;  ///< submit: daemon socket path override
+    std::string connect; ///< submit: TCP daemon target ("host:port")
+    std::uint32_t priority = kDefaultPriority; ///< admission band
 };
 
 /** Parse trailing --flag [value] options into @p opt. */
@@ -170,7 +172,26 @@ parseFlags(int argc, char **argv, int first, Options &opt)
             opt.stats = true;
         else if (a == "--socket")
             opt.socket = need("--socket");
-        else if (a == "--cache")
+        else if (a == "--connect") {
+            // GS_JOBS idiom: strict parse now, never a lazy failure
+            // at connect time.
+            const std::string v = need("--connect");
+            std::string why;
+            if (!parseConnectTarget(v, &why))
+                GS_FATAL("invalid --connect value: ", why);
+            opt.connect = v;
+        } else if (a == "--priority") {
+            const std::string v = need("--priority");
+            char *end = nullptr;
+            const unsigned long p = std::strtoul(v.c_str(), &end, 10);
+            if (v.empty() || !end || *end != '\0' ||
+                v.find_first_not_of("0123456789") != std::string::npos ||
+                p >= kNumPriorities)
+                GS_FATAL("invalid --priority value '", v,
+                         "' (want an integer in [0, ",
+                         kNumPriorities - 1, "])");
+            opt.priority = std::uint32_t(p);
+        } else if (a == "--cache")
             setDefaultCacheEnabled(true);
         else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
             const std::string spec =
@@ -465,7 +486,13 @@ cmdServe(int argc, char **argv)
         };
         if (a == "--socket")
             sopt.socketPath = need("--socket");
-        else if (a == "--timeout")
+        else if (a == "--tcp") {
+            const std::string v = need("--tcp");
+            std::string why;
+            if (!parseConnectTarget(v, &why, /*allowPortZero=*/true))
+                GS_FATAL("invalid --tcp value: ", why);
+            sopt.tcpBind = v;
+        } else if (a == "--timeout")
             sopt.requestTimeoutSec = std::stod(need("--timeout"));
         else if (a == "--idle-timeout")
             sopt.idleTimeoutSec = std::stod(need("--idle-timeout"));
@@ -475,6 +502,12 @@ cmdServe(int argc, char **argv)
         else if (a == "--max-frame-bytes")
             sopt.maxFrameBytes =
                 std::uint32_t(std::stoul(need("--max-frame-bytes")));
+        else if (a == "--max-queued")
+            sopt.maxQueuedFlights =
+                std::uint32_t(std::stoul(need("--max-queued")));
+        else if (a == "--service-threads")
+            sopt.serviceThreads =
+                unsigned(std::stoul(need("--service-threads")));
         else if (a == "--cache")
             setDefaultCacheEnabled(true);
         else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
@@ -508,8 +541,10 @@ cmdServe(int argc, char **argv)
         std::cerr << "gscalard: " << err << "\n";
         return 1;
     }
-    std::cerr << "gscalard: listening on " << server.socketPath()
-              << " (" << defaultEngine().jobs()
+    std::cerr << "gscalard: listening on " << server.socketPath();
+    if (server.tcpPort() != 0)
+        std::cerr << " and tcp port " << server.tcpPort();
+    std::cerr << " (" << defaultEngine().jobs()
               << " worker(s); Ctrl-C to drain and exit)\n";
     server.wait();
     std::cerr << "gscalard: served " << server.requestsServed()
@@ -542,6 +577,21 @@ printDaemonStats(const DaemonStats &s, bool json)
            << ", \"overloads\": " << s.overloads
            << ", \"idle_closes\": " << s.idleCloses
            << ", \"frame_rejects\": " << s.frameRejects
+           << ", \"coalesce_leaders\": " << s.coalesceLeaders
+           << ", \"coalesce_followers\": " << s.coalesceFollowers
+           << ", \"coalesce_promotions\": " << s.coalescePromotions
+           << ", \"batches\": " << s.batches
+           << ", \"batch_peak\": " << s.batchPeak
+           << ", \"queue_sheds\": " << s.queueSheds
+           << ", \"queue_depths\": [" << s.queueDepths[0] << ", "
+           << s.queueDepths[1] << ", " << s.queueDepths[2] << "]"
+           << ", \"queue_peaks\": [" << s.queuePeaks[0] << ", "
+           << s.queuePeaks[1] << ", " << s.queuePeaks[2] << "]"
+           << ", \"reactor_loop_count\": " << s.reactorLoop.count()
+           << ", \"reactor_loop_mean_seconds\": "
+           << s.reactorLoop.meanSeconds()
+           << ", \"reactor_loop_max_seconds\": "
+           << s.reactorLoop.maxSeconds()
            << ", \"workloads\": [";
         bool first = true;
         for (const WorkloadLatency &wl : s.workloads) {
@@ -571,6 +621,19 @@ printDaemonStats(const DaemonStats &s, bool json)
               << s.warpInsts << " warp-insts in "
               << Table::num(s.simWallSeconds, 2)
               << "s of simulate time\n";
+    std::cout << "coalescing: " << s.coalesceLeaders
+              << " flight(s) computed, " << s.coalesceFollowers
+              << " follower(s) shared one, " << s.coalescePromotions
+              << " promotion(s); " << s.batches << " batch(es), peak "
+              << s.batchPeak << " request(s)\n"
+              << "admission: queued " << s.queueDepths[0] << "/"
+              << s.queueDepths[1] << "/" << s.queueDepths[2]
+              << " by band (peaks " << s.queuePeaks[0] << "/"
+              << s.queuePeaks[1] << "/" << s.queuePeaks[2] << "), "
+              << s.queueSheds << " queue shed(s)\n";
+    if (s.reactorLoop.count() > 0)
+        std::cout << "reactor loop: " << s.reactorLoop.summary()
+                  << "\n";
     if (s.overloads || s.idleCloses || s.frameRejects)
         std::cout << "shed load: " << s.overloads
                   << " overloaded connection(s), " << s.idleCloses
@@ -602,7 +665,21 @@ cmdSubmit(int argc, char **argv)
     Options opt;
     parseFlags(argc, argv, statsOnly ? 2 : 3, opt);
 
-    GscalarClient client(opt.socket);
+    // Target resolution: explicit --connect beats $GS_CONNECT beats
+    // the unix socket. The environment value is validated whenever it
+    // is set (GS_JOBS idiom), even when --connect shadows it.
+    std::optional<ConnectTarget> target;
+    if (const char *env = std::getenv("GS_CONNECT"); env && *env) {
+        std::string why;
+        target = parseConnectTarget(env, &why);
+        if (!target)
+            GS_FATAL("GS_CONNECT: ", why);
+    }
+    if (!opt.connect.empty())
+        target = parseConnectTarget(opt.connect);
+
+    GscalarClient client =
+        target ? GscalarClient(*target) : GscalarClient(opt.socket);
     std::string err;
     if (opt.stats) {
         const std::optional<DaemonStats> s = client.stats(&err);
@@ -615,7 +692,7 @@ cmdSubmit(int argc, char **argv)
     }
 
     const std::optional<RunResult> r =
-        client.run(argv[2], opt.cfg, &err);
+        client.run(argv[2], opt.cfg, &err, opt.priority);
     if (!r) {
         std::cerr << "gscalar submit: " << err << "\n";
         return 1;
@@ -813,10 +890,12 @@ commands()
          "  --jobs/-j N  worker pool size\n"
          "  --cache      persist runs on disk\n",
          cmdExperiment},
-        {"serve", "[--socket PATH] [--timeout SEC] [limits]",
+        {"serve", "[--socket PATH] [--tcp HOST:PORT] [limits]",
          "run the gscalard simulation daemon",
          "  --socket PATH          unix socket (default $GS_SOCKET or\n"
          "                         $XDG_RUNTIME_DIR/gscalard.sock)\n"
+         "  --tcp HOST:PORT        additionally listen on TCP (port 0\n"
+         "                         binds an ephemeral port)\n"
          "  --timeout SEC          per-request engine budget\n"
          "                         (default 600)\n"
          "  --idle-timeout SEC     close connections idle this long\n"
@@ -826,11 +905,19 @@ commands()
          "                         0 = unlimited)\n"
          "  --max-frame-bytes N    reject request frames above N bytes\n"
          "                         (default and ceiling 16 MiB)\n"
+         "  --max-queued N         admission bound on queued flights\n"
+         "                         across the priority bands (default\n"
+         "                         256; 0 = unbounded); overflow sheds\n"
+         "                         the lowest band first\n"
+         "  --service-threads N    threads bridging flights onto the\n"
+         "                         engine (default: workers + 2)\n"
          "  --fault SPEC           inject faults (same as $GS_FAULT)\n"
          "  --jobs/-j N            worker pool size\n"
          "  --sim-threads N        intra-run SM threads per request\n"
          "  --cache                persist runs on disk\n"
          "\n"
+         "  One epoll reactor thread owns every connection; duplicate\n"
+         "  in-flight requests coalesce into a single simulation.\n"
          "  Clients reach it with `gscalar submit`; `gscalar submit\n"
          "  --stats` reports its live counters.\n",
          cmdServe},
@@ -841,10 +928,15 @@ commands()
          "                       --json/--power flags as `run`\n"
          "  --stats              fetch the daemon's live counters:\n"
          "                       uptime, requests served, engine pool\n"
-         "                       and cache state, per-workload request\n"
-         "                       latency histograms\n"
+         "                       and cache state, coalescing/admission\n"
+         "                       tier, per-workload request latency\n"
          "  --json               machine-readable stats document\n"
-         "  --socket PATH        daemon socket path\n",
+         "  --socket PATH        daemon socket path\n"
+         "  --connect HOST:PORT  reach a TCP daemon instead of the\n"
+         "                       unix socket (or $GS_CONNECT; the\n"
+         "                       flag wins)\n"
+         "  --priority N         admission band 0..2 (default 1);\n"
+         "                       0 is shed first under overload\n",
          cmdSubmit},
         {"fuzz", "[--count N] [--seed S] [--knob k=v]... [options]",
          "differential-fuzz generated kernels across all modes",

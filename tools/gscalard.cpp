@@ -4,9 +4,10 @@
  * `gscalar serve` but as its own binary so deployments can ship the
  * service without the experiment drivers.
  *
- *   gscalard [--socket PATH] [--timeout SEC] [--idle-timeout SEC]
- *            [--max-connections N] [--max-frame-bytes N] [--jobs N]
- *            [--cache] [--fault SPEC]
+ *   gscalard [--socket PATH] [--tcp HOST:PORT] [--timeout SEC]
+ *            [--idle-timeout SEC] [--max-connections N]
+ *            [--max-frame-bytes N] [--max-queued N]
+ *            [--service-threads N] [--jobs N] [--cache] [--fault SPEC]
  */
 
 #include <cstdint>
@@ -19,6 +20,7 @@
 #include "compress/simd.hpp"
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
+#include "gen/generator.hpp"
 #include "harness/engine.hpp"
 #include "serve/server.hpp"
 #include "sim/parallel.hpp"
@@ -36,21 +38,29 @@ void
 printUsage(std::ostream &os)
 {
     os <<
-        "usage: gscalard [--socket PATH] [--timeout SEC] [--jobs N]\n"
+        "usage: gscalard [--socket PATH] [--tcp HOST:PORT]\n"
+        "                [--timeout SEC] [--jobs N]\n"
         "                [--idle-timeout SEC] [--max-connections N]\n"
-        "                [--max-frame-bytes N] [--cache]\n"
+        "                [--max-frame-bytes N] [--max-queued N]\n"
+        "                [--service-threads N] [--cache]\n"
         "                [--fault SPEC]\n"
         "\n"
         "Serves simulation requests from gscalar submit /\n"
-        "GscalarClient over a unix-domain socket, sharing one\n"
-        "experiment engine (worker pool + run cache) across every\n"
-        "client. `gscalar submit --stats` reports live counters\n"
-        "(uptime, requests, cache state, per-workload latency).\n"
-        "SIGINT/SIGTERM drain in-flight requests, then exit.\n"
+        "GscalarClient over a unix-domain socket (and optionally TCP),\n"
+        "sharing one experiment engine (worker pool + run cache)\n"
+        "across every client. One epoll reactor thread owns every\n"
+        "connection; duplicate in-flight requests coalesce into a\n"
+        "single simulation whose response bytes fan out to every\n"
+        "waiter. `gscalar submit --stats` reports live counters\n"
+        "(uptime, requests, cache state, coalescing and admission\n"
+        "tier, per-workload latency). SIGINT/SIGTERM drain in-flight\n"
+        "requests, then exit.\n"
         "\n"
         "  --socket PATH        listen here (default $GS_SOCKET, else\n"
         "                       $XDG_RUNTIME_DIR/gscalard.sock, else\n"
         "                       /tmp/gscalard-<uid>.sock)\n"
+        "  --tcp HOST:PORT      additionally listen on TCP (port 0\n"
+        "                       binds an ephemeral port)\n"
         "  --timeout SEC        per-request engine budget (default\n"
         "                       600)\n"
         "  --idle-timeout SEC   close connections idle this long\n"
@@ -60,6 +70,11 @@ printUsage(std::ostream &os)
         "                       0 = unlimited)\n"
         "  --max-frame-bytes N  reject request frames above N bytes\n"
         "                       (default and ceiling 16 MiB)\n"
+        "  --max-queued N       admission bound on queued flights\n"
+        "                       (default 256; 0 = unbounded); overflow\n"
+        "                       sheds the lowest priority band first\n"
+        "  --service-threads N  threads bridging flights onto the\n"
+        "                       engine (default: workers + 2)\n"
         "  --fault SPEC         inject deterministic faults\n"
         "                       (site:kind:rate[:seed], comma-\n"
         "                       separated; same as $GS_FAULT)\n"
@@ -92,7 +107,13 @@ main(int argc, char **argv)
             return 0;
         } else if (a == "--socket")
             sopt.socketPath = need("--socket");
-        else if (a == "--timeout")
+        else if (a == "--tcp") {
+            const std::string v = need("--tcp");
+            std::string why;
+            if (!parseConnectTarget(v, &why, /*allowPortZero=*/true))
+                GS_FATAL("invalid --tcp value: ", why);
+            sopt.tcpBind = v;
+        } else if (a == "--timeout")
             sopt.requestTimeoutSec = std::stod(need("--timeout"));
         else if (a == "--idle-timeout")
             sopt.idleTimeoutSec = std::stod(need("--idle-timeout"));
@@ -102,6 +123,12 @@ main(int argc, char **argv)
         else if (a == "--max-frame-bytes")
             sopt.maxFrameBytes =
                 std::uint32_t(std::stoul(need("--max-frame-bytes")));
+        else if (a == "--max-queued")
+            sopt.maxQueuedFlights =
+                std::uint32_t(std::stoul(need("--max-queued")));
+        else if (a == "--service-threads")
+            sopt.serviceThreads =
+                unsigned(std::stoul(need("--service-threads")));
         else if (a == "--cache")
             setDefaultCacheEnabled(true);
         else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
@@ -146,6 +173,9 @@ main(int argc, char **argv)
     // injected seam or compressed write-back.
     faultInjector();
     activeSimdLevel();
+    // "gen:..." workload names resolve in the standalone daemon just
+    // as they do in `gscalar serve`.
+    registerGenWorkloads();
 
     GscalarServer server(defaultEngine(), sopt);
     std::string err;
@@ -153,8 +183,10 @@ main(int argc, char **argv)
         std::cerr << "gscalard: " << err << "\n";
         return 1;
     }
-    std::cerr << "gscalard: listening on " << server.socketPath()
-              << " (" << defaultEngine().jobs()
+    std::cerr << "gscalard: listening on " << server.socketPath();
+    if (server.tcpPort() != 0)
+        std::cerr << " and tcp port " << server.tcpPort();
+    std::cerr << " (" << defaultEngine().jobs()
               << " worker(s); Ctrl-C to drain and exit)\n";
     server.wait();
     std::cerr << "gscalard: served " << server.requestsServed()
