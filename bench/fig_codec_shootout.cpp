@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Codec shootout driver: every registered codec over the full Table 2
+ * suite, ranked on compression ratio, RF energy and IPC against the
+ * Baseline GPU (registry entry "shootout"; excluded from the default
+ * `gscalar bench` run).
+ */
+
+#include "harness/bench.hpp"
+
+int
+main(int argc, char **argv)
+{
+    return gs::benchDriverMain("shootout", argc, argv);
+}

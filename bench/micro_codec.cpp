@@ -1,106 +1,16 @@
 /**
  * @file
- * google-benchmark micro-benchmarks of the software codec
- * implementations: write-back comparison (compressor input path), BDI
- * analysis, and the full software compress/decompress pair.
+ * Software-codec micro-benchmark driver: encode/decode throughput and
+ * compression ratio for every registered codec over the canonical
+ * register-value patterns (registry entry "micro"; excluded from the
+ * default `gscalar bench` run because the GB/s columns are
+ * wall-clock).
  */
 
-#include <benchmark/benchmark.h>
+#include "harness/bench.hpp"
 
-#include <vector>
-
-#include "common/rng.hpp"
-#include "compress/bdi_codec.hpp"
-#include "compress/byte_mask_codec.hpp"
-#include "compress/reg_meta.hpp"
-
-namespace
+int
+main(int argc, char **argv)
 {
-
-using namespace gs;
-
-std::vector<Word>
-pattern(unsigned family)
-{
-    Rng rng(family + 1);
-    std::vector<Word> v(32);
-    for (unsigned i = 0; i < 32; ++i) {
-        switch (family) {
-          case 0: v[i] = 0xC04039C0; break;                 // scalar
-          case 1: v[i] = 0xC04039C0 + i * 8; break;         // 3-byte
-          case 2: v[i] = 0xC0400000 + i * 1024; break;      // 2-byte
-          default: v[i] = rng.next32(); break;              // random
-        }
-    }
-    return v;
+    return gs::benchDriverMain("micro", argc, argv);
 }
-
-void
-BM_AnalyzeByteMask(benchmark::State &state)
-{
-    const auto v = pattern(unsigned(state.range(0)));
-    const LaneMask full = laneMaskLow(32);
-    for (auto _ : state) {
-        auto e = analyzeByteMask(v, full);
-        benchmark::DoNotOptimize(e);
-    }
-}
-BENCHMARK(BM_AnalyzeByteMask)->DenseRange(0, 3);
-
-/**
- * Divergent-warp variant: half the lanes inactive, which routes
- * analyzeByteMask through its masked (non-SWAR) comparison path.
- */
-void
-BM_AnalyzeByteMaskPartial(benchmark::State &state)
-{
-    const auto v = pattern(unsigned(state.range(0)));
-    const LaneMask odd = 0xAAAAAAAAull; // lanes 1,3,5,...
-    for (auto _ : state) {
-        auto e = analyzeByteMask(v, odd);
-        benchmark::DoNotOptimize(e);
-    }
-}
-BENCHMARK(BM_AnalyzeByteMaskPartial)->DenseRange(0, 3);
-
-void
-BM_AnalyzeBdi(benchmark::State &state)
-{
-    const auto v = pattern(unsigned(state.range(0)));
-    const LaneMask full = laneMaskLow(32);
-    for (auto _ : state) {
-        auto e = analyzeBdi(v, full);
-        benchmark::DoNotOptimize(e);
-    }
-}
-BENCHMARK(BM_AnalyzeBdi)->DenseRange(0, 3);
-
-void
-BM_AnalyzeWriteFull(benchmark::State &state)
-{
-    const auto v = pattern(unsigned(state.range(0)));
-    const LaneMask full = laneMaskLow(32);
-    for (auto _ : state) {
-        auto m = analyzeWrite(v, full, full, 16);
-        benchmark::DoNotOptimize(m);
-    }
-}
-BENCHMARK(BM_AnalyzeWriteFull)->DenseRange(0, 3);
-
-void
-BM_CompressDecompress(benchmark::State &state)
-{
-    const auto v = pattern(unsigned(state.range(0)));
-    for (auto _ : state) {
-        const auto enc = analyzeByteMask(v, laneMaskLow(32));
-        const auto stored = byteMaskCompress(v);
-        auto out = byteMaskDecompress(stored, enc.commonMsbs, 32);
-        benchmark::DoNotOptimize(out);
-    }
-    state.SetBytesProcessed(int64_t(state.iterations()) * 128);
-}
-BENCHMARK(BM_CompressDecompress)->DenseRange(0, 3);
-
-} // namespace
-
-BENCHMARK_MAIN();

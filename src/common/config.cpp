@@ -52,6 +52,10 @@ ArchConfig::check() const
     if (!(dramRequestsPerCycle > 0) || !(coreClockGhz > 0))
         return formatMsg("DRAM requests/cycle and core clock must be "
                          "positive");
+    if (static_cast<std::uint32_t>(codec) >= kNumCodecs)
+        return formatMsg("codec id ",
+                         static_cast<std::uint32_t>(codec),
+                         " is not a registered codec");
     return {};
 }
 
@@ -126,6 +130,7 @@ ArchConfig::fingerprint() const
     mixField(h, coreClockGhz);
     mixField(h, maxCycles);
     mixField(h, seed);
+    mixField(h, static_cast<std::uint32_t>(codec));
     return h;
 }
 

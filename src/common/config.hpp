@@ -11,6 +11,7 @@
 #include <string>
 
 #include "arch_mode.hpp"
+#include "codec_id.hpp"
 #include "types.hpp"
 
 namespace gs
@@ -48,6 +49,12 @@ struct ArchConfig
     SchedPolicy schedPolicy = SchedPolicy::GreedyThenOldest;
 
     // ---- compression / scalar micro-architecture ----------------------
+    /**
+     * Register-file compression codec for the compressed modes
+     * (compress/codec.hpp registry). Defaults to the paper's byte-mask
+     * scheme; entry points apply --codec/$GS_CODEC via defaultCodecId().
+     */
+    CodecId codec = CodecId::ByteMask;
     /** Lanes per scalar-check group (16 also for 64-wide warps). */
     unsigned checkGranularity = 16;
     /** Per-half enc/base registers (half-register compression, §3.2). */

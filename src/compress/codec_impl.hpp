@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Internal plumbing shared by the codec implementations: the blob
+ * envelope of Codec::encode()/decode() and the ByteMaskCodec base
+ * class the byte-mask-family codecs (static-profile, RRCD) derive
+ * from. Not installed into any public seam — include codec.hpp.
+ */
+
+#ifndef GSCALAR_COMPRESS_CODEC_IMPL_HPP
+#define GSCALAR_COMPRESS_CODEC_IMPL_HPP
+
+#include "codec.hpp"
+
+namespace gs
+{
+namespace compress
+{
+namespace detail
+{
+
+/** Bytes before the payload: id, lanes, enc, FNV-1a-32 checksum. */
+inline constexpr std::size_t kBlobHeaderBytes = 7;
+
+/** FNV-1a-32 (the envelope checksum; serial.cpp uses the 64-bit kin). */
+std::uint32_t fnv1a32(const std::uint8_t *data, std::size_t n);
+
+/** Wrap a payload in the self-describing codec envelope. */
+std::vector<std::uint8_t> packBlob(CodecId id, unsigned lanes,
+                                   std::uint8_t enc,
+                                   std::span<const std::uint8_t> payload);
+
+/** Parsed envelope of a well-formed blob. */
+struct BlobView
+{
+    unsigned lanes = 0;
+    std::uint8_t enc = 0;
+    std::span<const std::uint8_t> payload;
+};
+
+/**
+ * Validate the envelope of @p blob for codec @p id: length, producer
+ * id, lane range and payload checksum. Empty optional + reason on any
+ * violation; codec-specific enc/payload-size checks are the caller's.
+ */
+std::optional<BlobView> unpackBlob(CodecId id,
+                                   std::span<const std::uint8_t> blob,
+                                   std::string *error);
+
+/** Set @p error (when non-null) and return an empty optional. */
+std::optional<std::vector<Word>> decodeFail(std::string *error,
+                                            const std::string &why);
+
+} // namespace detail
+
+/**
+ * The paper's byte-mask codec behind the Codec interface. Every cost
+ * method delegates to the exact array-model helpers the simulator
+ * called before the interface existed, so default-codec simulations
+ * are bit-identical by construction. Also the base class of the
+ * byte-mask-family codecs (static-profile, RRCD), which share its
+ * stored-byte format.
+ */
+class ByteMaskCodec : public Codec
+{
+  public:
+    CodecId id() const override { return CodecId::ByteMask; }
+    CodecCaps caps() const override;
+    CodecEnergyScale energyScale() const override { return {}; }
+    CodecAreaScale areaScale() const override { return {}; }
+
+    bool regScalar(const RegMeta &meta) const override;
+    bool regCompressed(const RegMeta &meta) const override;
+
+    AccessCost readCost(const RfGeometry &geo, const RegMeta &meta,
+                        LaneMask reader, bool half_reg,
+                        bool scalar_from_meta) const override;
+    AccessCost writeCost(const RfGeometry &geo, const RegMeta &meta,
+                         bool half_reg, bool scalar_to_meta) const override;
+    unsigned regStoredBytes(const RfGeometry &geo, const RegMeta &meta,
+                            bool half_reg) const override;
+    unsigned metadataBitsPerReg(const RfGeometry &geo,
+                                bool half_reg) const override;
+
+    std::vector<std::uint8_t>
+    encode(std::span<const Word> values) const override;
+    std::optional<std::vector<Word>>
+    decode(std::span<const std::uint8_t> blob,
+           std::string *error = nullptr) const override;
+};
+
+/** Factory singletons (registry table in codec_registry.cpp). */
+const Codec &staticProfileCodec();
+const Codec &rrcdCodec();
+
+} // namespace compress
+} // namespace gs
+
+#endif // GSCALAR_COMPRESS_CODEC_IMPL_HPP

@@ -57,6 +57,15 @@ struct RegMeta
     bool affine = false;
     Word affineStride = 0;
 
+    /**
+     * Frozen per-register encoding of the static-profile codec
+     * (compress/static_profile_codec.cpp): the common-MSB count its
+     * offline profile fixed for this register, 0xFF while unset.
+     * Carried across writes by Codec::updateMeta(); ignored by every
+     * other codec.
+     */
+    std::uint8_t profileEnc = 0xFF;
+
     /** FS bit: every group scalar with the same value (== fullEnc==4). */
     bool fullScalar() const { return valid && !divergent && fullEnc == 4; }
 

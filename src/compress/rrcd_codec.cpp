@@ -1,0 +1,99 @@
+/**
+ * @file
+ * RRCD-style compression-based register redirection (arxiv
+ * 2105.03859): the byte-mask codec plus tolerance of *permanent*
+ * stuck SRAM arrays. A register compressed to fewer byte slices than
+ * the bank provides has spare arrays; a small redirection table per
+ * bank remaps the slices of a register that would land on a stuck
+ * array into that spare capacity, so manufacturing faults cost a
+ * redirection-table lookup instead of correctness.
+ *
+ * The stuck arrays themselves are injected deterministically through
+ * the `rf:stuck-array` fault site (src/fault); the simulator (sm.cpp)
+ * consults caps().absorbsStuckFaults to absorb them. Architectural
+ * results are byte-identical to the byte-mask codec under no faults
+ * and under absorbed faults — only the health counters and the
+ * redirection-table energy differ.
+ */
+
+#include "codec_impl.hpp"
+
+namespace gs
+{
+namespace compress
+{
+
+namespace
+{
+
+class RrcdCodec : public ByteMaskCodec
+{
+  public:
+    CodecId id() const override { return CodecId::Rrcd; }
+
+    CodecCaps
+    caps() const override
+    {
+        CodecCaps c = ByteMaskCodec::caps();
+        c.absorbsStuckFaults = true;
+        return c;
+    }
+
+    CodecEnergyScale
+    energyScale() const override
+    {
+        // Redirection-table lookups ride on the metadata arrays; the
+        // table and its comparators add leakage and a touch of
+        // decompressor muxing.
+        return {1.0, 1.05, 1.25, 1.25};
+    }
+
+    CodecAreaScale
+    areaScale() const override
+    {
+        return {1.0, 1.05, 1.15};
+    }
+
+    AccessCost
+    readCost(const RfGeometry &geo, const RegMeta &meta, LaneMask reader,
+             bool half_reg, bool scalar_from_meta) const override
+    {
+        AccessCost c = ByteMaskCodec::readCost(geo, meta, reader,
+                                               half_reg, scalar_from_meta);
+        ++c.bvr; // redirection-table lookup alongside the EBR
+        return c;
+    }
+
+    AccessCost
+    writeCost(const RfGeometry &geo, const RegMeta &meta, bool half_reg,
+              bool scalar_to_meta) const override
+    {
+        AccessCost c = ByteMaskCodec::writeCost(geo, meta, half_reg,
+                                                scalar_to_meta);
+        ++c.bvr;
+        return c;
+    }
+
+    unsigned
+    metadataBitsPerReg(const RfGeometry &geo, bool half_reg) const override
+    {
+        // Byte-mask metadata plus one redirection entry: a spare-array
+        // index and a valid bit.
+        return ByteMaskCodec::metadataBitsPerReg(geo, half_reg) + 6;
+    }
+
+    // Stored bytes and encode()/decode() inherit the byte-mask format:
+    // redirection changes where slices live, not what they hold.
+};
+
+} // namespace
+
+const Codec &
+rrcdCodec()
+{
+    static const RrcdCodec codec;
+    return codec;
+}
+
+} // namespace compress
+} // namespace gs

@@ -32,10 +32,11 @@ constexpr KindName kKindNames[] = {
     {FaultKind::Miscompare, "miscompare"},
     {FaultKind::CoalesceLeaderCrash, "coalesce-leader-crash"},
     {FaultKind::EpollSpurious, "epoll-spurious"},
+    {FaultKind::StuckArray, "stuck-array"},
 };
 
 constexpr std::string_view kSites[] = {"store", "serve", "engine",
-                                       "sim", "gen"};
+                                       "sim", "gen", "rf"};
 
 /** SplitMix64: decorrelates (seed, occurrence) into uniform bits. */
 std::uint64_t
@@ -114,7 +115,7 @@ FaultInjector::configure(const std::string &specList, std::string *error)
             knownSite = knownSite || site == s.site;
         if (!knownSite)
             return fail("unknown fault site '" + s.site +
-                        "' (want store, serve, engine, sim or gen)");
+                        "' (want store, serve, engine, sim, gen or rf)");
 
         const std::optional<FaultKind> kind = parseFaultKind(parts[1]);
         if (!kind)
@@ -223,6 +224,18 @@ FaultInjector::specs() const
     return out;
 }
 
+std::optional<FaultSpec>
+FaultInjector::armedSpec(std::string_view site, FaultKind kind) const
+{
+    if (!armed())
+        return std::nullopt;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &a : specs_)
+        if (a->spec.kind == kind && a->spec.site == site)
+            return a->spec;
+    return std::nullopt;
+}
+
 FaultInjector::Suppress::Suppress()
 {
     ++t_suppress_depth;
@@ -237,6 +250,25 @@ bool
 FaultInjector::suppressed()
 {
     return t_suppress_depth > 0;
+}
+
+bool
+stuckArrayFault(unsigned sm, unsigned bank, unsigned array)
+{
+    FaultInjector &inj = faultInjector();
+    if (!inj.armed() || FaultInjector::suppressed())
+        return false;
+    const std::optional<FaultSpec> spec =
+        inj.armedSpec("rf", FaultKind::StuckArray);
+    if (!spec)
+        return false;
+    // Pure function of (seed, coordinates): the stuck set of a chip is
+    // a manufacturing outcome, fixed before the first cycle.
+    const std::uint64_t coord = (std::uint64_t(sm) << 32) ^
+                                (std::uint64_t(bank) << 16) ^ array;
+    const std::uint64_t h =
+        mix64(spec->seed ^ hashString("rf") ^ mix64(coord));
+    return double(h >> 11) * 0x1.0p-53 < spec->rate;
 }
 
 FaultInjector &

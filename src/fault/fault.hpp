@@ -27,6 +27,15 @@
  *   engine   throw, slow                          (harness/engine.cpp)
  *   sim      slow                                 (sim/parallel.cpp)
  *   gen      miscompare                           (gen/diff.cpp)
+ *   rf       stuck-array                          (sim/sm.cpp)
+ *
+ * The rf site is special: it models *permanent* manufacturing faults,
+ * not transient ones. An armed `rf:stuck-array:rate[:seed]` spec marks
+ * a deterministic fraction of every SM's SRAM arrays stuck at
+ * construction (a pure hash of seed x SM x bank x array, so the set is
+ * identical at any --jobs/--sim-threads); a codec whose capability
+ * descriptor advertises absorbsStuckFaults (RRCD) redirects the
+ * affected registers into spare capacity instead of failing.
  *
  * All hooks are no-ops (one relaxed atomic load) when nothing is
  * armed, so production binaries pay nothing for carrying them.
@@ -62,6 +71,7 @@ enum class FaultKind : std::uint8_t
     Miscompare, ///< gen: corrupt a differential comparison
     CoalesceLeaderCrash, ///< serve: a coalesced flight's leader dies
     EpollSpurious,       ///< serve: epoll_wait reports a phantom wakeup
+    StuckArray,          ///< rf: an RF SRAM array is permanently stuck
 };
 
 /** Canonical spec name of a kind ("short-write", "throw", ...). */
@@ -73,7 +83,7 @@ std::optional<FaultKind> parseFaultKind(std::string_view name);
 /** One armed fault: where, what, how often, and the decision seed. */
 struct FaultSpec
 {
-    std::string site;   ///< "store", "serve", "engine", "sim" or "gen"
+    std::string site;   ///< "store", "serve", "engine", "sim", "gen", "rf"
     FaultKind kind = FaultKind::Throw;
     double rate = 0;    ///< firing probability per occurrence, [0, 1]
     std::uint64_t seed = 0;
@@ -122,6 +132,10 @@ class FaultInjector
 
     /** The armed specs (tests and --help diagnostics). */
     std::vector<FaultSpec> specs() const;
+
+    /** First armed spec matching (site, kind); empty when none. */
+    std::optional<FaultSpec> armedSpec(std::string_view site,
+                                       FaultKind kind) const;
 
     /**
      * RAII guard exempting the current thread from injection. Recovery
@@ -175,6 +189,16 @@ injectFault(std::string_view site, FaultKind kind)
         return false;
     return inj.shouldInject(site, kind);
 }
+
+/**
+ * Permanent-fault query for the rf:stuck-array site: whether the SRAM
+ * array at (sm, bank, array) is stuck under the armed spec. Unlike
+ * shouldInject() this is a pure function of the spec's seed and the
+ * coordinates — no occurrence counter — so the stuck set is identical
+ * across repeated queries and at any --jobs/--sim-threads. False when
+ * nothing is armed or under a Suppress guard.
+ */
+bool stuckArrayFault(unsigned sm, unsigned bank, unsigned array);
 
 } // namespace gs
 

@@ -54,7 +54,11 @@ namespace gs
     X(cachePublishFailures, "cache_publish_failures", "events",              \
       "cache records whose atomic publish failed")                           \
     X(cacheQuarantines, "cache_quarantines", "events",                       \
-      "corrupt cache records moved to quarantine")
+      "corrupt cache records moved to quarantine")                           \
+    X(rfStuckArrays, "rf_stuck_arrays", "events",                            \
+      "RF SRAM arrays marked permanently stuck by rf:stuck-array")           \
+    X(rfRedirectedRegisters, "rf_redirects", "events",                       \
+      "registers redirected into spare capacity over stuck arrays")
 
 /** Plain snapshot of the reliability counters (registry target). */
 struct HealthCounts

@@ -33,6 +33,7 @@ simtOutputs(const Kernel &kernel, const GenSpec &spec, ArchMode mode,
 {
     ArchConfig cfg;
     cfg.mode = mode;
+    cfg.codec = defaultCodecId(); // fuzz under the selected codec too
     cfg.numSms = opt.numSms;
     cfg.maxCycles = opt.maxCycles;
     Gpu gpu(cfg);

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/codec_id.hpp"
 #include "common/log.hpp"
 #include "common/table.hpp"
 #include "compress/simd.hpp"
@@ -490,6 +491,14 @@ initHarness(int argc, char **argv)
                 GS_FATAL(a, " wants an integer in [1, 4096], got '",
                          argv[i], "'");
             setSimThreads(*v);
+        } else if (a == "--codec") {
+            if (i + 1 >= argc)
+                GS_FATAL("--codec needs a value (", codecIdList(), ")");
+            const std::optional<CodecId> c = parseCodecId(argv[++i]);
+            if (!c)
+                GS_FATAL("--codec wants one of ", codecIdList(),
+                         ", got '", argv[i], "'");
+            setDefaultCodecId(*c);
         } else if (a == "--cache") {
             setDefaultCacheEnabled(true);
         } else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
@@ -506,10 +515,11 @@ initHarness(int argc, char **argv)
                 GS_FATAL("--fault='", spec, "': ", err);
         }
     }
-    // Force GS_FAULT / GS_SIMD validation now, not at the first
-    // injected seam or compressed write-back.
+    // Force GS_FAULT / GS_SIMD / GS_CODEC validation now, not at the
+    // first injected seam or compressed write-back.
     faultInjector();
     activeSimdLevel();
+    defaultCodecId();
 }
 
 } // namespace gs

@@ -16,6 +16,7 @@ ArchConfig
 experimentConfig()
 {
     ArchConfig cfg; // defaults are the Table 1 GTX 480 model
+    cfg.codec = defaultCodecId(); // --codec / $GS_CODEC selection
     return cfg;
 }
 
@@ -677,6 +678,12 @@ experiments()
          "normalized power efficiency (IPC/W) and IPC", buildFig11},
         {"fig12", "Fig. 12", "fig12_rf_power",
          "normalized RF dynamic power", buildFig12},
+        {"shootout", "Sec 5.2/5.3", "fig_codec_shootout",
+         "codec shootout: ratio, RF energy and IPC per codec",
+         buildCodecShootout, /*inDefaultRun=*/false},
+        {"micro", "Sec 3.2", "micro_codec",
+         "software encode/decode micro-benchmark per codec",
+         buildMicroCodec, /*inDefaultRun=*/false},
         {"affine", "Sec 6", "stat_affine_opportunity",
          "affine register writes vs scalar ones",
          buildAffineOpportunity},

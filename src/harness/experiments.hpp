@@ -38,6 +38,14 @@ struct Experiment
     /** Simulate (through @p eng) and assemble the structured result. */
     SuiteResult (*build)(ExperimentEngine &eng, const ArchConfig &base);
 
+    /**
+     * Part of the default `gscalar bench` run (and `gscalar
+     * experiment all`)? Opt-out entries — the codec micro-benchmark
+     * and the codec shootout — still appear in --list and run under
+     * --only/by name, but stay out of the golden reference output.
+     */
+    bool inDefaultRun = true;
+
     /** Build and hand the result to @p sink. */
     void
     run(ExperimentEngine &eng, const ArchConfig &base,
@@ -57,6 +65,26 @@ const std::vector<Experiment> &experiments();
 
 /** Registry entry by CLI name, or nullptr. */
 const Experiment *findExperiment(const std::string &name);
+
+// ---- codec experiments (src/harness/codec_experiments.cpp) ---------------
+
+/**
+ * Software encode/decode micro-benchmark: every registered codec over
+ * four canonical register-value patterns (scalar, 3-byte, 2-byte,
+ * random). Blob size, compression ratio and round-trip verdict are
+ * deterministic; the GB/s timing columns are wall-clock and therefore
+ * excluded from the default bench run (inDefaultRun = false).
+ */
+SuiteResult buildMicroCodec(ExperimentEngine &eng, const ArchConfig &base);
+
+/**
+ * Codec shootout: runs the full Table 2 suite once per registered
+ * codec (mode GScalarFull) plus a Baseline reference, and ranks the
+ * codecs on geomean compression ratio, RF+codec energy and IPC.
+ * Deterministic at any --jobs/--sim-threads level.
+ */
+SuiteResult buildCodecShootout(ExperimentEngine &eng,
+                               const ArchConfig &base);
 
 // ---- legacy string drivers (wrappers over the registry) ------------------
 // Each runs through defaultEngine() and returns the rendered table.

@@ -1,6 +1,7 @@
 #include "energy_model.hpp"
 
 #include "common/table.hpp"
+#include "compress/codec.hpp"
 
 namespace gs
 {
@@ -25,9 +26,19 @@ computePower(const EventCounts &ev, const ArchConfig &cfg,
     const double sfu_j = ev.sfuEnergyUnits * p.eFpLaneOpPj * kPjToJ;
     const double mem_lane_j = double(ev.memLaneOps) * p.eMemLanePj * kPjToJ;
 
+    // The byte-mask modes run through the configured codec, whose
+    // energy hooks scale the calibrated byte-mask constants. The
+    // default codec scales by 1.0 everywhere (x * 1.0 == x in IEEE
+    // arithmetic, so the default report is bit-identical); the
+    // Warped-Compression mode keeps its own calibrated constants.
+    const compress::CodecEnergyScale cs =
+        usesByteMaskCompression(cfg.mode)
+            ? compress::codecFor(cfg.codec).energyScale()
+            : compress::CodecEnergyScale{};
+
     const double rf_j =
         (double(ev.rfArrayReads + ev.rfArrayWrites) * p.eArrayAccessPj +
-         double(ev.bvrAccesses) * p.eBvrAccessPj +
+         double(ev.bvrAccesses) * (p.eBvrAccessPj * cs.metadata) +
          double(ev.scalarRfAccesses) * p.eScalarRfAccessPj +
          double(ev.crossbarBytes) * p.eCrossbarPerBytePj +
          double(ev.ocAllocations) * p.eOperandCollectorPj) *
@@ -37,8 +48,9 @@ computePower(const EventCounts &ev, const ArchConfig &cfg,
         double(ev.issuedInsts) * p.eFrontendPerInstPj * kPjToJ;
 
     const double codec_dyn_j =
-        (double(ev.compressorUses) * p.eCompressorUsePj +
-         double(ev.decompressorUses) * p.eDecompressorUsePj) *
+        (double(ev.compressorUses) * (p.eCompressorUsePj * cs.compressor) +
+         double(ev.decompressorUses) *
+             (p.eDecompressorUsePj * cs.decompressor)) *
         kPjToJ;
 
     const double mem_j =
@@ -52,7 +64,8 @@ computePower(const EventCounts &ev, const ArchConfig &cfg,
     double static_w = p.staticPerSmW * cfg.numSms + p.staticChipW;
     double codec_static_w = 0;
     if (usesByteMaskCompression(cfg.mode))
-        codec_static_w = p.codecStaticPerSmW * cfg.numSms;
+        codec_static_w =
+            p.codecStaticPerSmW * cs.staticPower * cfg.numSms;
     else if (usesBdiCompression(cfg.mode))
         codec_static_w = p.bdiStaticPerSmW * cfg.numSms;
     if (usesSingleBankScalarRf(cfg.mode))

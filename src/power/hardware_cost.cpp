@@ -120,6 +120,29 @@ smOverheads(const TechParams &t)
     return o;
 }
 
+CodecHardwareCost
+codecHardwareCost(const compress::Codec &codec, const CodecGeometry &g,
+                  const TechParams &t)
+{
+    const compress::CodecAreaScale as = codec.areaScale();
+    // Area, gate count and dynamic power scale with the datapath the
+    // codec actually builds; delay is structural (logic depth), which
+    // the scale factors do not model.
+    const auto scale = [](BlockCost c, double f) {
+        c.gates *= f;
+        c.areaUm2 *= f;
+        c.powerMw *= f;
+        return c;
+    };
+    CodecHardwareCost hc;
+    hc.compressor = scale(compressorCost(g, t), as.compressor);
+    hc.decompressor = scale(decompressorCost(g, t), as.decompressor);
+    const SmOverheads o = smOverheads(t);
+    hc.rfAreaOverheadSingle = o.rfAreaOverheadSingle * as.rfOverhead;
+    hc.rfAreaOverheadHalf = o.rfAreaOverheadHalf * as.rfOverhead;
+    return hc;
+}
+
 std::string
 describeHardwareCost()
 {

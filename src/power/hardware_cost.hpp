@@ -13,6 +13,8 @@
 
 #include <string>
 
+#include "compress/codec.hpp"
+
 namespace gs
 {
 
@@ -74,6 +76,25 @@ struct SmOverheads
 };
 
 SmOverheads smOverheads(const TechParams &t = {});
+
+/** Table 3 blocks priced for one registered codec (area hooks). */
+struct CodecHardwareCost
+{
+    BlockCost compressor;
+    BlockCost decompressor;
+    /** RF area growth including the codec's extra metadata state. */
+    double rfAreaOverheadSingle = 0;
+    double rfAreaOverheadHalf = 0;
+};
+
+/**
+ * The byte-mask block costs scaled by @p codec's areaScale() hook: the
+ * codec-shootout bench prices every registered scheme through this.
+ * The byte-mask codec scales by 1.0 everywhere and reproduces Table 3.
+ */
+CodecHardwareCost codecHardwareCost(const compress::Codec &codec,
+                                    const CodecGeometry &g = {},
+                                    const TechParams &t = {});
 
 /** Render Table 3 plus the BDI comparison. */
 std::string describeHardwareCost();

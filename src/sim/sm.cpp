@@ -5,6 +5,8 @@
 #include "common/bit_utils.hpp"
 #include "common/log.hpp"
 #include "compress/byte_mask_codec.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 
 namespace gs
 {
@@ -43,6 +45,29 @@ Sm::Sm(const ArchConfig &cfg, unsigned sm_id, const Kernel &kernel,
                  "' does not fit on an SM (regs/threads/shared)");
     ctaCapacity_ = cap;
     maxWarps_ = ctaCapacity_ * warpsPerCta_;
+
+    codec_ = &compress::codecFor(cfg.codec);
+    codecCaps_ = codec_->caps();
+
+    // rf:stuck-array manufacturing faults: the stuck set is a pure
+    // hash of (seed, SM, bank, array), fixed before the first cycle
+    // and identical at any --jobs/--sim-threads.
+    stuckArraysPerBank_.assign(cfg.numBanks, 0);
+    for (unsigned b = 0; b < cfg.numBanks; ++b) {
+        for (unsigned a = 0; a < geo_.byteArrays(); ++a) {
+            if (stuckArrayFault(smId_, b, a)) {
+                ++stuckArraysPerBank_[b];
+                ++stuckArraysTotal_;
+            }
+        }
+    }
+    if (stuckArraysTotal_ > 0) {
+        healthCounters().rfStuckArrays.fetch_add(
+            stuckArraysTotal_, std::memory_order_relaxed);
+        if (codecCaps_.absorbsStuckFaults && kernel.numRegs > 0)
+            rfRedirected_.assign(
+                std::size_t(maxWarps_) * unsigned(kernel.numRegs), false);
+    }
 
     slots_.resize(ctaCapacity_);
     warps_.resize(maxWarps_);
@@ -224,7 +249,8 @@ bool
 Sm::needsSpecialMove(const WarpState &w, const Instruction &inst,
                      LaneMask mask, int pc) const
 {
-    if (!usesByteMaskCompression(cfg_.mode) || !cfg_.insertSpecialMoves)
+    if (!usesByteMaskCompression(cfg_.mode) || !cfg_.insertSpecialMoves ||
+        !codecCaps_.insertsSpecialMoves)
         return false;
     if (!inst.writesDst())
         return false;
@@ -233,7 +259,7 @@ Sm::needsSpecialMove(const WarpState &w, const Instruction &inst,
     const RegMeta &m = w.meta(inst.dst);
     // A compressed destination (some bytes not stored) cannot take a
     // partial update in place (§3.3).
-    if (!(m.valid && !m.divergent && m.fullEnc > 0))
+    if (!codec_->regCompressed(m))
         return false;
     // Compiler-assisted refinement: no move when the inactive lanes'
     // old value is provably dead.
@@ -311,10 +337,10 @@ Sm::accountRegRead(const RegMeta &meta, bool reader_divergent,
         actual = bdi;
         ++ev_.decompressorUses;
         break;
-      default: // byte-mask compression modes
-        actual = compressedRead(geo_, meta, full,
-                                cfg_.halfRegisterCompression,
-                                scalar_from_bvr);
+      default: // compression modes: price through the configured codec
+        actual = codec_->readCost(geo_, meta, full,
+                                  cfg_.halfRegisterCompression,
+                                  scalar_from_bvr);
         ev_.bvrAccesses += actual.bvr;
         if (!scalar_from_bvr)
             ++ev_.decompressorUses;
@@ -341,7 +367,7 @@ Sm::accountRegWrite(const RegMeta &before, const RegMeta &after,
     // ---- compression-ratio accounting over the write stream ----------------
     ev_.compBytesUncompressed += geo_.regBytes();
     ev_.compBytesCompressed +=
-        byteMaskRegStoredBytes(geo_, after, cfg_.halfRegisterCompression);
+        codec_->regStoredBytes(geo_, after, cfg_.halfRegisterCompression);
     ev_.bdiBytesUncompressed += geo_.regBytes();
     ev_.bdiBytesCompressed +=
         after.divergent ? geo_.regBytes() : after.bdiBytes;
@@ -384,9 +410,9 @@ Sm::accountRegWrite(const RegMeta &before, const RegMeta &after,
         ++ev_.compressorUses;
         break;
       default:
-        actual = compressedWrite(geo_, after,
-                                 cfg_.halfRegisterCompression,
-                                 scalar_to_bvr);
+        actual = codec_->writeCost(geo_, after,
+                                   cfg_.halfRegisterCompression,
+                                   scalar_to_bvr);
         ev_.bvrAccesses += actual.bvr;
         ++ev_.compressorUses; // comparison logic runs on every write-back
         break;
@@ -521,6 +547,7 @@ Sm::issueWarp(unsigned w, Cycle now)
     // ---- eligibility classification (Figs. 1, 9, 10) ---------------------
     Eligibility elig;
     bool exec_scalar = false;
+    bool exec_half = false;
     if (!smov) {
         std::array<RegMeta, 3> srcs{};
         const unsigned nsrc = inst.numSrcRegs();
@@ -561,14 +588,24 @@ Sm::issueWarp(unsigned w, Cycle now)
           case ScalarTier::None: break;
         }
 
+        // The mode says which tiers the pipeline exploits; under the
+        // byte-mask modes the codec's capability descriptor additionally
+        // gates the tiers whose metadata it actually exposes.
+        const bool codec_tier =
+            !usesByteMaskCompression(cfg_.mode) ||
+            (elig.tier == ScalarTier::Divergent
+                 ? codecCaps_.divergentScalar
+                 : codecCaps_.fullScalar);
         exec_scalar = elig.tier != ScalarTier::None &&
                       elig.tier != ScalarTier::Half &&
-                      tierExploited(elig.tier, cfg_.mode);
+                      tierExploited(elig.tier, cfg_.mode) && codec_tier;
         // Half-warp scalar execution needs the per-half BVR/EBR sets
         // (§4.3's half-register compression).
-        const bool exec_half = elig.tier == ScalarTier::Half &&
-                               tierExploited(elig.tier, cfg_.mode) &&
-                               cfg_.halfRegisterCompression;
+        exec_half = elig.tier == ScalarTier::Half &&
+                    tierExploited(elig.tier, cfg_.mode) &&
+                    cfg_.halfRegisterCompression &&
+                    (!usesByteMaskCompression(cfg_.mode) ||
+                     codecCaps_.halfScalar);
         if (exec_scalar)
             ++ev_.scalarExecuted;
         if (exec_half)
@@ -613,9 +650,7 @@ Sm::issueWarp(unsigned w, Cycle now)
         unsigned active_lanes = lanes;
         if (exec_scalar) {
             active_lanes = 1;
-        } else if (elig.tier == ScalarTier::Half &&
-                   tierExploited(elig.tier, cfg_.mode) &&
-                   cfg_.halfRegisterCompression) {
+        } else if (exec_half) {
             active_lanes = 0;
             const unsigned groups = cfg_.warpSize / cfg_.checkGranularity;
             for (unsigned g = 0; g < groups; ++g) {
@@ -656,7 +691,8 @@ Sm::issueWarp(unsigned w, Cycle now)
         const bool from_bvr = exec_scalar && !smov &&
                               elig.tier != ScalarTier::Divergent &&
                               usesByteMaskCompression(cfg_.mode) &&
-                              m.fullScalar();
+                              codecCaps_.scalarFromMeta &&
+                              codec_->regScalar(m);
         accountRegRead(m, reader_divergent, from_bvr);
 
         if (from_bvr)
@@ -696,14 +732,35 @@ Sm::issueWarp(unsigned w, Cycle now)
             // write will set D properly. Mark raw via the D bit.
             after.divergent = true;
         }
+        // Carry codec-private metadata (the static-profile frozen
+        // encoding) across the write before pricing it.
+        codec_->updateMeta(before, after);
         const bool to_bvr = exec_scalar && !smov &&
                             elig.tier != ScalarTier::Divergent &&
                             usesByteMaskCompression(cfg_.mode) &&
-                            after.fullScalar();
+                            codecCaps_.scalarFromMeta &&
+                            codec_->regScalar(after);
         const bool scalar_rf_write =
             exec_scalar && cfg_.mode == ArchMode::AluScalar;
         accountRegWrite(before, after, to_bvr || scalar_rf_write);
         ws.meta(inst.dst) = after;
+
+        // RRCD-style fault absorption: a write landing in a bank with
+        // stuck arrays redirects the register's byte slices into the
+        // spare capacity compression frees. Only the health counter
+        // sees it — architectural results stay byte-identical.
+        if (stuckArraysTotal_ > 0 && codecCaps_.absorbsStuckFaults &&
+            stuckArraysPerBank_[unsigned(bankOf(w, inst.dst))] > 0 &&
+            codec_->regCompressed(after)) {
+            const std::size_t idx =
+                std::size_t(w) * unsigned(kernel_.numRegs) +
+                unsigned(inst.dst);
+            if (idx < rfRedirected_.size() && !rfRedirected_[idx]) {
+                rfRedirected_[idx] = true;
+                healthCounters().rfRedirectedRegisters.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+        }
     }
 
     // ---- create the in-flight packet ------------------------------------------
@@ -759,10 +816,12 @@ Sm::issueWarp(unsigned w, Cycle now)
         tracer_->onIssue(te);
     }
 
+    // EBR read + decompress stages (§5.1); the codec says how many it
+    // adds under the byte-mask modes, Warped-Compression keeps its own.
     const unsigned extra_front =
-        usesByteMaskCompression(cfg_.mode) || usesBdiCompression(cfg_.mode)
-            ? 2u  // EBR read + decompress stages (§5.1)
-            : 0u;
+        usesByteMaskCompression(cfg_.mode) ? codecCaps_.extraFrontCycles
+        : usesBdiCompression(cfg_.mode)    ? 2u
+                                           : 0u;
     slot->collectDone =
         std::max<Cycle>(last_grant, now + 1) + extra_front;
 

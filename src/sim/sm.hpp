@@ -19,6 +19,7 @@
 #include "common/config.hpp"
 #include "common/events.hpp"
 #include "compress/array_model.hpp"
+#include "compress/codec.hpp"
 #include "functional.hpp"
 #include "isa/analysis.hpp"
 #include "isa/kernel.hpp"
@@ -191,6 +192,20 @@ class Sm
     unsigned warpsPerCta_;
     unsigned ctaCapacity_;
     unsigned maxWarps_;
+
+    /** The RF compression scheme the byte-mask modes run through. */
+    const compress::Codec *codec_;
+    compress::CodecCaps codecCaps_; ///< caps(), cached off the hot path
+
+    // rf:stuck-array permanent faults (fault/fault.hpp). The stuck set
+    // is fixed at construction; a codec advertising absorbsStuckFaults
+    // redirects affected registers into the spare capacity compression
+    // frees, counted once per (warp slot, register) in the health
+    // counters — EventCounts never see the fault, so absorbed runs
+    // stay byte-identical.
+    std::vector<unsigned> stuckArraysPerBank_;
+    unsigned stuckArraysTotal_ = 0;
+    std::vector<bool> rfRedirected_; ///< (warp, reg) already counted
 
     std::vector<CtaSlot> slots_;
     std::vector<WarpState> warps_;

@@ -406,6 +406,7 @@ visitConfig(Cfg &c, V &&v)
     v(38, c.coreClockGhz);
     v(39, c.maxCycles);
     v(40, c.seed);
+    v(41, c.codec);
 }
 
 template <typename Ev, typename V>
@@ -524,6 +525,10 @@ struct FieldWriter
     {
         w.field(tag, static_cast<std::uint32_t>(v));
     }
+    void operator()(std::uint16_t tag, const CodecId &v)
+    {
+        w.field(tag, static_cast<std::uint32_t>(v));
+    }
 };
 
 /** Pulls each visited field out of a ByteReader. */
@@ -555,6 +560,17 @@ struct FieldReader
                    " out of range");
         else
             v = static_cast<SchedPolicy>(x);
+    }
+    void operator()(std::uint16_t tag, CodecId &v)
+    {
+        std::uint32_t x;
+        if (!r.get(tag, x))
+            return;
+        if (x >= kNumCodecs)
+            r.fail("CodecId value " + std::to_string(x) +
+                   " out of range");
+        else
+            v = static_cast<CodecId>(x);
     }
 };
 

@@ -79,7 +79,10 @@ printUsage(std::ostream &os)
           "  --jobs/-j N (or GS_JOBS=N) sets the simulation worker\n"
           "  pool size; --sim-threads N (or GS_SIM_THREADS=N) ticks\n"
           "  one run's SMs on N threads (byte-identical to serial);\n"
-          "  GS_SIMD=off|swar|avx2 pins the codec kernels; --cache\n"
+          "  GS_SIMD=off|swar|avx2 pins the codec kernels;\n"
+          "  --codec NAME (or GS_CODEC=NAME) selects the RF\n"
+          "  compression codec (byte-mask, bdi, static-profile,\n"
+          "  rrcd; default byte-mask); --cache\n"
           "  (or GS_CACHE_DIR=DIR) persists runs on disk;\n"
           "  GS_TRACE=path[:1/N] streams a sampled JSONL\n"
           "  event trace; GS_VERBOSE=1 prints per-run timing lines;\n"
@@ -133,6 +136,10 @@ parseMode(const std::string &s)
 
 struct Options
 {
+    /** Runs start from the --codec / $GS_CODEC selection (validated
+     *  eagerly in main(); ArchConfig itself defaults to byte-mask). */
+    Options() { cfg.codec = defaultCodecId(); }
+
     ArchConfig cfg;
     bool csv = false;
     bool json = false;
@@ -193,7 +200,17 @@ parseFlags(int argc, char **argv, int first, Options &opt)
             opt.priority = std::uint32_t(p);
         } else if (a == "--cache")
             setDefaultCacheEnabled(true);
-        else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
+        else if (a == "--codec") {
+            // GS_JOBS idiom: strict parse now, never a lazy failure
+            // at the first compressed write-back.
+            const std::string v = need("--codec");
+            const std::optional<CodecId> c = parseCodecId(v);
+            if (!c)
+                GS_FATAL("invalid --codec value '", v,
+                         "' (want one of ", codecIdList(), ")");
+            opt.cfg.codec = *c;
+            setDefaultCodecId(*c);
+        } else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
             const std::string spec =
                 a == "--fault" ? need("--fault") : a.substr(8);
             std::string ferr;
@@ -340,7 +357,7 @@ cmdBench(int argc, char **argv)
         else if (a.rfind("--fault=", 0) == 0)
             continue; // consumed by initHarness
         else if (a == "--fault" || a == "--jobs" || a == "-j" ||
-                 a == "--sim-threads")
+                 a == "--sim-threads" || a == "--codec")
             ++i; // value consumed by initHarness
         else
             GS_FATAL("unknown option '", a,
@@ -362,8 +379,11 @@ cmdBench(int argc, char **argv)
 
     std::vector<const Experiment *> selected;
     if (only.empty()) {
+        // The no-flag run is the golden reference sequence; opt-out
+        // experiments (codec micro/shootout) need --only.
         for (const Experiment &e : experiments())
-            selected.push_back(&e);
+            if (e.inDefaultRun)
+                selected.push_back(&e);
     } else {
         for (const std::string &name : only) {
             const Experiment *e = findExperiment(name);
@@ -447,7 +467,7 @@ cmdExperiment(int argc, char **argv)
     for (int i = 2; i < argc; ++i) {
         const std::string a = argv[i];
         if (a == "--jobs" || a == "-j" || a == "--fault" ||
-            a == "--sim-threads") {
+            a == "--sim-threads" || a == "--codec") {
             ++i; // value consumed by initHarness
             continue;
         }
@@ -455,7 +475,8 @@ cmdExperiment(int argc, char **argv)
             continue;
         if (a == "all") {
             for (const Experiment &e : experiments())
-                names.push_back(e.name);
+                if (e.inDefaultRun)
+                    names.push_back(e.name);
         } else {
             names.push_back(a);
         }
@@ -510,7 +531,16 @@ cmdServe(int argc, char **argv)
                 unsigned(std::stoul(need("--service-threads")));
         else if (a == "--cache")
             setDefaultCacheEnabled(true);
-        else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
+        else if (a == "--codec") {
+            // Daemon-side default for runs whose request predates the
+            // codec field; validated at startup, never at admission.
+            const std::string v = need("--codec");
+            const std::optional<CodecId> c = parseCodecId(v);
+            if (!c)
+                GS_FATAL("invalid --codec value '", v,
+                         "' (want one of ", codecIdList(), ")");
+            setDefaultCodecId(*c);
+        } else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
             const std::string spec =
                 a == "--fault" ? need("--fault") : a.substr(8);
             std::string ferr;
@@ -785,7 +815,7 @@ cmdFuzz(int argc, char **argv)
         } else if (a == "--cache" || a.rfind("--fault=", 0) == 0) {
             continue; // consumed by initHarness
         } else if (a == "--fault" || a == "--jobs" || a == "-j" ||
-                   a == "--sim-threads") {
+                   a == "--sim-threads" || a == "--codec") {
             ++i; // value consumed by initHarness
         } else {
             GS_FATAL("unknown option '", a,
@@ -837,6 +867,8 @@ commands()
          "  --warp N     warp size\n"
          "  --sms N      SM count\n"
          "  --seed S     input-data seed\n"
+         "  --codec C    RF compression codec (byte-mask, bdi,\n"
+         "               static-profile, rrcd; GS_CODEC)\n"
          "  --csv        per-run counter row (with header)\n"
          "  --json       flat JSON object of every metric\n"
          "  --power      append the power breakdown\n"
@@ -861,6 +893,7 @@ commands()
          "                  json (one document per experiment) or csv\n"
          "  --jobs/-j N     worker pool size\n"
          "  --sim-threads N intra-run SM threads (GS_SIM_THREADS)\n"
+         "  --codec C       RF compression codec (GS_CODEC)\n"
          "  --cache         persist runs on disk\n"
          "  --fault SPEC    inject faults (site:kind:rate[:seed],\n"
          "                  comma-separated; same as $GS_FAULT)\n"
@@ -914,6 +947,7 @@ commands()
          "  --fault SPEC           inject faults (same as $GS_FAULT)\n"
          "  --jobs/-j N            worker pool size\n"
          "  --sim-threads N        intra-run SM threads per request\n"
+         "  --codec C              default RF codec (GS_CODEC)\n"
          "  --cache                persist runs on disk\n"
          "\n"
          "  One epoll reactor thread owns every connection; duplicate\n"
@@ -955,6 +989,8 @@ commands()
          "  --no-engine     skip the ExperimentEngine traffic leg\n"
          "  --jobs/-j N     diff worker threads\n"
          "  --sim-threads N intra-run SM threads (GS_SIM_THREADS)\n"
+         "  --codec C       RF codec for the compression modes\n"
+         "                  (GS_CODEC)\n"
          "  --fault SPEC    inject faults (gen:miscompare exercises\n"
          "                  the minimize/artifact path end to end)\n"
          "\n"
@@ -1016,10 +1052,11 @@ main(int argc, char **argv)
                      "' is not a valid thread count "
                      "(want an integer in [1, 4096])");
     }
-    // Likewise force GS_FAULT / GS_SIMD validation before any work
-    // starts.
+    // Likewise force GS_FAULT / GS_SIMD / GS_CODEC validation before
+    // any work starts.
     faultInjector();
     activeSimdLevel();
+    defaultCodecId();
     // "gen:..." workload names resolve everywhere (run, disasm,
     // submit, fuzz) once the generator's resolver is installed.
     registerGenWorkloads();

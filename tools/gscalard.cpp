@@ -7,7 +7,8 @@
  *   gscalard [--socket PATH] [--tcp HOST:PORT] [--timeout SEC]
  *            [--idle-timeout SEC] [--max-connections N]
  *            [--max-frame-bytes N] [--max-queued N]
- *            [--service-threads N] [--jobs N] [--cache] [--fault SPEC]
+ *            [--service-threads N] [--jobs N] [--codec NAME]
+ *            [--cache] [--fault SPEC]
  */
 
 #include <cstdint>
@@ -16,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "common/codec_id.hpp"
 #include "common/log.hpp"
 #include "compress/simd.hpp"
 #include "fault/fault.hpp"
@@ -81,6 +83,9 @@ printUsage(std::ostream &os)
         "  --jobs/-j N          worker pool size (or GS_JOBS=N)\n"
         "  --sim-threads N      intra-run SM threads per request\n"
         "                       (or GS_SIM_THREADS=N)\n"
+        "  --codec NAME         default RF compression codec\n"
+        "                       (byte-mask, bdi, static-profile,\n"
+        "                       rrcd; or GS_CODEC=NAME)\n"
         "  --cache              persist runs at $GS_CACHE_DIR or the\n"
         "                       default cache directory\n";
 }
@@ -131,7 +136,14 @@ main(int argc, char **argv)
                 unsigned(std::stoul(need("--service-threads")));
         else if (a == "--cache")
             setDefaultCacheEnabled(true);
-        else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
+        else if (a == "--codec") {
+            const std::string v = need("--codec");
+            const std::optional<CodecId> c = parseCodecId(v);
+            if (!c)
+                GS_FATAL("invalid --codec value '", v,
+                         "' (want one of ", codecIdList(), ")");
+            setDefaultCodecId(*c);
+        } else if (a == "--fault" || a.rfind("--fault=", 0) == 0) {
             const std::string spec =
                 a == "--fault" ? need("--fault") : a.substr(8);
             std::string ferr;
@@ -169,10 +181,11 @@ main(int argc, char **argv)
                      "' is not a valid thread count "
                      "(want an integer in [1, 4096])");
     }
-    // Validate $GS_FAULT / $GS_SIMD now rather than at the first
-    // injected seam or compressed write-back.
+    // Validate $GS_FAULT / $GS_SIMD / $GS_CODEC now rather than at
+    // the first injected seam or compressed write-back.
     faultInjector();
     activeSimdLevel();
+    defaultCodecId();
     // "gen:..." workload names resolve in the standalone daemon just
     // as they do in `gscalar serve`.
     registerGenWorkloads();
