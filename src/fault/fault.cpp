@@ -33,10 +33,14 @@ constexpr KindName kKindNames[] = {
     {FaultKind::CoalesceLeaderCrash, "coalesce-leader-crash"},
     {FaultKind::EpollSpurious, "epoll-spurious"},
     {FaultKind::StuckArray, "stuck-array"},
+    {FaultKind::JournalTornWrite, "journal-torn-write"},
+    {FaultKind::JournalBitFlip, "journal-bit-flip"},
+    {FaultKind::PointCrash, "point-crash"},
+    {FaultKind::DaemonLost, "daemon-lost"},
 };
 
 constexpr std::string_view kSites[] = {"store", "serve", "engine",
-                                       "sim", "gen", "rf"};
+                                       "sim", "gen", "rf", "sweep"};
 
 /** SplitMix64: decorrelates (seed, occurrence) into uniform bits. */
 std::uint64_t
@@ -115,7 +119,8 @@ FaultInjector::configure(const std::string &specList, std::string *error)
             knownSite = knownSite || site == s.site;
         if (!knownSite)
             return fail("unknown fault site '" + s.site +
-                        "' (want store, serve, engine, sim, gen or rf)");
+                        "' (want store, serve, engine, sim, gen, rf "
+                        "or sweep)");
 
         const std::optional<FaultKind> kind = parseFaultKind(parts[1]);
         if (!kind)

@@ -28,6 +28,8 @@
  *   sim      slow                                 (sim/parallel.cpp)
  *   gen      miscompare                           (gen/diff.cpp)
  *   rf       stuck-array                          (sim/sm.cpp)
+ *   sweep    journal-torn-write, journal-bit-flip (sweep/journal.cpp)
+ *   sweep    point-crash, daemon-lost             (sweep/campaign.cpp)
  *
  * The rf site is special: it models *permanent* manufacturing faults,
  * not transient ones. An armed `rf:stuck-array:rate[:seed]` spec marks
@@ -72,6 +74,10 @@ enum class FaultKind : std::uint8_t
     CoalesceLeaderCrash, ///< serve: a coalesced flight's leader dies
     EpollSpurious,       ///< serve: epoll_wait reports a phantom wakeup
     StuckArray,          ///< rf: an RF SRAM array is permanently stuck
+    JournalTornWrite, ///< sweep: a journal append persists only a prefix
+    JournalBitFlip,   ///< sweep: one journal record bit flips on disk
+    PointCrash,       ///< sweep: the process dies after a point commits
+    DaemonLost,       ///< sweep: a daemon submit fails as if the peer died
 };
 
 /** Canonical spec name of a kind ("short-write", "throw", ...). */
@@ -83,7 +89,8 @@ std::optional<FaultKind> parseFaultKind(std::string_view name);
 /** One armed fault: where, what, how often, and the decision seed. */
 struct FaultSpec
 {
-    std::string site;   ///< "store", "serve", "engine", "sim", "gen", "rf"
+    std::string site; ///< "store", "serve", "engine", "sim", "gen",
+                      ///< "rf", "sweep"
     FaultKind kind = FaultKind::Throw;
     double rate = 0;    ///< firing probability per occurrence, [0, 1]
     std::uint64_t seed = 0;

@@ -58,7 +58,17 @@ namespace gs
     X(rfStuckArrays, "rf_stuck_arrays", "events",                            \
       "RF SRAM arrays marked permanently stuck by rf:stuck-array")           \
     X(rfRedirectedRegisters, "rf_redirects", "events",                       \
-      "registers redirected into spare capacity over stuck arrays")
+      "registers redirected into spare capacity over stuck arrays")          \
+    X(quarantineEvictions, "quarantine_evictions", "events",                 \
+      "quarantined cache records evicted by the LRU byte cap")               \
+    X(sweepJournalRecoveries, "sweep_journal_recoveries", "events",          \
+      "corrupt sweep-journal records quarantined on load")                   \
+    X(sweepPointRetries, "sweep_point_retries", "events",                    \
+      "sweep points retried after a failed attempt")                         \
+    X(sweepResumedPoints, "sweep_resumed_points", "events",                  \
+      "sweep points replayed from the journal on --resume")                  \
+    X(sweepDaemonFallbacks, "sweep_daemon_fallbacks", "events",              \
+      "sweep points computed in-process after daemon submits failed")
 
 /** Plain snapshot of the reliability counters (registry target). */
 struct HealthCounts

@@ -45,6 +45,16 @@ ClientOptions::fromEnv()
             GS_WARN("ignoring GS_RETRIES='", env,
                     "' (want an integer in [1, 100])");
     }
+    if (const char *env = std::getenv("GS_RETRY_DEADLINE_MS");
+        env && *env) {
+        char *end = nullptr;
+        const double ms = std::strtod(env, &end);
+        if (end && *end == '\0' && ms >= 0)
+            opts.retryDeadlineSec = ms / 1000.0;
+        else
+            GS_WARN("ignoring GS_RETRY_DEADLINE_MS='", env,
+                    "' (want a non-negative number of milliseconds)");
+    }
     return opts;
 }
 
@@ -235,11 +245,22 @@ GscalarClient::connectTcp(std::string *error)
     return fail(lastWhy);
 }
 
-void
-GscalarClient::backoffBeforeRetry(unsigned attempt)
+std::optional<std::chrono::steady_clock::time_point>
+GscalarClient::retryDeadline() const
 {
-    healthCounters().clientRetries.fetch_add(1,
-                                             std::memory_order_relaxed);
+    if (opts_.retryDeadlineSec <= 0)
+        return std::nullopt;
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<
+               std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(opts_.retryDeadlineSec));
+}
+
+bool
+GscalarClient::backoffBeforeRetry(
+    unsigned attempt,
+    const std::optional<std::chrono::steady_clock::time_point> &deadline)
+{
     double delay = opts_.backoffBaseSec;
     for (unsigned i = 0; i < attempt && delay < opts_.backoffMaxSec; ++i)
         delay *= 2;
@@ -249,12 +270,27 @@ GscalarClient::backoffBeforeRetry(unsigned attempt)
     // factor for retry n is a pure function of (jitterSeed, n).
     Rng rng(opts_.jitterSeed ^ (std::uint64_t(attempt) + 1));
     delay *= 0.5 + 0.5 * rng.uniform();
+    if (deadline) {
+        // A sleep that would cross the deadline buys nothing: the next
+        // attempt could not start in time anyway, so fail fast.
+        const auto wake =
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(delay));
+        if (wake >= *deadline)
+            return false;
+    }
+    healthCounters().clientRetries.fetch_add(1,
+                                             std::memory_order_relaxed);
     std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    return true;
 }
 
 bool
 GscalarClient::ping(std::string *error)
 {
+    const auto deadline = retryDeadline();
     for (unsigned attempt = 0;; ++attempt) {
         std::string err;
         bool ok = false;
@@ -280,7 +316,12 @@ GscalarClient::ping(std::string *error)
                 *error = err;
             return false;
         }
-        backoffBeforeRetry(attempt);
+        if (!backoffBeforeRetry(attempt, deadline)) {
+            if (error)
+                *error = err + " (retry deadline exceeded after " +
+                         std::to_string(attempt + 1) + " attempts)";
+            return false;
+        }
     }
 }
 
@@ -309,6 +350,7 @@ GscalarClient::exchange(const RunRequest &req, std::string *error)
 std::optional<DaemonStats>
 GscalarClient::stats(std::string *error)
 {
+    const auto deadline = retryDeadline();
     for (unsigned attempt = 0;; ++attempt) {
         std::string err;
         std::optional<DaemonStats> out;
@@ -339,7 +381,12 @@ GscalarClient::stats(std::string *error)
                 *error = err;
             return std::nullopt;
         }
-        backoffBeforeRetry(attempt);
+        if (!backoffBeforeRetry(attempt, deadline)) {
+            if (error)
+                *error = err + " (retry deadline exceeded after " +
+                         std::to_string(attempt + 1) + " attempts)";
+            return std::nullopt;
+        }
     }
 }
 
@@ -352,6 +399,7 @@ GscalarClient::run(const std::string &workload, const ArchConfig &cfg,
     req.cfg = cfg;
     req.priority = priority;
 
+    const auto deadline = retryDeadline();
     for (unsigned attempt = 0;; ++attempt) {
         std::string err;
         const std::optional<RunResponse> resp = exchange(req, &err);
@@ -372,7 +420,12 @@ GscalarClient::run(const std::string &workload, const ArchConfig &cfg,
                 *error = err;
             return std::nullopt;
         }
-        backoffBeforeRetry(attempt);
+        if (!backoffBeforeRetry(attempt, deadline)) {
+            if (error)
+                *error = err + " (retry deadline exceeded after " +
+                         std::to_string(attempt + 1) + " attempts)";
+            return std::nullopt;
+        }
     }
 }
 

@@ -38,13 +38,23 @@ struct ClientOptions
     double backoffBaseSec = 0.01; ///< first retry delay (doubles after)
     double backoffMaxSec = 1.0;   ///< backoff ceiling
 
+    /**
+     * Total-time cap on one operation's retry ladder, in seconds;
+     * <= 0 means uncapped (the GS_RETRIES count is the only bound).
+     * With a dead daemon and a deep ladder the exponential backoff
+     * alone can stall a caller for minutes; past this deadline the
+     * operation fails fast instead of sleeping again.
+     */
+    double retryDeadlineSec = 0;
+
     /** Seed of the deterministic backoff jitter. */
     std::uint64_t jitterSeed = 0;
 
     /**
      * Defaults with environment overrides applied:
-     * $GS_CONNECT_TIMEOUT_MS (connect deadline, 0 disables) and
-     * $GS_RETRIES (total attempts, >= 1). Malformed values warn and
+     * $GS_CONNECT_TIMEOUT_MS (connect deadline, 0 disables),
+     * $GS_RETRIES (total attempts, >= 1) and $GS_RETRY_DEADLINE_MS
+     * (retry-ladder deadline, 0 disables). Malformed values warn and
      * keep the default.
      */
     static ClientOptions fromEnv();
@@ -118,12 +128,24 @@ class GscalarClient
 
   private:
     /**
+     * The absolute retry deadline for one operation, established at
+     * ladder entry; empty when retryDeadlineSec is unset.
+     */
+    std::optional<std::chrono::steady_clock::time_point>
+    retryDeadline() const;
+
+    /**
      * Sleep before retry @p attempt (0-based): exponential backoff
      * from backoffBaseSec capped at backoffMaxSec, scaled by a
      * deterministic jitter factor in [0.5, 1.0) drawn from jitterSeed.
-     * Counts the retry in the health counters.
+     * Counts the retry in the health counters. Returns false — without
+     * sleeping — when the sleep would cross @p deadline: the caller
+     * must fail fast instead of retrying.
      */
-    void backoffBeforeRetry(unsigned attempt);
+    bool backoffBeforeRetry(
+        unsigned attempt,
+        const std::optional<std::chrono::steady_clock::time_point>
+            &deadline);
 
     bool connectUnix(std::string *error);
     bool connectTcp(std::string *error);

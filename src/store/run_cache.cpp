@@ -243,6 +243,7 @@ DiskRunCache::quarantine(const fs::path &path, const std::string &why)
     }
     healthCounters().cacheQuarantines.fetch_add(1,
                                                 std::memory_order_relaxed);
+    sweepQuarantine();
 }
 
 bool
@@ -267,11 +268,11 @@ DiskRunCache::publishFailed(const fs::path &tmp, const std::string &why)
     return false;
 }
 
-void
-DiskRunCache::sweep()
+std::uint64_t
+DiskRunCache::sweepDir(const std::string &dir, bool runFilesOnly)
 {
     if (maxBytes_ == 0)
-        return;
+        return 0;
 
     struct Entry
     {
@@ -283,12 +284,12 @@ DiskRunCache::sweep()
     std::uint64_t total = 0;
 
     std::error_code ec;
-    for (fs::directory_iterator it(schemaDir_, ec), end;
-         !ec && it != end; it.increment(ec)) {
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
         if (!it->is_regular_file(ec))
             continue;
         const fs::path p = it->path();
-        if (p.extension() != ".run")
+        if (runFilesOnly && p.extension() != ".run")
             continue; // leave temp files to their writers
         Entry e{p, it->file_size(ec), it->last_write_time(ec)};
         if (ec)
@@ -297,7 +298,7 @@ DiskRunCache::sweep()
         entries.push_back(std::move(e));
     }
     if (total <= maxBytes_)
-        return;
+        return 0;
 
     std::sort(entries.begin(), entries.end(),
               [](const Entry &a, const Entry &b) {
@@ -313,10 +314,31 @@ DiskRunCache::sweep()
             ++evicted;
         }
     }
+    return evicted;
+}
+
+void
+DiskRunCache::sweep()
+{
+    const std::uint64_t evicted = sweepDir(schemaDir_, true);
     if (evicted) {
         std::lock_guard<std::mutex> lock(mutex_);
         stats_.evictions += evicted;
     }
+}
+
+void
+DiskRunCache::sweepQuarantine()
+{
+    const std::uint64_t evicted = sweepDir(quarantineDir(), false);
+    if (!evicted)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.quarantineEvictions += evicted;
+    }
+    healthCounters().quarantineEvictions.fetch_add(
+        evicted, std::memory_order_relaxed);
 }
 
 DiskCacheStats

@@ -48,6 +48,7 @@ struct DiskCacheStats
     std::uint64_t evictions = 0; ///< files removed by the LRU sweep
     std::uint64_t quarantined = 0; ///< rejected records moved aside
     std::uint64_t publishFailures = 0; ///< stores that failed to land
+    std::uint64_t quarantineEvictions = 0; ///< quarantined files LRU-evicted
 };
 
 class DiskRunCache
@@ -102,6 +103,15 @@ class DiskRunCache
      */
     void sweep();
 
+    /**
+     * Apply the same LRU byte cap to quarantineDir(): a flaky disk (or
+     * an armed store:bit-flip campaign) must not grow the post-mortem
+     * pile without bound. Runs automatically after each quarantine;
+     * evictions are counted in stats().quarantineEvictions and the
+     * quarantine_evictions health counter.
+     */
+    void sweepQuarantine();
+
     /** Root directory (as given, before the schema subdirectory). */
     const std::string &dir() const { return dir_; }
 
@@ -117,6 +127,10 @@ class DiskRunCache
     /** Move a rejected record into quarantineDir() (remove on error). */
     void quarantine(const std::filesystem::path &path,
                     const std::string &why);
+
+    /** LRU-evict files in @p dir until it fits maxBytes_; returns the
+     *  number removed. @p runFilesOnly skips non-`.run` names. */
+    std::uint64_t sweepDir(const std::string &dir, bool runFilesOnly);
 
     /** Count (and log once) a store that failed to land. */
     bool publishFailed(const std::filesystem::path &tmp,

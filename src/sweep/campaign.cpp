@@ -1,0 +1,461 @@
+#include "campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "common/table.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "harness/engine.hpp"
+#include "journal.hpp"
+#include "serve/client.hpp"
+#include "store/run_cache.hpp"
+
+namespace fs = std::filesystem;
+
+namespace gs
+{
+
+namespace
+{
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Backoff before per-point retry @p attempt: 1ms << attempt, capped.
+ *  No jitter — sweep retries are serial per point, and determinism of
+ *  the firing sequence matters more than decorrelation here. */
+void
+pointBackoff(unsigned attempt)
+{
+    const unsigned shift = attempt < 7 ? attempt : 7;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1u << shift));
+}
+
+/** Reconstruct the canonical manifest JSON for the campaign dir. */
+std::string
+manifestJson(const SweepManifest &m)
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"gscalar.sweep.v1\",\"name\":\""
+        << jsonEscape(m.name()) << "\"";
+    if (!m.base().empty()) {
+        out << ",\"base\":{";
+        bool first = true;
+        for (const auto &[knob, value] : m.base()) {
+            out << (first ? "" : ",") << "\"" << jsonEscape(knob)
+                << "\":\"" << jsonEscape(value) << "\"";
+            first = false;
+        }
+        out << "}";
+    }
+    out << ",\"axes\":[";
+    for (std::size_t a = 0; a < m.axes().size(); ++a) {
+        const SweepManifest::Axis &axis = m.axes()[a];
+        out << (a ? "," : "") << "{\"knob\":\"" << jsonEscape(axis.knob)
+            << "\",\"values\":[";
+        for (std::size_t v = 0; v < axis.values.size(); ++v)
+            out << (v ? "," : "") << "\""
+                << jsonEscape(axis.values[v]) << "\"";
+        out << "]}";
+    }
+    out << "]}\n";
+    return out.str();
+}
+
+/** Publish @p content at @p path via tmp + atomic rename, first write
+ *  wins (concurrent campaigns of the same manifest are identical). */
+void
+publishOnce(const std::string &path, const std::string &content)
+{
+    std::error_code ec;
+    if (fs::exists(path, ec))
+        return;
+    const std::string tmp =
+        path + ".tmp-" + std::to_string(::getpid());
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.flush();
+    if (!out.good()) {
+        fs::remove(tmp, ec);
+        return;
+    }
+    out.close();
+    fs::rename(tmp, path, ec);
+    if (ec)
+        fs::remove(tmp, ec);
+}
+
+/**
+ * runResultJson() pretty-printed for humans; results.jsonl needs one
+ * record per line. Raw newlines only ever come from that formatting
+ * (string values escape theirs), so stripping them (and the indent
+ * that follows) yields the same document, compact.
+ */
+std::string
+compactRunJson(const RunResult &r)
+{
+    const std::string pretty = runResultJson(r);
+    std::string flat;
+    flat.reserve(pretty.size());
+    for (std::size_t i = 0; i < pretty.size(); ++i) {
+        if (pretty[i] == '\n') {
+            while (i + 1 < pretty.size() && pretty[i + 1] == ' ')
+                ++i;
+            continue;
+        }
+        flat.push_back(pretty[i]);
+    }
+    return flat;
+}
+
+/** One per-point line of the streaming results.jsonl sink. */
+std::string
+pointJsonLine(const std::string &campaignId, const std::string &name,
+              const SweepPoint &p, const RunResult &r)
+{
+    std::ostringstream out;
+    out << "{\"schema\":\"gscalar.bench.v1\",\"experiment\":\"sweep\","
+        << "\"tag\":\"" << jsonEscape(campaignId) << "\",\"title\":\""
+        << jsonEscape(name) << "\",\"point\":" << p.index
+        << ",\"fp\":\"" << hex16(p.fingerprint()) << "\",\"workload\":\""
+        << jsonEscape(p.workload) << "\",\"labels\":{";
+    for (std::size_t i = 0; i < p.labels.size(); ++i)
+        out << (i ? "," : "") << "\"" << jsonEscape(p.labels[i].first)
+            << "\":\"" << jsonEscape(p.labels[i].second) << "\"";
+    out << "},\"run\":" << compactRunJson(r) << "}";
+    return out.str();
+}
+
+std::uint64_t
+percentile(std::vector<std::uint64_t> sorted, double q)
+{
+    if (sorted.empty())
+        return 0;
+    const std::size_t at = std::min(
+        sorted.size() - 1,
+        std::size_t(q * double(sorted.size() - 1) + 0.5));
+    return sorted[at];
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0;
+    double logSum = 0;
+    for (const double x : xs)
+        logSum += std::log(x > 0 ? x : 1e-12);
+    return std::exp(logSum / double(xs.size()));
+}
+
+/** Running-percentile progress line over the points completed so far
+ *  (streamed to stderr; stdout stays reserved for the deterministic
+ *  final aggregate). */
+void
+progressLine(const std::string &name, std::uint64_t done,
+             std::uint64_t total, std::uint64_t replayed,
+             std::uint64_t failed,
+             const std::vector<std::uint64_t> &cycles)
+{
+    std::vector<std::uint64_t> sorted = cycles;
+    std::sort(sorted.begin(), sorted.end());
+    std::cerr << "sweep " << name << ": " << done << "/" << total
+              << " points";
+    if (replayed)
+        std::cerr << " (" << replayed << " replayed)";
+    if (failed)
+        std::cerr << " [" << failed << " FAILED]";
+    std::cerr << ", cycles p50=" << percentile(sorted, 0.50)
+              << " p90=" << percentile(sorted, 0.90)
+              << " p99=" << percentile(sorted, 0.99) << "\n";
+}
+
+/** Shared state of the daemon-scheduling degradation ladder. */
+struct DaemonState
+{
+    std::atomic<unsigned> consecutiveFailures{0};
+    std::atomic<bool> degraded{false};
+    std::atomic<std::uint64_t> fallbacks{0};
+};
+
+/**
+ * Compute one point via the daemon, with bounded retries and a
+ * permanent in-process fallback after kDaemonDegradeThreshold
+ * consecutive submit failures — the PR 4 serial-degradation shape at
+ * campaign scope. The result is identical either way (the daemon runs
+ * the same simulator), so the schedule never leaks into the output.
+ */
+RunResult
+runPointViaDaemon(const SweepPoint &p, const SweepOptions &opts,
+                  DaemonState &st)
+{
+    std::string lastErr = "daemon scheduling degraded";
+    for (unsigned attempt = 0;
+         attempt < opts.pointAttempts && !st.degraded.load();
+         ++attempt) {
+        if (attempt > 0) {
+            healthCounters().sweepPointRetries.fetch_add(
+                1, std::memory_order_relaxed);
+            pointBackoff(attempt);
+        }
+        std::optional<RunResult> r;
+        std::string err;
+        if (injectFault("sweep", FaultKind::DaemonLost)) {
+            err = "injected daemon-lost";
+        } else if (opts.tcp) {
+            GscalarClient client(*opts.tcp);
+            r = client.run(p.workload, p.cfg, &err);
+        } else {
+            GscalarClient client(opts.socketPath);
+            r = client.run(p.workload, p.cfg, &err);
+        }
+        if (r && r->ok()) {
+            st.consecutiveFailures.store(0, std::memory_order_relaxed);
+            return *r;
+        }
+        lastErr = !err.empty() ? err
+                  : r          ? r->error
+                               : "daemon submit failed";
+        const unsigned failures =
+            st.consecutiveFailures.fetch_add(
+                1, std::memory_order_relaxed) +
+            1;
+        if (failures >= kDaemonDegradeThreshold &&
+            !st.degraded.exchange(true))
+            GS_WARN("sweep: ", kDaemonDegradeThreshold,
+                    " consecutive daemon submit failures (last: ",
+                    lastErr,
+                    "); degrading to the in-process engine for the "
+                    "rest of the campaign");
+    }
+
+    st.fallbacks.fetch_add(1, std::memory_order_relaxed);
+    healthCounters().sweepDaemonFallbacks.fetch_add(
+        1, std::memory_order_relaxed);
+    return defaultEngine().run(p.workload, p.cfg);
+}
+
+} // namespace
+
+std::string
+defaultSweepDir()
+{
+    if (const char *env = std::getenv("GS_SWEEP_DIR"); env && *env)
+        return env;
+    return (fs::path(DiskRunCache::defaultCacheDir()) / "sweeps")
+        .string();
+}
+
+SweepOutcome
+runSweepCampaign(const SweepManifest &manifest, const SweepOptions &opts)
+{
+    std::string err;
+    std::optional<std::vector<SweepPoint>> expanded =
+        manifest.expand(&err);
+    if (!expanded)
+        GS_FATAL("sweep manifest '", manifest.name(),
+                 "' does not expand: ", err);
+    const std::vector<SweepPoint> &points = *expanded;
+
+    SweepOutcome outcome;
+    outcome.points = points.size();
+
+    const std::string root =
+        opts.sweepDir.empty() ? defaultSweepDir() : opts.sweepDir;
+    const std::string campaignId = manifest.campaignId();
+    outcome.campaignDir = (fs::path(root) / campaignId).string();
+    std::error_code ec;
+    fs::create_directories(outcome.campaignDir, ec);
+    if (ec)
+        GS_FATAL("cannot create campaign directory ",
+                 outcome.campaignDir, ": ", ec.message());
+    publishOnce((fs::path(outcome.campaignDir) / "manifest.json")
+                    .string(),
+                manifestJson(manifest));
+
+    SweepJournal journal(outcome.campaignDir);
+    std::unordered_map<std::uint64_t, RunResult> replayed;
+    if (opts.resume) {
+        replayed = journal.load(points);
+        if (!replayed.empty())
+            healthCounters().sweepResumedPoints.fetch_add(
+                replayed.size(), std::memory_order_relaxed);
+    } else {
+        journal.reset();
+    }
+
+    const std::string resultsPath =
+        (fs::path(outcome.campaignDir) / "results.jsonl").string();
+    std::ofstream stream(resultsPath,
+                         std::ios::binary | (opts.resume
+                                                 ? std::ios::app
+                                                 : std::ios::trunc));
+    if (!stream)
+        GS_WARN("cannot open ", resultsPath,
+                " (per-point streaming disabled)");
+
+    // ---- schedule every pending point ------------------------------------
+    const bool viaDaemon = opts.tcp || !opts.socketPath.empty();
+    ExperimentEngine &engine = defaultEngine();
+    std::vector<std::shared_future<RunResult>> futures(points.size());
+    DaemonState daemonState;
+    std::optional<WorkerPool> pool;
+    if (viaDaemon)
+        pool.emplace(engine.jobs());
+    for (const SweepPoint &p : points) {
+        if (replayed.count(p.index))
+            continue;
+        if (viaDaemon) {
+            auto promise = std::make_shared<std::promise<RunResult>>();
+            futures[p.index] = promise->get_future().share();
+            pool->submit([&p, &opts, &daemonState, promise] {
+                promise->set_value(
+                    runPointViaDaemon(p, opts, daemonState));
+            });
+        } else {
+            futures[p.index] = engine.submit(p.workload, p.cfg);
+        }
+    }
+
+    // ---- drain in point-index order --------------------------------------
+    // Index order (not completion order) keeps the journal, the
+    // streaming sink and the point-crash firing sequence deterministic
+    // at any --jobs; the futures above still complete concurrently.
+    const std::uint64_t progressEvery =
+        opts.progressEvery
+            ? opts.progressEvery
+            : std::max<std::uint64_t>(1, points.size() / 10);
+    std::vector<RunResult> results(points.size());
+    std::vector<std::uint64_t> doneCycles;
+    doneCycles.reserve(points.size());
+    std::uint64_t done = 0;
+    for (const SweepPoint &p : points) {
+        const auto it = replayed.find(p.index);
+        if (it != replayed.end()) {
+            results[p.index] = it->second;
+            ++outcome.replayed;
+        } else {
+            RunResult r = futures[p.index].get();
+            for (unsigned attempt = 1;
+                 !r.ok() && attempt < opts.pointAttempts && !viaDaemon;
+                 ++attempt) {
+                // The engine already retried once internally; these are
+                // the sweep's own bounded retries, under Suppress so an
+                // armed transient class cannot re-fail the recovery.
+                healthCounters().sweepPointRetries.fetch_add(
+                    1, std::memory_order_relaxed);
+                pointBackoff(attempt);
+                FaultInjector::Suppress suppress;
+                try {
+                    r = runWorkload(p.workload, p.cfg);
+                } catch (const std::exception &e) {
+                    r = RunResult{};
+                    r.workload = p.workload;
+                    r.mode = p.cfg.mode;
+                    r.error = e.what();
+                }
+            }
+            results[p.index] = r;
+            ++outcome.computed;
+            if (!r.ok()) {
+                ++outcome.failed;
+            } else {
+                journal.append(p, r);
+                if (stream) {
+                    stream << pointJsonLine(campaignId,
+                                            manifest.name(), p, r)
+                           << "\n";
+                    stream.flush(); // a crash must not hold back lines
+                }
+            }
+            if (r.ok() &&
+                injectFault("sweep", FaultKind::PointCrash)) {
+                // SIGKILL semantics: no destructors, no flushing — the
+                // strongest crash --resume must recover from, made
+                // deterministic (fires after the journal append, in
+                // index order, at any --jobs).
+                std::cerr << "sweep: injected point-crash after point "
+                          << p.index << "\n";
+                std::_Exit(137);
+            }
+        }
+        ++done;
+        if (results[p.index].ok())
+            doneCycles.push_back(results[p.index].ev.cycles);
+        if (done % progressEvery == 0 && done != points.size())
+            progressLine(manifest.name(), done, points.size(),
+                         outcome.replayed, outcome.failed, doneCycles);
+    }
+    outcome.daemonFallbacks =
+        daemonState.fallbacks.load(std::memory_order_relaxed);
+
+    // ---- deterministic final aggregate -----------------------------------
+    // Counters only — wall clock and scheduling must never reach
+    // stdout, or resume/jobs/daemon would break byte-identity.
+    Table t("Sweep " + manifest.name() + ": " +
+            std::to_string(points.size()) + " points over " +
+            std::to_string(manifest.axes().size()) +
+            " axes (campaign " + campaignId + ")");
+    t.row({"point", "workload", "config", "cycles", "IPC", "IPC/W"});
+    std::vector<double> ipcs, ipcPerWatts;
+    for (const SweepPoint &p : points) {
+        const RunResult &r = results[p.index];
+        if (!r.ok()) {
+            t.row({std::to_string(p.index), p.workload, p.label(),
+                   "FAILED", "-", "-"});
+            continue;
+        }
+        t.row({std::to_string(p.index), p.workload, p.label(),
+               std::to_string(r.ev.cycles), Table::num(r.ev.ipc(), 3),
+               Table::num(r.power.ipcPerWatt(), 3)});
+        ipcs.push_back(r.ev.ipc());
+        ipcPerWatts.push_back(r.power.ipcPerWatt());
+    }
+    std::vector<std::uint64_t> sortedCycles = doneCycles;
+    std::sort(sortedCycles.begin(), sortedCycles.end());
+    t.row({"-", "geomean", "-", "-", Table::num(geomean(ipcs), 3),
+           Table::num(geomean(ipcPerWatts), 3)});
+    t.row({"-", "cycles p50", "-",
+           std::to_string(percentile(sortedCycles, 0.50)), "-", "-"});
+    t.row({"-", "cycles p90", "-",
+           std::to_string(percentile(sortedCycles, 0.90)), "-", "-"});
+    t.row({"-", "cycles p99", "-",
+           std::to_string(percentile(sortedCycles, 0.99)), "-", "-"});
+    outcome.aggregate =
+        makeSuiteResult("sweep", manifest.name(), t, results);
+
+    // One grep-stable summary line: the resume tests and the CI smoke
+    // job assert replay/compute counts from it.
+    std::cerr << "sweep " << manifest.name() << " " << campaignId
+              << ": points=" << outcome.points
+              << " replayed=" << outcome.replayed
+              << " computed=" << outcome.computed
+              << " failed=" << outcome.failed
+              << " daemon-fallbacks=" << outcome.daemonFallbacks
+              << "\n";
+    return outcome;
+}
+
+} // namespace gs

@@ -1,0 +1,378 @@
+#include "journal.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "common/log.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "store/serial.hpp"
+
+namespace fs = std::filesystem;
+
+namespace gs
+{
+
+namespace
+{
+
+std::string
+hexEncode(const std::uint8_t *data, std::size_t n)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(n * 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(digits[data[i] >> 4]);
+        out.push_back(digits[data[i] & 0xf]);
+    }
+    return out;
+}
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    return -1;
+}
+
+bool
+hexDecode(const std::string &hex, std::vector<std::uint8_t> &out)
+{
+    if (hex.size() % 2 != 0)
+        return false;
+    out.clear();
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        const int hi = hexNibble(hex[i]);
+        const int lo = hexNibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out.push_back(std::uint8_t((hi << 4) | lo));
+    }
+    return true;
+}
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** Parse the digits of @p s starting at @p pos; false on none. */
+bool
+parseDigits(const std::string &s, std::size_t &pos, std::uint64_t &out)
+{
+    const std::size_t start = pos;
+    std::uint64_t v = 0;
+    while (pos < s.size() && s[pos] >= '0' && s[pos] <= '9') {
+        if (v > (UINT64_MAX - 9) / 10)
+            return false;
+        v = v * 10 + std::uint64_t(s[pos] - '0');
+        ++pos;
+    }
+    if (pos == start)
+        return false;
+    out = v;
+    return true;
+}
+
+constexpr char kBodyPrefix[] = "{\"v\":1,\"point\":";
+constexpr char kFpKey[] = ",\"fp\":\"";
+constexpr char kResultKey[] = "\",\"result\":\"";
+constexpr char kCrcKey[] = "\",\"crc\":\"";
+constexpr char kLineSuffix[] = "\"}";
+
+} // namespace
+
+SweepJournal::SweepJournal(std::string campaignDir)
+    : dir_(std::move(campaignDir))
+{
+    path_ = (fs::path(dir_) / "journal.jsonl").string();
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+SweepJournal::quarantinePath() const
+{
+    return (fs::path(dir_) / "journal.quarantine").string();
+}
+
+bool
+SweepJournal::writeLine(const std::string &line)
+{
+    if (fd_ < 0) {
+        fd_ = ::open(path_.c_str(), O_CREAT | O_RDWR | O_APPEND, 0644);
+        if (fd_ < 0) {
+            GS_WARN("cannot open sweep journal ", path_, ": ",
+                    std::strerror(errno));
+            return false;
+        }
+    }
+    // Repair a torn tail before appending: if the file does not end in
+    // a newline (a previous process died mid-write), terminate that
+    // line so it fails its crc in isolation instead of splicing into
+    // this record.
+    struct stat st{};
+    if (::fstat(fd_, &st) == 0 && st.st_size > 0) {
+        char last = '\n';
+        if (::pread(fd_, &last, 1, st.st_size - 1) == 1 &&
+            last != '\n') {
+            if (::write(fd_, "\n", 1) != 1)
+                return false;
+        }
+    }
+    std::size_t off = 0;
+    while (off < line.size()) {
+        const ssize_t n =
+            ::write(fd_, line.data() + off, line.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            GS_WARN("sweep journal append failed: ",
+                    std::strerror(errno));
+            return false;
+        }
+        off += std::size_t(n);
+    }
+    return true;
+}
+
+bool
+SweepJournal::append(const SweepPoint &point, const RunResult &result)
+{
+    const std::vector<std::uint8_t> blob = serializeResult(result);
+    std::string body = kBodyPrefix + std::to_string(point.index) +
+                       kFpKey + hex16(point.fingerprint()) + kResultKey +
+                       hexEncode(blob.data(), blob.size());
+    std::string line = body + kCrcKey +
+                       hex16(fnv1a(body.data(), body.size())) +
+                       kLineSuffix + "\n";
+
+    if (injectFault("sweep", FaultKind::JournalBitFlip)) {
+        // One bit of on-disk rot in the middle of the record: the crc
+        // must catch it at load and the point must be recomputed.
+        line[line.size() / 2] ^= 0x01;
+    }
+    const bool torn = injectFault("sweep", FaultKind::JournalTornWrite);
+    if (torn)
+        line.resize(line.size() / 2); // crash mid-write: prefix only
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!writeLine(line))
+        return false;
+    ++stats_.appended;
+    return true;
+}
+
+void
+SweepJournal::quarantineLine(const std::string &line,
+                             const std::string &why)
+{
+    std::ofstream out(quarantinePath(),
+                      std::ios::binary | std::ios::app);
+    if (out)
+        out << line << '\n';
+    GS_WARN("quarantined sweep journal record (", why, ")");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.quarantined;
+    }
+    healthCounters().sweepJournalRecoveries.fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+std::unordered_map<std::uint64_t, RunResult>
+SweepJournal::load(const std::vector<SweepPoint> &points)
+{
+    std::unordered_map<std::uint64_t, RunResult> out;
+
+    std::ifstream in(path_, std::ios::binary);
+    if (!in)
+        return out; // no journal yet: nothing to replay
+
+    std::vector<std::string> keep;
+    bool dirty = false;
+
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    if (!content.empty() && content.back() != '\n')
+        dirty = true; // torn tail: the final segment fails below
+
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+        std::size_t nl = content.find('\n', pos);
+        if (nl == std::string::npos)
+            nl = content.size();
+        const std::string line = content.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (line.empty())
+            continue;
+
+        auto bad = [&](const std::string &why) {
+            quarantineLine(line, why);
+            dirty = true;
+        };
+
+        // Checksum first: everything else assumes an intact line.
+        const std::size_t crcAt = line.rfind(kCrcKey);
+        const std::size_t crcKeyLen = std::strlen(kCrcKey);
+        const std::size_t suffixLen = std::strlen(kLineSuffix);
+        if (crcAt == std::string::npos ||
+            line.size() != crcAt + crcKeyLen + 16 + suffixLen ||
+            line.compare(line.size() - suffixLen, suffixLen,
+                         kLineSuffix) != 0) {
+            bad("torn or malformed record");
+            continue;
+        }
+        const std::string crcHex = line.substr(crcAt + crcKeyLen, 16);
+        std::vector<std::uint8_t> crcBytes;
+        if (!hexDecode(crcHex, crcBytes)) {
+            bad("malformed crc");
+            continue;
+        }
+        if (hex16(fnv1a(line.data(), crcAt)) != crcHex) {
+            bad("crc mismatch");
+            continue;
+        }
+
+        // The crc held, so the writer's fixed field layout applies.
+        const std::size_t prefixLen = std::strlen(kBodyPrefix);
+        if (line.compare(0, prefixLen, kBodyPrefix) != 0) {
+            bad("unknown record version");
+            continue;
+        }
+        std::size_t at = prefixLen;
+        std::uint64_t index = 0;
+        if (!parseDigits(line, at, index) ||
+            line.compare(at, std::strlen(kFpKey), kFpKey) != 0) {
+            bad("malformed point index");
+            continue;
+        }
+        at += std::strlen(kFpKey);
+        const std::string fpHex = line.substr(at, 16);
+        at += 16;
+        if (line.compare(at, std::strlen(kResultKey), kResultKey) !=
+            0) {
+            bad("malformed fingerprint field");
+            continue;
+        }
+        at += std::strlen(kResultKey);
+        const std::string resultHex = line.substr(at, crcAt - at);
+
+        if (index >= points.size()) {
+            bad("point index " + std::to_string(index) +
+                " outside the campaign");
+            continue;
+        }
+        if (fpHex != hex16(points[index].fingerprint())) {
+            bad("fingerprint mismatch for point " +
+                std::to_string(index) + " (stale or foreign record)");
+            continue;
+        }
+        std::vector<std::uint8_t> blob;
+        if (!hexDecode(resultHex, blob)) {
+            bad("malformed result payload");
+            continue;
+        }
+        std::string err;
+        const std::optional<RunResult> result =
+            deserializeResult(blob, &err);
+        if (!result) {
+            bad("result blob rejected: " + err);
+            continue;
+        }
+        if (out.count(index)) {
+            dirty = true; // duplicate: keep the first, drop the line
+            continue;
+        }
+        out.emplace(index, *result);
+        keep.push_back(line);
+    }
+    in.close();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.replayed += out.size();
+    }
+
+    if (dirty) {
+        // Compact: surviving lines to a temp file, atomic rename. The
+        // rewrite runs under Suppress so the recovery path cannot be
+        // re-failed by the same armed fault class it is absorbing.
+        FaultInjector::Suppress suppress;
+        const std::string tmp =
+            (fs::path(dir_) /
+             (".journal.tmp-" + std::to_string(::getpid())))
+                .string();
+        std::ofstream rw(tmp, std::ios::binary | std::ios::trunc);
+        for (const std::string &line : keep)
+            rw << line << '\n';
+        rw.flush();
+        std::error_code ec;
+        if (!rw.good()) {
+            fs::remove(tmp, ec);
+            GS_WARN("sweep journal compaction failed (write)");
+        } else {
+            rw.close();
+            fs::rename(tmp, path_, ec);
+            if (ec) {
+                std::error_code rmEc;
+                fs::remove(tmp, rmEc);
+                GS_WARN("sweep journal compaction failed: ",
+                        ec.message());
+            } else {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.compactions;
+                if (fd_ >= 0) {
+                    // Reopen on next append: the old fd points at the
+                    // unlinked pre-compaction file.
+                    ::close(fd_);
+                    fd_ = -1;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+bool
+SweepJournal::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    std::error_code ec;
+    fs::remove(path_, ec);
+    return !ec;
+}
+
+SweepJournalStats
+SweepJournal::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace gs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The campaign journal: an append-only JSONL file
+ * (`<campaign>/journal.jsonl`) recording every completed sweep point,
+ * so `gscalar sweep --resume` after a crash — including SIGKILL —
+ * replays finished points instead of recomputing them.
+ *
+ * One record per line, fixed key order:
+ *
+ *   {"v":1,"point":N,"fp":"<hex16>","result":"<hex>","crc":"<hex16>"}
+ *
+ * `result` is a hex-encoded serial.hpp result blob (itself magic- and
+ * checksum-framed); `crc` is FNV-1a over every byte of the line before
+ * the crc field. The double framing means any torn tail, bit flip or
+ * truncation is detected at load: the bad line is quarantined to
+ * `journal.quarantine` (post-mortem, like the run cache's quarantine
+ * directory), counted in the sweep_journal_recoveries health counter,
+ * and its point simply recomputed — the journal may lose work, it must
+ * never lie.
+ *
+ * Crash safety: each append is a single O_APPEND write(). A crash can
+ * tear at most the final line; appends first repair a missing trailing
+ * newline so a torn tail can never splice into the next record. After
+ * a load that dropped anything, the journal is compacted — surviving
+ * lines rewritten to a temp file and atomically renamed over the
+ * original — so corruption never accumulates.
+ */
+
+#ifndef GSCALAR_SWEEP_JOURNAL_HPP
+#define GSCALAR_SWEEP_JOURNAL_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/runner.hpp"
+#include "manifest.hpp"
+
+namespace gs
+{
+
+/** Counters of one journal load/append lifetime. */
+struct SweepJournalStats
+{
+    std::uint64_t appended = 0;    ///< records written by this process
+    std::uint64_t replayed = 0;    ///< valid records returned by load()
+    std::uint64_t quarantined = 0; ///< corrupt/foreign lines moved aside
+    std::uint64_t compactions = 0; ///< atomic rewrites after a dirty load
+};
+
+class SweepJournal
+{
+  public:
+    /** Journal of the campaign at @p campaignDir (created by the
+     *  campaign runner; the journal only creates its own files). */
+    explicit SweepJournal(std::string campaignDir);
+    ~SweepJournal();
+
+    SweepJournal(const SweepJournal &) = delete;
+    SweepJournal &operator=(const SweepJournal &) = delete;
+
+    /** `<campaignDir>/journal.jsonl`. */
+    const std::string &path() const { return path_; }
+
+    /** Where rejected lines go: `<campaignDir>/journal.quarantine`. */
+    std::string quarantinePath() const;
+
+    /**
+     * Append the completed @p result for @p point: one write(), crash
+     * tears at most this line. Thread-safe. False on I/O error — the
+     * campaign carries on and the point is recomputed on resume.
+     * Consults the sweep:journal-torn-write and sweep:journal-bit-flip
+     * fault sites.
+     */
+    bool append(const SweepPoint &point, const RunResult &result);
+
+    /**
+     * Load every valid record, keyed by point index. @p points (the
+     * manifest expansion) provides the fingerprints records must
+     * match; anything corrupt, torn, foreign or stale is quarantined
+     * and counted, duplicates are dropped, and a dirtied journal is
+     * compacted in place (atomic rename). Never throws on hostile
+     * input.
+     */
+    std::unordered_map<std::uint64_t, RunResult>
+    load(const std::vector<SweepPoint> &points);
+
+    /** Truncate the journal (a fresh run without --resume). */
+    bool reset();
+
+    SweepJournalStats stats() const;
+
+  private:
+    bool writeLine(const std::string &line);
+    void quarantineLine(const std::string &line, const std::string &why);
+
+    std::string dir_;
+    std::string path_;
+    mutable std::mutex mutex_; ///< serializes appends and stats_
+    SweepJournalStats stats_;
+    int fd_ = -1;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_SWEEP_JOURNAL_HPP

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Campaign manifests: a declarative JSON description of a
+ * multi-dimensional parameter sweep — named axes over ArchConfig /
+ * codec / workload / GenSpec knobs — expanded deterministically into
+ * fingerprinted points. The manifest is content-addressed like the run
+ * cache: its campaign hash names the on-disk campaign directory
+ * (`GS_SWEEP_DIR/<hash>/`), so re-running the same manifest resumes
+ * the same campaign and an edited manifest can never collide with an
+ * old journal.
+ *
+ * Manifest shape (schema gscalar.sweep.v1):
+ *
+ *   {
+ *     "schema": "gscalar.sweep.v1",
+ *     "name": "codec-shootout",
+ *     "base": {"mode": "gscalar", "seed": 1},
+ *     "axes": [
+ *       {"knob": "workload", "values": ["BT", "BP", "gen:seed=7"]},
+ *       {"knob": "codec",    "values": ["byte-mask", "bdi"]}
+ *     ]
+ *   }
+ *
+ * `base` pins knobs shared by every point; each `axes` entry sweeps
+ * one knob. Expansion is an odometer over the axes in declaration
+ * order with the last axis varying fastest, so point index i maps to
+ * the same configuration in every process forever. The environment
+ * (GS_CODEC and friends) deliberately does NOT leak into points: a
+ * manifest fully describes its campaign, or resume could silently
+ * recompute everything under a different configuration.
+ *
+ * Parsing is hostile-input-safe in the serial.hpp tradition: the
+ * embedded JSON reader is bounds-checked, depth-capped and strict —
+ * unknown keys, unknown knobs, malformed values, duplicate axis
+ * values and oversized expansions are errors, never silent defaults.
+ */
+
+#ifndef GSCALAR_SWEEP_MANIFEST_HPP
+#define GSCALAR_SWEEP_MANIFEST_HPP
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace gs
+{
+
+/** One expanded sweep point: a (workload, config) pair plus the axis
+ *  labels that selected it. */
+struct SweepPoint
+{
+    std::uint64_t index = 0; ///< position in expansion order
+    std::string workload;    ///< Table 2 abbreviation or gen: spec
+    ArchConfig cfg;
+    /** The axis (knob, value) pairs of this point, in axis order. */
+    std::vector<std::pair<std::string, std::string>> labels;
+
+    /**
+     * Stable content hash over (workload, cfg.fingerprint()). Journal
+     * records carry it so a record can never be replayed against a
+     * point it does not describe. Like ArchConfig::fingerprint() it is
+     * stable within a build, not a serialization format.
+     */
+    std::uint64_t fingerprint() const;
+
+    /** Space-separated "knob=value" axis labels for reports. */
+    std::string label() const;
+};
+
+/**
+ * Apply one manifest knob to a point under construction; returns an
+ * empty string on success, the reason otherwise. Exposed so tests can
+ * pin the knob vocabulary. Knobs: workload, mode, codec, warp, sms,
+ * seed, check-granularity, scalar-banks, half-reg, smov,
+ * compiler-smov, scalar-occupancy, max-cycles.
+ */
+std::string applySweepKnob(ArchConfig &cfg, std::string &workload,
+                           const std::string &knob,
+                           const std::string &value);
+
+class SweepManifest
+{
+  public:
+    /** One swept dimension. */
+    struct Axis
+    {
+        std::string knob;
+        std::vector<std::string> values;
+    };
+
+    /** Expansions above this are a manifest error, not an OOM. */
+    static constexpr std::uint64_t kMaxPoints = 1'000'000;
+
+    /**
+     * Parse and validate manifest JSON. Empty optional (with a
+     * one-line reason) on any structural or semantic problem. Workload
+     * names are validated against the registry, so resolvers
+     * (registerGenWorkloads()) must be registered first.
+     */
+    static std::optional<SweepManifest> parse(const std::string &text,
+                                              std::string *error);
+
+    /** Read @p path and parse() it. */
+    static std::optional<SweepManifest> load(const std::string &path,
+                                             std::string *error);
+
+    const std::string &name() const { return name_; }
+    const std::vector<std::pair<std::string, std::string>> &base() const
+    {
+        return base_;
+    }
+    const std::vector<Axis> &axes() const { return axes_; }
+
+    /** Product of the axis sizes. */
+    std::uint64_t pointCount() const;
+
+    /**
+     * Content address of this campaign: FNV-1a over canonicalText().
+     * Two byte-different manifests describing the same sweep (key
+     * order, whitespace) share a hash; any semantic change gets a new
+     * one.
+     */
+    std::uint64_t campaignHash() const;
+
+    /** campaignHash() as a fixed-width hex directory name. */
+    std::string campaignId() const;
+
+    /** Canonical one-line-per-element rendering the hash covers. */
+    std::string canonicalText() const;
+
+    /**
+     * Expand every point in deterministic order. Empty optional (with
+     * the offending point named in *error) when a knob combination
+     * fails ArchConfig::check() — per-combination problems are only
+     * decidable here, not per axis value.
+     */
+    std::optional<std::vector<SweepPoint>>
+    expand(std::string *error) const;
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, std::string>> base_;
+    std::vector<Axis> axes_;
+};
+
+} // namespace gs
+
+#endif // GSCALAR_SWEEP_MANIFEST_HPP

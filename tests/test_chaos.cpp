@@ -532,6 +532,87 @@ TEST(ChaosServe, OversizedFramesAreRejectedNotServed)
     server.stop();
 }
 
+// ---- double faults: two seams armed at once -----------------------------
+
+TEST(ChaosDoubleFault, StoreBitFlipPlusEngineThrowByteIdentical)
+{
+    ArchConfig cfg;
+    cfg.mode = ArchMode::GScalarFull;
+    const RunResult clean = runWorkload("BT", cfg);
+
+    DisarmAtExit cleanup;
+    TempDir tmp;
+    // Both seams armed at once: every simulation throws (and is
+    // retried under Suppress) while every published cache record is
+    // poisoned after its checksummed write.
+    arm("store:bit-flip:1:2,engine:throw:1:3");
+    {
+        ExperimentEngine engine(2);
+        engine.setDiskCache(std::make_unique<DiskRunCache>(tmp.path));
+        const RunResult faulted = engine.run("BT", cfg);
+        expectSameResult(faulted, clean);
+        EXPECT_GE(engine.cacheStats().runRetries, 1u);
+        EXPECT_EQ(engine.diskCache()->stats().stores, 1u);
+    }
+
+    // A second process composes both recoveries: the poisoned record
+    // trips the checksum and is quarantined, the recompute rides the
+    // engine retry — and the result is still identical.
+    ExperimentEngine engine(2);
+    engine.setDiskCache(std::make_unique<DiskRunCache>(tmp.path));
+    const RunResult recovered = engine.run("BT", cfg);
+    expectSameResult(recovered, clean);
+    EXPECT_GE(engine.diskCache()->stats().rejects, 1u);
+    EXPECT_EQ(engine.diskCache()->stats().quarantined, 1u);
+    EXPECT_GE(engine.cacheStats().runRetries, 1u);
+}
+
+TEST(ChaosDoubleFault, ConnResetPlusLeaderCrashServesEveryClient)
+{
+    TempSocket sock;
+    ArchConfig cfg;
+    const RunResult direct = runWorkload("BT", cfg);
+
+    ExperimentEngine engine(2);
+    GscalarServer::Options o;
+    o.socketPath = sock.path;
+    GscalarServer server(engine, o);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+
+    DisarmAtExit cleanup;
+    healthCounters().reset();
+    // Connections reset underneath clients while every coalesced
+    // flight's leader crashes before reaching the engine: the client
+    // retry ladder and the server's follower promotion must compose.
+    arm("serve:conn-reset:0.15:5,serve:coalesce-leader-crash:1:6");
+    constexpr int kClients = 4;
+    std::vector<std::optional<RunResult>> results(kClients);
+    std::vector<std::thread> clients;
+    for (int i = 0; i < kClients; ++i)
+        clients.emplace_back([&, i] {
+            ClientOptions copts;
+            copts.attempts = 20;
+            copts.backoffBaseSec = 0.005;
+            copts.backoffMaxSec = 0.05;
+            copts.jitterSeed = std::uint64_t(i);
+            GscalarClient client(sock.path, copts);
+            std::string cerr;
+            results[std::size_t(i)] = client.run("BT", cfg, &cerr);
+        });
+    for (std::thread &t : clients)
+        t.join();
+    faultInjector().disarm();
+
+    for (const std::optional<RunResult> &r : results) {
+        ASSERT_TRUE(r.has_value());
+        expectSameResult(*r, direct);
+    }
+    EXPECT_GE(server.stats().coalescePromotions, 1u);
+    server.stop();
+    healthCounters().reset();
+}
+
 // ---- end to end through the real binary ---------------------------------
 
 TEST(ChaosCli, BenchOutputByteIdenticalUnderEngineFaults)

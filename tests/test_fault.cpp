@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
 #include <set>
 #include <string>
 #include <vector>
@@ -16,6 +18,7 @@
 #include "fault/fault.hpp"
 #include "fault/health.hpp"
 #include "obs/metrics.hpp"
+#include "serve/client.hpp"
 
 using namespace gs;
 
@@ -41,7 +44,9 @@ TEST(FaultSpecParse, KindNamesRoundTrip)
     for (const FaultKind k :
          {FaultKind::ShortWrite, FaultKind::RenameFail, FaultKind::BitFlip,
           FaultKind::ConnReset, FaultKind::ShortRead, FaultKind::Eintr,
-          FaultKind::Stall, FaultKind::Throw, FaultKind::Slow}) {
+          FaultKind::Stall, FaultKind::Throw, FaultKind::Slow,
+          FaultKind::JournalTornWrite, FaultKind::JournalBitFlip,
+          FaultKind::PointCrash, FaultKind::DaemonLost}) {
         const std::optional<FaultKind> back =
             parseFaultKind(faultKindName(k));
         ASSERT_TRUE(back.has_value()) << faultKindName(k);
@@ -49,6 +54,26 @@ TEST(FaultSpecParse, KindNamesRoundTrip)
     }
     EXPECT_FALSE(parseFaultKind("segfault").has_value());
     EXPECT_FALSE(parseFaultKind("").has_value());
+}
+
+TEST(FaultSpecParse, SweepSiteIsAccepted)
+{
+    FaultInjector inj;
+    std::string err;
+    ASSERT_TRUE(
+        inj.configure("sweep:journal-torn-write:1,sweep:point-crash:1",
+                      &err))
+        << err;
+    EXPECT_TRUE(inj.shouldInject("sweep", FaultKind::JournalTornWrite));
+    EXPECT_TRUE(inj.shouldInject("sweep", FaultKind::PointCrash));
+    EXPECT_FALSE(inj.shouldInject("sweep", FaultKind::DaemonLost));
+    EXPECT_FALSE(inj.shouldInject("store", FaultKind::PointCrash));
+    EXPECT_GE(inj.injectedAt("sweep"), 2u);
+
+    // Unknown sites still fail with the site list, now naming sweep.
+    err.clear();
+    EXPECT_FALSE(inj.configure("gpu:point-crash:1", &err));
+    EXPECT_NE(err.find("sweep"), std::string::npos);
 }
 
 TEST(FaultSpecParse, ValidSpecsArm)
@@ -212,6 +237,50 @@ TEST(HealthCounters, SnapshotAndResetRoundTrip)
     healthCounters().reset();
     EXPECT_EQ(healthCounters().snapshot().runRetries, 0u);
     EXPECT_TRUE(healthSummary().empty());
+}
+
+TEST(ClientRetryDeadline, DeadlineCapsTheRetryLadder)
+{
+    healthCounters().reset();
+    // No daemon listens here. Without the deadline, 50 attempts with a
+    // 50ms floor would sleep for seconds; the deadline fails the
+    // operation fast with an explicit reason instead.
+    ClientOptions o;
+    o.connectTimeoutSec = 0.2;
+    o.attempts = 50;
+    o.backoffBaseSec = 0.05;
+    o.backoffMaxSec = 0.05;
+    o.retryDeadlineSec = 0.2;
+    GscalarClient client("/tmp/gs-no-such-daemon-deadline.sock", o);
+    std::string err;
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(client.ping(&err));
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    EXPECT_NE(err.find("retry deadline exceeded"), std::string::npos)
+        << err;
+    // Generous bound: the ladder stopped near the 0.2s deadline, not
+    // after 49 backoffs (~2.5s+).
+    EXPECT_LT(elapsed, 2.0);
+    healthCounters().reset();
+}
+
+TEST(ClientRetryDeadline, FromEnvParsesGsRetryDeadlineMs)
+{
+    ::setenv("GS_RETRY_DEADLINE_MS", "1500", 1);
+    EXPECT_DOUBLE_EQ(ClientOptions::fromEnv().retryDeadlineSec, 1.5);
+    ::setenv("GS_RETRY_DEADLINE_MS", "0", 1);
+    EXPECT_DOUBLE_EQ(ClientOptions::fromEnv().retryDeadlineSec, 0.0);
+    // Malformed values warn and keep the uncapped default.
+    for (const char *bad : {"nope", "-100", "12ms"}) {
+        ::setenv("GS_RETRY_DEADLINE_MS", bad, 1);
+        EXPECT_DOUBLE_EQ(ClientOptions::fromEnv().retryDeadlineSec, 0.0)
+            << bad;
+    }
+    ::unsetenv("GS_RETRY_DEADLINE_MS");
+    EXPECT_DOUBLE_EQ(ClientOptions::fromEnv().retryDeadlineSec, 0.0);
 }
 
 TEST(HealthMetrics, RegistryCoversEveryCounter)

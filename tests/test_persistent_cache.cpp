@@ -125,7 +125,27 @@ TEST(PersistentCache, VersionAndHelpExitZero)
     ASSERT_EQ(runCli("", "--version", out, err), 0);
     EXPECT_NE(slurp(out).find("gscalar "), std::string::npos);
     ASSERT_EQ(runCli("", "--help", out, err), 0);
-    EXPECT_NE(slurp(out).find("usage:"), std::string::npos);
+    const std::string help = slurp(out);
+    EXPECT_NE(help.find("usage:"), std::string::npos);
+    // Every registered command appears in the global usage listing —
+    // registering a command without surfacing it is a help-rot bug.
+    for (const char *cmd :
+         {"run", "suite", "bench", "disasm", "trace", "experiment",
+          "serve", "submit", "fuzz", "sweep", "config", "list"}) {
+        EXPECT_NE(help.find(std::string("\n  ") + cmd),
+                  std::string::npos)
+            << "command '" << cmd << "' missing from --help";
+        // ...and each one answers a per-command --help.
+        ASSERT_EQ(runCli("", std::string(cmd) + " --help", out, err), 0)
+            << cmd;
+        EXPECT_NE(slurp(out).find(std::string("usage: gscalar ") + cmd),
+                  std::string::npos)
+            << cmd;
+    }
+    EXPECT_NE(runCli("", "nonsense --help", out, err), 0);
+    // The sweep help documents its crash-recovery contract.
+    ASSERT_EQ(runCli("", "sweep --help", out, err), 0);
+    EXPECT_NE(slurp(out).find("--resume"), std::string::npos);
     // No subcommand at all stays a usage error.
     EXPECT_NE(runCli("", "", out, err), 0);
 }

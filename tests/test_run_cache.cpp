@@ -14,6 +14,7 @@
 #include <fstream>
 #include <thread>
 
+#include "fault/health.hpp"
 #include "store/run_cache.hpp"
 #include "store/serial.hpp"
 
@@ -235,6 +236,47 @@ TEST(DiskRunCache, LruEvictionKeepsRecentRecords)
     EXPECT_TRUE(cache.load("FF", cfg).has_value());
     // The oldest must be the first casualty.
     EXPECT_FALSE(cache.load("AA", cfg).has_value());
+}
+
+TEST(DiskRunCache, QuarantineDirIsLruCapped)
+{
+    TempDir tmp;
+    ArchConfig cfg;
+    // Store with no size cap so the live records all land...
+    {
+        DiskRunCache cache(tmp.path, 0);
+        for (const char *a : {"AA", "BB", "CC", "DD"})
+            ASSERT_TRUE(cache.store(a, cfg, makeResult(a, 1)));
+    }
+    // ...then rot every one of them on disk.
+    const std::vector<fs::path> files = recordFiles(tmp.path);
+    ASSERT_EQ(files.size(), 4u);
+    for (const fs::path &p : files) {
+        std::fstream f(p,
+                       std::ios::in | std::ios::out | std::ios::binary);
+        f.seekp(12);
+        char c = 0;
+        f.seekg(12);
+        f.get(c);
+        f.seekp(12);
+        f.put(char(c ^ 0x40));
+    }
+
+    healthCounters().reset();
+    // Reopen with a cap smaller than the pile: each rejected load
+    // quarantines its record, and the quarantine sweep keeps the
+    // post-mortem directory LRU-bounded instead of growing without
+    // bound under a flaky disk.
+    DiskRunCache capped(tmp.path, 600);
+    for (const char *a : {"AA", "BB", "CC", "DD"}) {
+        EXPECT_FALSE(capped.load(a, cfg).has_value());
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    EXPECT_EQ(capped.stats().quarantined, 4u);
+    EXPECT_GE(capped.stats().quarantineEvictions, 1u);
+    EXPECT_LT(quarantinedFiles(capped), 4u);
+    EXPECT_GE(healthCounters().snapshot().quarantineEvictions, 1u);
+    healthCounters().reset();
 }
 
 TEST(DiskRunCache, UnlimitedSizeNeverEvicts)

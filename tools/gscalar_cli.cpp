@@ -8,10 +8,12 @@
  */
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -36,6 +38,7 @@
 #include "sim/gpu.hpp"
 #include "sim/parallel.hpp"
 #include "sim/trace.hpp"
+#include "sweep/campaign.hpp"
 
 #ifndef GS_VERSION
 #define GS_VERSION "0.0.0-dev"
@@ -843,6 +846,123 @@ cmdFuzz(int argc, char **argv)
 }
 
 int
+cmdSweep(int argc, char **argv)
+{
+    initHarness(argc, argv); // --jobs/--sim-threads/--cache/--fault
+
+    SweepOptions sopt;
+    ResultFormat format = ResultFormat::Text;
+    bool expandOnly = false;
+    std::string manifestPath;
+    auto setFormat = [&format](const std::string &v) {
+        const std::optional<ResultFormat> f = parseResultFormat(v);
+        if (!f)
+            GS_FATAL("unknown --format '", v,
+                     "' (want text, json or csv)");
+        format = *f;
+    };
+    // Strict unsigned parse (GS_JOBS idiom): malformed cadence/retry
+    // values are configuration errors, never silent defaults.
+    auto parseUint = [](const std::string &v, const char *what,
+                        std::uint64_t lo,
+                        std::uint64_t hi) -> std::uint64_t {
+        char *end = nullptr;
+        errno = 0;
+        const unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+        if (v.empty() || !end || *end != '\0' || errno != 0 ||
+            v.find_first_not_of("0123456789") != std::string::npos ||
+            n < lo || n > hi)
+            GS_FATAL("invalid ", what, " value '", v,
+                     "' (want an integer in [", lo, ", ", hi, "])");
+        return n;
+    };
+    for (int i = 2; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto need = [&](const char *what) -> std::string {
+            if (i + 1 >= argc)
+                GS_FATAL(what, " needs a value");
+            return argv[++i];
+        };
+        if (a == "--resume")
+            sopt.resume = true;
+        else if (a == "--expand")
+            expandOnly = true;
+        else if (a == "--dir")
+            sopt.sweepDir = need("--dir");
+        else if (a.rfind("--format=", 0) == 0)
+            setFormat(a.substr(9));
+        else if (a == "--format")
+            setFormat(need("--format"));
+        else if (a == "--socket")
+            sopt.socketPath = need("--socket");
+        else if (a == "--connect") {
+            // GS_JOBS idiom: strict parse now, never a lazy failure
+            // at the first submit.
+            const std::string v = need("--connect");
+            std::string why;
+            const std::optional<ConnectTarget> t =
+                parseConnectTarget(v, &why);
+            if (!t)
+                GS_FATAL("invalid --connect value: ", why);
+            sopt.tcp = t;
+        } else if (a == "--attempts")
+            sopt.pointAttempts =
+                unsigned(parseUint(need("--attempts"), "--attempts",
+                                   1, 100));
+        else if (a == "--progress")
+            sopt.progressEvery =
+                parseUint(need("--progress"), "--progress", 1,
+                          std::numeric_limits<std::uint64_t>::max());
+        else if (a == "--cache" || a.rfind("--fault=", 0) == 0)
+            continue; // consumed by initHarness
+        else if (a == "--fault" || a == "--jobs" || a == "-j" ||
+                 a == "--sim-threads" || a == "--codec")
+            ++i; // value consumed by initHarness
+        else if (!a.empty() && a[0] == '-')
+            GS_FATAL("unknown option '", a,
+                     "' (see `gscalar sweep --help`)");
+        else if (manifestPath.empty())
+            manifestPath = a;
+        else
+            GS_FATAL("unexpected argument '", a,
+                     "' (one manifest per sweep)");
+    }
+    if (manifestPath.empty())
+        return usage();
+
+    std::string err;
+    const std::optional<SweepManifest> manifest =
+        SweepManifest::load(manifestPath, &err);
+    if (!manifest)
+        GS_FATAL("sweep manifest ", manifestPath, ": ", err);
+
+    if (expandOnly) {
+        // Dry run: show what the campaign would simulate, never touch
+        // the sweep directory.
+        const std::optional<std::vector<SweepPoint>> points =
+            manifest->expand(&err);
+        if (!points)
+            GS_FATAL("sweep manifest ", manifestPath, ": ", err);
+        std::cout << "campaign " << manifest->campaignId() << ": "
+                  << points->size() << " point(s)\n";
+        for (const SweepPoint &p : *points) {
+            std::ostringstream os;
+            os << std::hex << std::setfill('0') << std::setw(16)
+               << p.fingerprint();
+            std::cout << p.index << "  " << os.str() << "  "
+                      << p.workload << "  " << p.label() << "\n";
+        }
+        return 0;
+    }
+
+    const SweepOutcome outcome = runSweepCampaign(*manifest, sopt);
+    makeResultSink(format, std::cout)->emit(outcome.aggregate);
+    stderrSink().writeLine(defaultEngine().statsSummary());
+    printHealthSummary();
+    return outcome.ok() ? 0 : 1;
+}
+
+int
 cmdConfig(int, char **)
 {
     std::cout << experimentConfig().describe();
@@ -1001,6 +1121,46 @@ commands()
          "  kernels and same stdout bytes, at any --jobs or\n"
          "  --sim-threads. Exit 0 iff no kernel miscompared.\n",
          cmdFuzz},
+        {"sweep", "<MANIFEST.json> [--resume] [--expand] [options]",
+         "run a journaled multi-point campaign from a manifest",
+         "  <MANIFEST.json>  gscalar.sweep.v1 manifest: a `base` knob\n"
+         "                   object plus `axes` (knob, values) swept\n"
+         "                   as an odometer (last axis fastest)\n"
+         "  --resume         replay journaled points and compute only\n"
+         "                   the remainder; the final table is byte-\n"
+         "                   identical to an uninterrupted run\n"
+         "  --expand         print the expanded points (index,\n"
+         "                   fingerprint, workload, labels) and exit\n"
+         "                   without simulating\n"
+         "  --dir DIR        campaign root (default $GS_SWEEP_DIR or\n"
+         "                   <cache dir>/sweeps); campaigns live at\n"
+         "                   DIR/<campaign-id>/\n"
+         "  --socket PATH    schedule points through the gscalard at\n"
+         "                   this unix socket\n"
+         "  --connect H:P    schedule points through a TCP gscalard;\n"
+         "                   after 3 consecutive submit failures the\n"
+         "                   campaign degrades to in-process execution\n"
+         "  --attempts N     attempts per point before it is reported\n"
+         "                   FAILED (default 3)\n"
+         "  --progress N     progress line every N completed points\n"
+         "                   (default ~10 lines per campaign)\n"
+         "  --format F       text (default), json or csv\n"
+         "  --jobs/-j N      worker pool size\n"
+         "  --sim-threads N  intra-run SM threads (GS_SIM_THREADS)\n"
+         "  --cache          persist runs on disk (GS_CACHE_DIR)\n"
+         "  --fault SPEC     inject faults; sweep sites:\n"
+         "                   journal-torn-write, journal-bit-flip,\n"
+         "                   point-crash, daemon-lost\n"
+         "\n"
+         "  Every completed point is appended to a checksummed journal\n"
+         "  (journal.jsonl) under the campaign directory, so a campaign\n"
+         "  killed mid-flight (even SIGKILL) resumes with --resume:\n"
+         "  corrupt records are quarantined and recomputed, completed\n"
+         "  points are never re-simulated. Knobs: workload, mode,\n"
+         "  codec, warp, sms, seed, check-granularity, scalar-banks,\n"
+         "  half-reg, smov, compiler-smov, scalar-occupancy,\n"
+         "  max-cycles. See docs/RELIABILITY.md.\n",
+         cmdSweep},
         {"config", "",
          "print the Table 1 experiment configuration",
          "  Prints the baseline GTX 480 configuration every\n"
